@@ -1,0 +1,51 @@
+// Ablation: LIP (Lookahead Information Passing) Bloom-filter pruning —
+// the paper's Section VI-C "technique to lower selectivity" and the reason
+// its Quickstep numbers beat MonetDB's in Fig. 11. Compares query time,
+// materialized-intermediate peaks and probe work for the LIP-eligible
+// queries with pruning on and off.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace uot;
+  using namespace uot::bench;
+
+  const double sf = ScaleFactor();
+  std::printf("Ablation: LIP Bloom-filter pruning (SF=%.3f, %d workers, "
+              "high UoT)\n\n", sf, Threads());
+  TpchFixture fixture(sf, Layout::kColumnStore, 1 << 20);
+
+  std::printf("%-5s | %10s %10s | %12s %12s | %s\n", "Query", "off (ms)",
+              "LIP (ms)", "peak-tmp off", "peak-tmp LIP", "tmp shrink");
+  for (int query : {3, 5, 7, 8, 10, 19}) {
+    double ms[2];
+    int64_t peak[2];
+    int idx = 0;
+    for (const bool use_lip : {false, true}) {
+      TpchPlanConfig plan_config;
+      plan_config.block_bytes = MidBlockBytes();
+      plan_config.use_lip = use_lip;
+      ExecConfig exec;
+      exec.num_workers = Threads();
+      exec.uot = UotPolicy::HighUot();
+      QueryTiming t =
+          TimeQuery(query, fixture.db(), plan_config, exec, Runs());
+      ms[idx] = t.best_mean_ms;
+      peak[idx] = t.stats.PeakTemporaryBytes();
+      ++idx;
+    }
+    std::printf("Q%-4d | %10.2f %10.2f | %9.2f MB %9.2f MB | %8.1fx\n",
+                query, ms[0], ms[1],
+                static_cast<double>(peak[0]) / 1e6,
+                static_cast<double>(peak[1]) / 1e6,
+                static_cast<double>(peak[0]) /
+                    static_cast<double>(peak[1] > 0 ? peak[1] : 1));
+  }
+  std::printf("\nPaper Section VI-C: LIP cuts Q07's materialized select "
+              "output from 2.8 GB to 224 MB (12.5x) at SF 100 — making the "
+              "high-UoT strategy's memory overhead competitive with (or "
+              "better than) the low-UoT strategy's hash tables.\n");
+  return 0;
+}

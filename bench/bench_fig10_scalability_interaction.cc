@@ -1,0 +1,86 @@
+// Reproduces Fig. 10: the interaction of block size, UoT value and
+// operator scalability — per-task execution times of the two Q07 probe
+// operators (good vs poor scalability) across block sizes under low and
+// high UoT values.
+//
+// Runs on the discrete-event scheduler simulator (DESIGN.md substitution
+// 1). Work per task scales with the block size; the fixed storage-
+// management overhead and its synchronization slope shrink in relative
+// terms as blocks grow, reproducing the paper's contention story.
+
+#include <cstdio>
+
+#include "simsched/des_scheduler.h"
+
+namespace {
+
+struct Shape {
+  const char* name;
+  double contention_alpha;
+  double sync_beta;
+};
+
+}  // namespace
+
+int main() {
+  using namespace uot;
+  std::printf("Fig 10: per-task probe time (ms) vs block size and UoT "
+              "(DES simulator, 20 workers)\n\n");
+
+  const Shape shapes[] = {
+      {"(a) probe with better scalability (small HT)", 0.02, 0.02},
+      {"(b) probe with poor scalability (large HT)", 0.20, 0.30},
+  };
+  const size_t kBlockSizes[] = {128 * 1024, 512 * 1024, 2 * 1024 * 1024};
+  const double kTableBytes = 256.0 * 1024 * 1024;  // select output volume
+  const double kWorkNsPerByte = 1e6 / (512.0 * 1024);
+
+  for (const Shape& shape : shapes) {
+    std::printf("%s:\n", shape.name);
+    std::printf("%-10s %14s %14s\n", "block", "low UoT", "high UoT");
+    for (const size_t block : kBlockSizes) {
+      const uint64_t blocks =
+          static_cast<uint64_t>(kTableBytes / static_cast<double>(block));
+      double task_ms[2];
+      int idx = 0;
+      for (const bool whole_table : {false, true}) {
+        SimOperator select;
+        select.name = "select";
+        select.num_work_orders = blocks;
+        select.work_ns = kWorkNsPerByte * static_cast<double>(block) * 0.6;
+        select.overhead_ns = 0.05e6;
+        select.sync_beta = 0.02;
+
+        SimOperator probe;
+        probe.name = "probe";
+        probe.streaming_producer = 0;
+        probe.work_ns = kWorkNsPerByte * static_cast<double>(block);
+        probe.overhead_ns = 0.1e6;  // per-work-order storage management
+        probe.contention_alpha = shape.contention_alpha;
+        // Latch contention in the storage manager scales with the rate of
+        // concurrent block operations: quadratically worse as blocks
+        // shrink (more block checkouts/returns per second per worker).
+        const double shrink = 512.0 * 1024 / static_cast<double>(block);
+        probe.sync_beta = shape.sync_beta * shrink * shrink;
+
+        SimConfig config;
+        config.num_workers = 20;
+        config.uot =
+            whole_table ? UotPolicy::HighUot() : UotPolicy::LowUot(1);
+        const SimResult r = DesScheduler::Run({select, probe}, config);
+        task_ms[idx++] = r.operators[1].avg_task_ns / 1e6;
+      }
+      std::printf("%-10s %14.3f %14.3f\n",
+                  block >= 1024 * 1024
+                      ? (std::to_string(block / (1024 * 1024)) + "MB").c_str()
+                      : (std::to_string(block / 1024) + "KB").c_str(),
+                  task_ms[0], task_ms[1]);
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper: the poorly scaling probe improves from 128KB to "
+              "512KB (less storage-manager contention), then grows again "
+              "at 2MB (more work per block); low UoT values are less prone "
+              "to the contention because their DOP is lower.\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Reproduces Fig. 2: the interplay between scheduling strategies and UoT
+// values. A filter (sigma) feeding a probe (P) is executed with one worker
+// under increasing UoT values; the printed work-order sequence morphs from
+// the interleaved "pipelined" schedule to the phase-separated
+// "non-pipelining" schedule.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "operators/build_hash_operator.h"
+#include "operators/probe_hash_operator.h"
+#include "operators/select_operator.h"
+#include "types/row_builder.h"
+
+namespace uot {
+namespace {
+
+struct MiniPlan {
+  std::unique_ptr<QueryPlan> plan;
+  int select_op;
+  int probe_op;
+};
+
+MiniPlan MakePlan(StorageManager* storage, const Table& probe_table,
+                  const Table& build_table, size_t temp_block_bytes) {
+  MiniPlan mp;
+  mp.plan = std::make_unique<QueryPlan>(storage);
+  QueryPlan* plan = mp.plan.get();
+
+  auto build = std::make_unique<BuildHashOperator>(
+      "build", std::vector<int>{0}, std::vector<int>{1}, 0.75,
+      &storage->tracker());
+  build->InitHashTable(build_table.schema());
+  build->AttachBaseTable(&build_table);
+  BuildHashOperator* build_raw = build.get();
+  const int build_op = plan->AddOperator(std::move(build));
+
+  auto proj = Projection::Identity(probe_table.schema(), {0, 1});
+  Schema sel_schema = proj->output_schema();
+  Table* sel_out = plan->CreateTempTable("sel.out", sel_schema,
+                                         Layout::kRowStore,
+                                         temp_block_bytes);
+  InsertDestination* sel_dest = plan->CreateDestination(sel_out);
+  auto select = std::make_unique<SelectOperator>(
+      "sigma", std::make_unique<TruePredicate>(), std::move(proj), sel_dest);
+  select->AttachBaseTable(&probe_table);
+  mp.select_op = plan->AddOperator(std::move(select));
+  plan->RegisterOutput(mp.select_op, sel_dest);
+
+  Schema probe_schema = ProbeHashOperator::OutputSchema(
+      sel_schema, {0}, build_table.schema(), {1}, JoinKind::kInner);
+  Table* probe_out = plan->CreateTempTable("probe.out", probe_schema,
+                                           Layout::kRowStore,
+                                           temp_block_bytes);
+  InsertDestination* probe_dest = plan->CreateDestination(probe_out);
+  auto probe = std::make_unique<ProbeHashOperator>(
+      "P", build_raw, std::vector<int>{0}, std::vector<int>{0},
+      JoinKind::kInner, std::vector<ResidualCondition>{}, probe_dest);
+  mp.probe_op = plan->AddOperator(std::move(probe));
+  plan->RegisterOutput(mp.probe_op, probe_dest);
+  plan->AddStreamingEdge(mp.select_op, mp.probe_op);
+  plan->AddBlockingEdge(build_op, mp.probe_op);
+  plan->SetResultTable(probe_out);
+  return mp;
+}
+
+}  // namespace
+}  // namespace uot
+
+int main() {
+  using namespace uot;
+  std::printf("Fig 2: work-order schedules for different UoT values\n");
+  std::printf("(sigma = filter work order, P = probe work order; one "
+              "worker)\n\n");
+
+  StorageManager storage;
+  // 8 base blocks -> 8 sigma work orders; select output blocks sized so
+  // one input block produces about one output block.
+  Schema schema({{"k", Type::Int32()}, {"v", Type::Double()}});
+  const size_t block_bytes = 64 * schema.row_width();
+  Table probe_table("probe", schema, Layout::kRowStore, block_bytes,
+                    &storage, MemoryCategory::kBaseTable);
+  Table build_table("build", schema, Layout::kRowStore, 4096, &storage,
+                    MemoryCategory::kBaseTable);
+  RowBuilder row(&schema);
+  for (int i = 0; i < 64 * 8; ++i) {
+    row.SetInt32(0, i % 16);
+    row.SetDouble(1, i);
+    probe_table.AppendRow(row.data());
+  }
+  for (int i = 0; i < 16; ++i) {
+    row.SetInt32(0, i);
+    row.SetDouble(1, i);
+    build_table.AppendRow(row.data());
+  }
+
+  for (const uint64_t uot :
+       {UINT64_C(1), UINT64_C(2), UINT64_C(4), UotPolicy::kWholeTable}) {
+    auto mp = MakePlan(&storage, probe_table, build_table, block_bytes);
+    ExecConfig config;
+    config.num_workers = 1;
+    config.uot = uot == UotPolicy::kWholeTable ? UotPolicy::HighUot()
+                                               : UotPolicy::LowUot(uot);
+    const ExecutionStats stats =
+        QueryExecutor::Execute(mp.plan.get(), config);
+
+    std::vector<WorkOrderRecord> records = stats.records;
+    std::sort(records.begin(), records.end(),
+              [](const WorkOrderRecord& a, const WorkOrderRecord& b) {
+                return a.start_ns < b.start_ns;
+              });
+    std::printf("%-22s schedule: ", config.uot.ToString().c_str());
+    for (const WorkOrderRecord& r : records) {
+      if (r.op == mp.select_op) {
+        std::printf("s ");
+      } else if (r.op == mp.probe_op) {
+        std::printf("P ");
+      } else {
+        std::printf("b ");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nAs the UoT grows, the schedule approaches the traditional "
+              "non-pipelining phase split (paper Fig. 2).\n");
+  return 0;
+}

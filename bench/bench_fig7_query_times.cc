@@ -1,0 +1,52 @@
+// Reproduces Fig. 7: full TPC-H query execution times for low vs high UoT
+// at block sizes 128 KB (a) and 2 MB (b), column-store base tables.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace uot;
+  using namespace uot::bench;
+
+  const double sf = ScaleFactor();
+  std::printf("Fig 7: TPC-H query times (ms), column store "
+              "(SF=%.3f, %d workers, mean of best runs)\n\n",
+              sf, Threads());
+
+  // Paper grid 128KB / 2MB, scaled to the laptop SF (see bench_util.h).
+  for (const size_t block_bytes : {SmallBlockBytes(), LargeBlockBytes()}) {
+    TpchFixture fixture(sf, Layout::kColumnStore, block_bytes);
+    TpchPlanConfig plan_config;
+    plan_config.block_bytes = block_bytes;
+
+    std::printf("(%s) block size %s:\n",
+                block_bytes == SmallBlockBytes() ? "a" : "b",
+                HumanBytes(block_bytes).c_str());
+    std::printf("%-5s %12s %12s %10s\n", "Query", "low UoT", "high UoT",
+                "low/high");
+    double geo = 0;
+    int counted = 0;
+    for (int query : SupportedTpchQueries()) {
+      double ms[2] = {0, 0};
+      int idx = 0;
+      for (const bool whole_table : {false, true}) {
+        ExecConfig exec;
+        exec.num_workers = Threads();
+        exec.uot = whole_table ? UotPolicy::HighUot() : UotPolicy::LowUot(1);
+        ms[idx++] = TimeQuery(query, fixture.db(), plan_config, exec, Runs())
+                        .best_mean_ms;
+      }
+      std::printf("Q%-4d %12.2f %12.2f %9.2fx\n", query, ms[0], ms[1],
+                  ms[0] / ms[1]);
+      geo += std::log(ms[0] / ms[1]);
+      ++counted;
+    }
+    std::printf("geomean low/high: %.3fx\n\n",
+                std::exp(geo / std::max(1, counted)));
+  }
+  std::printf("Paper: low UoT slightly better at small blocks; little "
+              "difference at 2MB.\n");
+  return 0;
+}

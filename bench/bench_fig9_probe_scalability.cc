@@ -1,0 +1,67 @@
+// Reproduces Fig. 9: scalability of two probe operators from TPC-H Q07 —
+// one probing a small (selected supplier) hash table, one probing the huge
+// orders hash table — against ideal linear speedup.
+//
+// Runs on the discrete-event scheduler simulator (this container has one
+// core; see DESIGN.md substitution 1). The contention slope is derived
+// from the hash-table size relative to L3: probes into a table far larger
+// than L3 contend for memory bandwidth and storage-manager latches.
+
+#include <cstdio>
+
+#include "simsched/des_scheduler.h"
+
+namespace {
+
+/// Interference slope for a shared hash table of `ht_mb` megabytes probed
+/// through a 25 MB L3: beyond-L3 tables serialize on the memory bus.
+double ContentionAlpha(double ht_mb) {
+  const double l3_mb = 25.0;
+  const double excess = ht_mb / l3_mb;
+  return 0.02 + 0.18 * (excess / (1.0 + excess));
+}
+
+}  // namespace
+
+int main() {
+  using namespace uot;
+  std::printf("Fig 9: probe-operator scalability (DES simulator), "
+              "speedup vs 1 thread\n\n");
+
+  struct ProbeCase {
+    const char* name;
+    double ht_mb;
+  };
+  const ProbeCase cases[] = {
+      {"probe(small supplier HT, ~2MB)", 2.0},
+      {"probe(whole orders HT, ~2.4GB)", 2400.0},
+  };
+
+  std::printf("%-8s %28s %28s %8s\n", "threads", cases[0].name,
+              cases[1].name, "ideal");
+  double base[2] = {0, 0};
+  for (const int threads : {1, 2, 4, 8, 12, 16, 20}) {
+    double speedup[2];
+    for (int c = 0; c < 2; ++c) {
+      SimOperator probe;
+      probe.name = "probe";
+      probe.num_work_orders = 400;
+      probe.work_ns = 1e6;
+      probe.contention_alpha = ContentionAlpha(cases[c].ht_mb);
+      probe.overhead_ns = 0.05e6;
+      probe.sync_beta = cases[c].ht_mb > 25.0 ? 0.10 : 0.02;
+      SimConfig config;
+      config.num_workers = threads;
+      const double makespan =
+          DesScheduler::Run({probe}, config).makespan_ns;
+      if (threads == 1) base[c] = makespan;
+      speedup[c] = base[c] / makespan;
+    }
+    std::printf("%-8d %28.2f %28.2f %8d\n", threads, speedup[0], speedup[1],
+                threads);
+  }
+  std::printf("\nPaper: the probe on the large hash table scales poorly "
+              "(contention in memory and the storage manager); the small-"
+              "hash-table probe tracks ideal far longer.\n");
+  return 0;
+}

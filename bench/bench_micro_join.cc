@@ -1,0 +1,65 @@
+// Micro-benchmarks of the join hash table: build and probe throughput as a
+// function of table size relative to cache capacity.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "join/hash_table.h"
+#include "util/random.h"
+
+namespace uot {
+namespace {
+
+void BM_HashTableBuild(benchmark::State& state) {
+  const int64_t entries = state.range(0);
+  Schema payload({{"v", Type::Int64()}});
+  for (auto _ : state) {
+    JoinHashTable ht(payload, 1, 0.75, nullptr);
+    ht.Reserve(static_cast<uint64_t>(entries));
+    std::byte buf[8];
+    for (int64_t i = 0; i < entries; ++i) {
+      const uint64_t key[2] = {static_cast<uint64_t>(i * 37), 0};
+      std::memcpy(buf, &i, 8);
+      ht.Insert(key, buf);
+    }
+    benchmark::DoNotOptimize(ht.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          entries);
+}
+BENCHMARK(BM_HashTableBuild)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  const int64_t entries = state.range(0);
+  Schema payload({{"v", Type::Int64()}});
+  JoinHashTable ht(payload, 1, 0.75, nullptr);
+  ht.Reserve(static_cast<uint64_t>(entries));
+  std::byte buf[8];
+  for (int64_t i = 0; i < entries; ++i) {
+    const uint64_t key[2] = {static_cast<uint64_t>(i * 37), 0};
+    std::memcpy(buf, &i, 8);
+    ht.Insert(key, buf);
+  }
+  Random rng(5);
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (int i = 0; i < 1024; ++i) {
+      const uint64_t key[2] = {
+          static_cast<uint64_t>(rng.Uniform(0, entries - 1) * 37), 0};
+      ht.Probe(key, [&sum](const std::byte* p) {
+        int64_t v;
+        std::memcpy(&v, p, 8);
+        sum += v;
+      });
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_HashTableProbe)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace uot
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Micro-benchmarks of the storage substrate: block append and single-
+// attribute scans under both layouts (the paper's Section IV-B dimension).
+
+#include <benchmark/benchmark.h>
+
+#include "storage/block.h"
+#include "types/row_builder.h"
+
+namespace uot {
+namespace {
+
+Schema WideSchema() {
+  return Schema({{"a", Type::Int32()},
+                 {"b", Type::Double()},
+                 {"c", Type::Date()},
+                 {"pad", Type::Char(84)}});  // 100-byte tuples
+}
+
+void FillBlock(Block* block) {
+  const Schema& s = block->schema();
+  RowBuilder row(&s);
+  for (uint32_t i = 0; !block->Full(); ++i) {
+    row.SetInt32(0, static_cast<int32_t>(i));
+    row.SetDouble(1, i * 1.5);
+    row.SetDate(2, static_cast<int32_t>(9000 + i % 365));
+    block->AppendRow(row.data());
+  }
+}
+
+void BM_BlockAppend(benchmark::State& state) {
+  const Schema schema = WideSchema();
+  const Layout layout = static_cast<Layout>(state.range(0));
+  RowBuilder row(&schema);
+  row.SetInt32(0, 7);
+  row.SetDouble(1, 1.25);
+  for (auto _ : state) {
+    Block block(1, &schema, layout, 2 * 1024 * 1024);
+    while (block.AppendRow(row.data())) {
+    }
+    benchmark::DoNotOptimize(block.num_rows());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          2 * 1024 * 1024);
+}
+BENCHMARK(BM_BlockAppend)->Arg(0)->Arg(1)->ArgName("layout");
+
+void BM_SingleAttributeScan(benchmark::State& state) {
+  const Schema schema = WideSchema();
+  const Layout layout = static_cast<Layout>(state.range(0));
+  Block block(1, &schema, layout, 2 * 1024 * 1024);
+  FillBlock(&block);
+  for (auto _ : state) {
+    const ColumnAccess access = block.Column(1);
+    double sum = 0;
+    for (uint32_t r = 0; r < block.num_rows(); ++r) {
+      double v;
+      std::memcpy(&v, access.at(r), 8);
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          block.num_rows());
+}
+BENCHMARK(BM_SingleAttributeScan)->Arg(0)->Arg(1)->ArgName("layout");
+
+void BM_FullRowExtraction(benchmark::State& state) {
+  const Schema schema = WideSchema();
+  const Layout layout = static_cast<Layout>(state.range(0));
+  Block block(1, &schema, layout, 512 * 1024);
+  FillBlock(&block);
+  std::vector<std::byte> row(schema.row_width());
+  for (auto _ : state) {
+    for (uint32_t r = 0; r < block.num_rows(); ++r) {
+      block.GetRow(r, row.data());
+      benchmark::DoNotOptimize(row.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          block.num_rows());
+}
+BENCHMARK(BM_FullRowExtraction)->Arg(0)->Arg(1)->ArgName("layout");
+
+}  // namespace
+}  // namespace uot
+
+BENCHMARK_MAIN();

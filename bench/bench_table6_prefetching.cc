@@ -1,0 +1,81 @@
+// Reproduces Table VI: average task execution times (ms) for the select,
+// build-hash and probe-hash operators with the hardware prefetcher enabled
+// ("Yes") and disabled ("No"), row-store format, three block sizes.
+//
+// Substitution (DESIGN.md): instead of toggling MSR 0x1A4, the operators'
+// memory access patterns are replayed through the cache/prefetcher
+// simulator calibrated to the paper's Haswell platform.
+
+#include <cstdio>
+
+#include "simcache/access_streams.h"
+#include "simcache/cache_simulator.h"
+#include "util/random.h"
+
+namespace {
+
+using uot::CacheSimConfig;
+using uot::CacheSimulator;
+using uot::Random;
+using uot::TaskTraceConfig;
+
+double AvgTaskMs(const char* op, uint64_t block_bytes, bool prefetch) {
+  CacheSimConfig config;  // Haswell-like: 32K/256K/25M, 90ns memory
+  config.prefetch_enabled = prefetch;
+  CacheSimulator sim(config);
+  Random rng(42);
+  TaskTraceConfig trace;
+  trace.block_bytes = block_bytes;
+  trace.tuple_bytes = 145;  // row-store lineitem tuple
+  trace.attr_bytes = 8;
+  trace.hash_table_bytes = 64ULL * 1024 * 1024;  // well beyond L3
+  trace.bucket_probes = 2;
+
+  const int kTasks = 3;
+  double total_ns = 0;
+  for (int t = 0; t < kTasks; ++t) {
+    if (op[0] == 's') {
+      total_ns += SimulateSelectTask(&sim, trace, &rng, 0.3);
+    } else if (op[0] == 'b') {
+      total_ns += SimulateBuildTask(&sim, trace, &rng);
+    } else {
+      total_ns += SimulateProbeTask(&sim, trace, &rng, 0.5);
+    }
+    trace.input_base += trace.block_bytes + (1 << 20);  // fresh input block
+  }
+  return total_ns / kTasks / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Table VI: average task times (ms) with prefetching enabled "
+              "(Yes) / disabled (No), row store\n");
+  std::printf("(cache/prefetcher simulator substitute for the MSR 0x1A4 "
+              "experiment — see DESIGN.md)\n\n");
+
+  std::printf("%-10s | %8s %8s | %8s %8s | %8s %8s\n", "Block size",
+              "Sel Yes", "Sel No", "Bld Yes", "Bld No", "Prb Yes", "Prb No");
+  for (const uint64_t block :
+       {uint64_t{128 * 1024}, uint64_t{512 * 1024},
+        uint64_t{2 * 1024 * 1024}}) {
+    const double sel_yes = AvgTaskMs("select", block, true);
+    const double sel_no = AvgTaskMs("select", block, false);
+    const double bld_yes = AvgTaskMs("build", block, true);
+    const double bld_no = AvgTaskMs("build", block, false);
+    const double prb_yes = AvgTaskMs("probe", block, true);
+    const double prb_no = AvgTaskMs("probe", block, false);
+    std::printf("%-10s | %8.3f %8.3f | %8.3f %8.3f | %8.3f %8.3f\n",
+                block >= 1024 * 1024 ? "2MB"
+                                     : (block == 128 * 1024 ? "128KB"
+                                                            : "512KB"),
+                sel_yes, sel_no, bld_yes, bld_no, prb_yes, prb_no);
+  }
+  std::printf("\nPaper (SF 50, ms): 128KB 0.06/0.08 | 2.0/1.9 | 0.8/0.8; "
+              "512KB 0.2/0.3 | 8.5/7.6 | 2.2/0.9; "
+              "2MB 1.1/1.5 | 38.0/32.7 | 3.9/3.1\n");
+  std::printf("Shape to reproduce: prefetching helps the sequential select "
+              "but worsens (or fails to help) build and probe, whose mixed "
+              "sequential+random streams defeat the stride detector.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Explores the Section VI memory model on TPC-H Q07: which UoT extreme
+// needs more memory? Compares the measured peaks of both strategies with
+// the model's Table II formulas, including the paper's LIP-style pruning
+// discussion.
+//
+//   UOT_SF=0.05 ./build/examples/memory_footprint
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/query_executor.h"
+#include "model/memory_model.h"
+#include "tpch/tpch_analysis.h"
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+
+using namespace uot;
+
+int main() {
+  const char* sf_env = std::getenv("UOT_SF");
+  const double sf = sf_env != nullptr ? std::atof(sf_env) : 0.05;
+
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig config;
+  config.scale_factor = sf;
+  config.block_bytes = 1 << 20;
+  db.Generate(config);
+
+  std::printf("Memory footprints of the two UoT extremes on TPC-H Q07 "
+              "(SF %.3f)\n\n", sf);
+
+  // ---- measured peaks ----
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = 64 * 1024;
+  for (const bool whole_table : {false, true}) {
+    auto plan = BuildTpchPlan(7, db, plan_config);
+    ExecConfig exec;
+    exec.num_workers = 2;
+    exec.uot = whole_table ? UotPolicy::HighUot() : UotPolicy::LowUot(1);
+    const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+    std::printf("%-20s peak hash tables %7.2f MB | peak intermediates "
+                "%7.2f MB\n",
+                exec.uot.ToString().c_str(),
+                static_cast<double>(stats.PeakHashTableBytes()) / 1e6,
+                static_cast<double>(stats.PeakTemporaryBytes()) / 1e6);
+  }
+
+  // ---- model view (Table II) ----
+  const double orders_bytes = static_cast<double>(db.orders().TotalBytes());
+  const double ht_orders = MemoryModel::HashTableBytes(
+      orders_bytes, db.orders().schema().row_width(), 24, 0.75);
+  const double supplier_sel = 2.0 / 25.0;  // two nations of 25
+  const double ht_supplier = MemoryModel::HashTableBytes(
+      static_cast<double>(db.supplier().TotalBytes()) * supplier_sel,
+      db.supplier().schema().row_width(), 24, 0.75);
+  const double ht_customer = MemoryModel::HashTableBytes(
+      static_cast<double>(db.customer().TotalBytes()) * supplier_sel,
+      db.customer().schema().row_width(), 24, 0.75);
+
+  const ReductionRow lineitem = AnalyzeReduction(db, 7, "lineitem");
+  const double sigma_bytes =
+      static_cast<double>(db.lineitem().TotalBytes()) * lineitem.total;
+
+  const auto footprint = MemoryModel::LeafJoinCascade(
+      {ht_supplier, ht_orders, ht_customer}, sigma_bytes);
+  std::printf("\nTable II model: low-UoT overhead (co-resident hash tables "
+              "2..n) = %.2f MB\n",
+              footprint.low_uot_overhead_bytes / 1e6);
+  std::printf("                high-UoT overhead (materialized sigma(R))  "
+              "= %.2f MB\n",
+              footprint.high_uot_overhead_bytes / 1e6);
+  std::printf("\nWith LIP-style pruning the paper cuts sigma(R) by >10x "
+              "(2.8 GB -> 224 MB at SF 100), flipping the winner: "
+              "sometimes the \"non-pipelined\" strategy needs LESS memory "
+              "(Section VI-C).\n");
+  std::printf("Pruned sigma(R) at 10x: %.2f MB vs hash tables %.2f MB\n",
+              footprint.high_uot_overhead_bytes / 10 / 1e6,
+              footprint.low_uot_overhead_bytes / 1e6);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Interactive-ish exploration of the Section V analytical model: prints
+// the extra-work breakdown of both strategies for a configurable
+// (UoT size, thread count, UoT count) point, then the sensitivity of
+// Equation (1) to each hardware parameter.
+//
+//   ./build/examples/model_explorer [uot_kb] [threads] [n_uots]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "model/cost_model.h"
+
+using namespace uot;
+
+int main(int argc, char** argv) {
+  const double uot_kb = argc > 1 ? std::atof(argv[1]) : 512;
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 20;
+  const uint64_t n = argc > 3 ? static_cast<uint64_t>(std::atoll(argv[3]))
+                              : 1000;
+  const double b = uot_kb * 1024;
+
+  CostModel m;
+  std::printf("%s\n", m.Describe().c_str());
+  std::printf("\nPoint: UoT = %.0f KB, T = %d, N = %llu UoTs\n\n", uot_kb,
+              threads, static_cast<unsigned long long>(n));
+
+  std::printf("Component costs per UoT:\n");
+  std::printf("  R_L3 (disrupted read)    %10.1f ns\n", m.R_L3(b));
+  std::printf("  AR_L3 (amortized read)   %10.1f ns\n", m.AR_L3(b));
+  std::printf("  W_mem (write to memory)  %10.1f ns\n", m.W_mem(b));
+  std::printf("  M_L3 (miss penalty)      %10.1f ns\n", m.M_L3());
+  std::printf("  IC (icache miss)         %10.1f ns\n", m.IC());
+  std::printf("  p1' = min(1, 2BT/|L3|)   %10.3f\n", m.P1Prime(b, threads));
+  std::printf("  p2(B)                    %10.3f\n", m.P2(b));
+
+  std::printf("\nExtra work (total for N UoTs):\n");
+  std::printf("  non-pipelining (high UoT): %10.3f ms\n",
+              m.NonPipeliningExtraCost(n, b) / 1e6);
+  std::printf("  pipelining (low UoT):      %10.3f ms\n",
+              m.PipeliningExtraCost(n, b, threads) / 1e6);
+  std::printf("  Equation (1) ratio:        %10.3f\n",
+              m.CostRatio(b, threads));
+
+  std::printf("\nSensitivity of the ratio (one parameter halved/doubled):\n");
+  struct Knob {
+    const char* name;
+    double CostModelParams::* field;
+  };
+  const Knob knobs[] = {
+      {"write bandwidth", &CostModelParams::write_bw},
+      {"seq read bandwidth", &CostModelParams::seq_read_bw},
+      {"disrupted read bandwidth", &CostModelParams::read_bw},
+      {"L3 size", &CostModelParams::l3_bytes},
+      {"miss penalty", &CostModelParams::l3_miss_ns},
+  };
+  for (const Knob& k : knobs) {
+    CostModelParams low_params;
+    low_params.*(k.field) *= 0.5;
+    CostModelParams high_params;
+    high_params.*(k.field) *= 2.0;
+    std::printf("  %-26s x0.5 -> %6.3f   x2 -> %6.3f\n", k.name,
+                CostModel(low_params).CostRatio(b, threads),
+                CostModel(high_params).CostRatio(b, threads));
+  }
+
+  std::printf("\nPersistent-store variant (Section V-C): high UoT %.1f ms "
+              "vs low UoT %.4f ms\n",
+              m.StoreExtraCostHighUot(n, b) / 1e6,
+              m.StoreExtraCostLowUot(n) / 1e6);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef UOT_EXEC_QUERY_EXECUTOR_H_
+#define UOT_EXEC_QUERY_EXECUTOR_H_
+
+#include <string>
+
+#include "plan/query_plan.h"
+#include "scheduler/scheduler.h"
+
+namespace uot {
+
+/// Facade for executing a query plan under a given configuration.
+class QueryExecutor {
+ public:
+  /// Runs `plan` to completion and returns execution statistics. The result
+  /// rows are in `plan->result_table()`.
+  static ExecutionStats Execute(QueryPlan* plan, const ExecConfig& config) {
+    Scheduler scheduler(plan, config);
+    return scheduler.Run();
+  }
+};
+
+/// Renders up to `max_rows` rows of `table` as an ASCII table (examples and
+/// debugging).
+std::string RenderTable(const Table& table, uint64_t max_rows = 20);
+
+/// Renders the table's rows as sorted CSV lines — a canonical form for
+/// comparing results across UoT values / layouts / thread counts in tests.
+std::string CanonicalRows(const Table& table);
+
+}  // namespace uot
+
+#endif  // UOT_EXEC_QUERY_EXECUTOR_H_

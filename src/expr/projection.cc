@@ -1,0 +1,55 @@
+#include "expr/projection.h"
+
+#include <cstring>
+
+namespace uot {
+
+Projection::Projection(std::vector<std::unique_ptr<Scalar>> exprs,
+                       std::vector<std::string> names)
+    : exprs_(std::move(exprs)) {
+  UOT_CHECK(exprs_.size() == names.size());
+  std::vector<Column> columns;
+  columns.reserve(exprs_.size());
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    columns.push_back(Column{std::move(names[i]), exprs_[i]->result_type()});
+  }
+  schema_ = Schema(std::move(columns));
+}
+
+void Projection::MaterializeInto(const Block& block,
+                                 const std::vector<uint32_t>& rows,
+                                 InsertDestination::Writer* writer) const {
+  const uint32_t n = static_cast<uint32_t>(rows.size());
+  if (n == 0) return;
+  // Evaluate each expression into a contiguous column buffer.
+  std::vector<std::vector<std::byte>> cols(exprs_.size());
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    cols[e].resize(static_cast<size_t>(n) * exprs_[e]->result_type().width());
+    exprs_[e]->Eval(block, rows.data(), n, cols[e].data());
+  }
+  // Stitch packed rows and append.
+  std::vector<std::byte> row(schema_.row_width());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (size_t e = 0; e < exprs_.size(); ++e) {
+      const uint16_t w = exprs_[e]->result_type().width();
+      std::memcpy(row.data() + schema_.offset(static_cast<int>(e)),
+                  cols[e].data() + static_cast<size_t>(i) * w, w);
+    }
+    writer->AppendRow(row.data());
+  }
+}
+
+std::unique_ptr<Projection> Projection::Identity(
+    const Schema& input, const std::vector<int>& cols) {
+  std::vector<std::unique_ptr<Scalar>> exprs;
+  std::vector<std::string> names;
+  exprs.reserve(cols.size());
+  names.reserve(cols.size());
+  for (int c : cols) {
+    exprs.push_back(Col(c, input.column(c).type));
+    names.push_back(input.column(c).name);
+  }
+  return std::make_unique<Projection>(std::move(exprs), std::move(names));
+}
+
+}  // namespace uot

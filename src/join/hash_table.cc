@@ -1,0 +1,75 @@
+#include "join/hash_table.h"
+
+#include <cstring>
+
+namespace uot {
+namespace {
+
+uint64_t NextPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+JoinHashTable::JoinHashTable(Schema payload_schema, int num_key_cols,
+                             double load_factor, MemoryTracker* tracker)
+    : payload_schema_(std::move(payload_schema)),
+      num_key_cols_(num_key_cols),
+      load_factor_(load_factor),
+      tracker_(tracker) {
+  UOT_CHECK(num_key_cols_ == 1 || num_key_cols_ == 2);
+  UOT_CHECK(load_factor_ > 0.0 && load_factor_ <= 1.0);
+  // Round the bucket up to 8 bytes so slot key words stay aligned.
+  const size_t raw = static_cast<size_t>(num_key_cols_) * 8 +
+                     payload_schema_.row_width();
+  slot_stride_ = (raw + 7) & ~size_t{7};
+}
+
+JoinHashTable::~JoinHashTable() {
+  if (tracker_ != nullptr && allocated_bytes_ > 0) {
+    tracker_->Release(MemoryCategory::kHashTable, allocated_bytes_);
+  }
+}
+
+void JoinHashTable::Reserve(uint64_t num_entries) {
+  UOT_CHECK(slots_ == nullptr);  // Reserve is one-shot
+  const uint64_t wanted = static_cast<uint64_t>(
+      static_cast<double>(num_entries < 1 ? 1 : num_entries) / load_factor_);
+  num_slots_ = NextPow2(wanted < 16 ? 16 : wanted);
+  slots_ = std::make_unique<std::byte[]>(num_slots_ * slot_stride_);
+  tags_ = std::make_unique<std::atomic<uint8_t>[]>(num_slots_);
+  for (uint64_t i = 0; i < num_slots_; ++i) {
+    tags_[i].store(0, std::memory_order_relaxed);
+  }
+  allocated_bytes_ = num_slots_ * (slot_stride_ + 1);
+  if (tracker_ != nullptr) {
+    tracker_->Allocate(MemoryCategory::kHashTable, allocated_bytes_);
+  }
+}
+
+void JoinHashTable::Insert(const uint64_t* key, const std::byte* payload) {
+  UOT_DCHECK(slots_ != nullptr);
+  const uint64_t mask = num_slots_ - 1;
+  uint64_t idx = HashJoinKey(key, num_key_cols_) & mask;
+  for (uint64_t attempts = 0; attempts < num_slots_; ++attempts) {
+    uint8_t expected = 0;
+    if (tags_[idx].compare_exchange_strong(expected, 1,
+                                           std::memory_order_acq_rel)) {
+      std::byte* slot = SlotPtr(idx);
+      std::memcpy(slot, key, static_cast<size_t>(num_key_cols_) * 8);
+      if (payload_schema_.row_width() > 0) {
+        std::memcpy(slot + static_cast<size_t>(num_key_cols_) * 8, payload,
+                    payload_schema_.row_width());
+      }
+      tags_[idx].store(2, std::memory_order_release);
+      num_entries_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    idx = (idx + 1) & mask;
+  }
+  UOT_CHECK(false);  // table over-full: Reserve() was called with too few rows
+}
+
+}  // namespace uot

@@ -1,0 +1,25 @@
+#include "join/lip_filter.h"
+
+namespace uot {
+
+LipFilter::LipFilter(uint64_t expected_entries, int bits_per_entry) {
+  UOT_CHECK(bits_per_entry >= 1);
+  num_bits_ = (expected_entries < 64 ? 64 : expected_entries) *
+              static_cast<uint64_t>(bits_per_entry);
+  const uint64_t words = (num_bits_ + 63) / 64;
+  bits_ = std::make_unique<std::atomic<uint64_t>[]>(words);
+  for (uint64_t i = 0; i < words; ++i) {
+    bits_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void LipFilter::Insert(uint64_t key) {
+  uint64_t h1, h2;
+  Hashes(key, &h1, &h2);
+  bits_[h1 >> 6].fetch_or(uint64_t{1} << (h1 & 63),
+                          std::memory_order_relaxed);
+  bits_[h2 >> 6].fetch_or(uint64_t{1} << (h2 & 63),
+                          std::memory_order_relaxed);
+}
+
+}  // namespace uot

@@ -1,0 +1,60 @@
+#ifndef UOT_JOIN_LIP_FILTER_H_
+#define UOT_JOIN_LIP_FILTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/macros.h"
+
+namespace uot {
+
+/// A Bloom filter used for Lookahead Information Passing (LIP, Zhu et al.
+/// [42] in the paper): hash-join build operators populate it with their
+/// join keys, and probe-side selects prune rows whose keys cannot match —
+/// the paper's main "technique to lower selectivity" (Section VI-C).
+///
+/// Inserts are thread-safe (atomic fetch_or); queries must only run after
+/// all inserts completed, which the plan's blocking edges guarantee.
+class LipFilter {
+ public:
+  /// Sizes the filter for `expected_entries` keys with `bits_per_entry`
+  /// bits each (8 bits/entry with 2 probes gives a ~2-4% false-positive
+  /// rate).
+  explicit LipFilter(uint64_t expected_entries, int bits_per_entry = 8);
+  UOT_DISALLOW_COPY_AND_ASSIGN(LipFilter);
+
+  void Insert(uint64_t key);
+
+  bool MightContain(uint64_t key) const {
+    uint64_t h1, h2;
+    Hashes(key, &h1, &h2);
+    return TestBit(h1) && TestBit(h2);
+  }
+
+  uint64_t num_bits() const { return num_bits_; }
+  size_t allocated_bytes() const { return (num_bits_ + 7) / 8; }
+
+ private:
+  void Hashes(uint64_t key, uint64_t* h1, uint64_t* h2) const {
+    uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    *h1 = h % num_bits_;
+    *h2 = (h >> 32 | h << 32) % num_bits_;
+  }
+
+  bool TestBit(uint64_t bit) const {
+    return (bits_[bit >> 6].load(std::memory_order_relaxed) >>
+            (bit & 63)) &
+           1;
+  }
+
+  uint64_t num_bits_;
+  std::unique_ptr<std::atomic<uint64_t>[]> bits_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_JOIN_LIP_FILTER_H_

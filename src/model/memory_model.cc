@@ -1,0 +1,38 @@
+#include "model/memory_model.h"
+
+#include "util/macros.h"
+
+namespace uot {
+
+double MemoryModel::HashTableBytes(double input_bytes, double tuple_width,
+                                   double bucket_bytes, double load_factor) {
+  UOT_CHECK(tuple_width > 0 && load_factor > 0 && load_factor <= 1.0);
+  const double entries = input_bytes / tuple_width;  // M / w
+  return entries * (bucket_bytes / load_factor);     // * (c / f)
+}
+
+double MemoryModel::Selectivity(uint64_t selected_rows, uint64_t input_rows) {
+  UOT_CHECK(input_rows > 0);
+  return static_cast<double>(selected_rows) /
+         static_cast<double>(input_rows);
+}
+
+double MemoryModel::Projectivity(double projected_tuple_bytes,
+                                 double input_tuple_bytes) {
+  UOT_CHECK(input_tuple_bytes > 0);
+  return projected_tuple_bytes / input_tuple_bytes;
+}
+
+MemoryModel::CascadeFootprint MemoryModel::LeafJoinCascade(
+    const std::vector<double>& hash_table_bytes, double sigma_bytes) {
+  CascadeFootprint result{0.0, sigma_bytes};
+  // Low UoT: hash tables 2..n must be live while the first join runs
+  // (Table II: sum_{i=2..n} |H_i|); high UoT builds one at a time but
+  // materializes sigma(R).
+  for (size_t i = 1; i < hash_table_bytes.size(); ++i) {
+    result.low_uot_overhead_bytes += hash_table_bytes[i];
+  }
+  return result;
+}
+
+}  // namespace uot

@@ -1,0 +1,47 @@
+#ifndef UOT_MODEL_MEMORY_MODEL_H_
+#define UOT_MODEL_MEMORY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace uot {
+
+/// The Section VI memory-footprint model, comparing the overhead of the two
+/// extreme UoT strategies on a leaf-level join cascade (paper Fig. 4,
+/// Table II).
+class MemoryModel {
+ public:
+  /// Hash-table size for an input table of `input_bytes` with tuples of
+  /// `tuple_width` bytes: (M/w) * (c/f)   (Section VI-B).
+  static double HashTableBytes(double input_bytes, double tuple_width,
+                               double bucket_bytes, double load_factor);
+
+  /// Selectivity s = Ns / N (Section VI-A).
+  static double Selectivity(uint64_t selected_rows, uint64_t input_rows);
+
+  /// Projectivity p = Cs / C: projected bytes per tuple over total bytes
+  /// per tuple.
+  static double Projectivity(double projected_tuple_bytes,
+                             double input_tuple_bytes);
+
+  /// Total memory reduction of a select: s * p (the paper's "Total" column
+  /// in Tables III/IV).
+  static double TotalReduction(double selectivity, double projectivity) {
+    return selectivity * projectivity;
+  }
+
+  /// Table II for a cascade of n probes over hash tables of the given
+  /// sizes, with the select output of `sigma_bytes`:
+  ///  - low-UoT overhead: all hash tables but the first must coexist;
+  ///  - high-UoT overhead: the materialized select output.
+  struct CascadeFootprint {
+    double low_uot_overhead_bytes;
+    double high_uot_overhead_bytes;
+  };
+  static CascadeFootprint LeafJoinCascade(
+      const std::vector<double>& hash_table_bytes, double sigma_bytes);
+};
+
+}  // namespace uot
+
+#endif  // UOT_MODEL_MEMORY_MODEL_H_

@@ -1,0 +1,93 @@
+#include "operators/build_hash_operator.h"
+
+#include "operators/key_util.h"
+
+namespace uot {
+
+BuildHashOperator::BuildHashOperator(std::string name,
+                                     std::vector<int> key_cols,
+                                     std::vector<int> payload_cols,
+                                     double load_factor,
+                                     MemoryTracker* tracker)
+    : Operator(std::move(name)),
+      key_cols_(std::move(key_cols)),
+      payload_cols_(std::move(payload_cols)),
+      load_factor_(load_factor),
+      tracker_(tracker) {
+  UOT_CHECK(key_cols_.size() == 1 || key_cols_.size() == 2);
+}
+
+void BuildHashOperator::InitHashTable(const Schema& input_schema) {
+  if (hash_table_ != nullptr) return;
+  Schema payload;
+  if (input_schema.num_columns() > 0) {
+    for (int c : key_cols_) {
+      UOT_CHECK(IsKeyableType(input_schema.column(c).type));
+    }
+    payload = SubSchema(input_schema, payload_cols_);
+  }  // else: empty input — probes will see an empty table
+  hash_table_ = std::make_unique<JoinHashTable>(
+      std::move(payload), static_cast<int>(key_cols_.size()), load_factor_,
+      tracker_);
+}
+
+void BuildHashOperator::ReceiveInputBlocks(int input_index,
+                                           const std::vector<Block*>& blocks) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  if (!blocks.empty()) InitHashTable(blocks.front()->schema());
+  input_.Deliver(blocks);
+}
+
+void BuildHashOperator::InputDone(int input_index) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  input_.MarkDone();
+}
+
+bool BuildHashOperator::GenerateWorkOrders(
+    std::vector<std::unique_ptr<WorkOrder>>* out) {
+  // Presizing requires the full input cardinality, so builds start only
+  // when the input is complete.
+  if (!input_.done()) return false;
+  if (!generated_) {
+    buffered_ = input_.TakePending();
+    if (!buffered_.empty()) InitHashTable(buffered_.front()->schema());
+    if (hash_table_ == nullptr) {
+      // Empty input: create a minimal table so probes see an empty table.
+      InitHashTable(Schema(std::vector<Column>{}));
+    }
+    hash_table_->Reserve(input_.total_rows());
+    if (lip_bits_per_entry_ > 0) {
+      lip_filter_ = std::make_unique<LipFilter>(input_.total_rows(),
+                                                lip_bits_per_entry_);
+    }
+    for (Block* block : buffered_) {
+      auto wo = std::make_unique<BuildHashWorkOrder>(
+          block, &key_cols_, &payload_cols_, hash_table_.get(),
+          lip_filter_.get());
+      if (!input_.from_base_table()) wo->consumed_block = block;
+      out->push_back(std::move(wo));
+    }
+    generated_ = true;
+  }
+  return true;
+}
+
+void BuildHashWorkOrder::Execute() {
+  const Schema& payload_schema = hash_table_->payload_schema();
+  std::vector<std::byte> payload(payload_schema.row_width());
+  uint64_t key[2] = {0, 0};
+  for (uint32_t row = 0; row < block_->num_rows(); ++row) {
+    ExtractKey(*block_, *key_cols_, row, key);
+    ExtractColumns(*block_, *payload_cols_, payload_schema, row,
+                   payload.data());
+    hash_table_->Insert(key, payload.data());
+    if (lip_filter_ != nullptr) {
+      lip_filter_->Insert(HashJoinKey(key,
+                                      static_cast<int>(key_cols_->size())));
+    }
+  }
+}
+
+}  // namespace uot

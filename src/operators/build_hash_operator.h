@@ -1,0 +1,93 @@
+#ifndef UOT_OPERATORS_BUILD_HASH_OPERATOR_H_
+#define UOT_OPERATORS_BUILD_HASH_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "join/hash_table.h"
+#include "join/lip_filter.h"
+#include "operators/operator.h"
+
+namespace uot {
+
+/// Builds the shared non-partitioned join hash table (paper Section III).
+///
+/// The table is presized from the input cardinality, so work orders are
+/// generated once the input is complete (for base-table inputs that is
+/// immediately); the builds themselves then run in parallel, one work order
+/// per input block.
+class BuildHashOperator final : public Operator {
+ public:
+  /// `key_cols`/`payload_cols` index the build input's schema.
+  BuildHashOperator(std::string name, std::vector<int> key_cols,
+                    std::vector<int> payload_cols, double load_factor,
+                    MemoryTracker* tracker);
+
+  /// Binds the input to a materialized base table (instead of a stream).
+  void AttachBaseTable(const Table* table) { input_.AttachTable(table); }
+
+  void ReceiveInputBlocks(int input_index,
+                          const std::vector<Block*>& blocks) override;
+  void InputDone(int input_index) override;
+  bool GenerateWorkOrders(
+      std::vector<std::unique_ptr<WorkOrder>>* out) override;
+
+  JoinHashTable* hash_table() { return hash_table_.get(); }
+  const JoinHashTable* hash_table() const { return hash_table_.get(); }
+  const std::vector<int>& key_cols() const { return key_cols_; }
+
+  /// Also populate a LIP Bloom filter over the (mixed) join keys, for
+  /// probe-side selection pruning (paper Section VI-C). Call before
+  /// execution starts.
+  void EnableLipFilter(int bits_per_entry = 8) {
+    lip_bits_per_entry_ = bits_per_entry;
+  }
+
+  /// Valid after this operator finished (guaranteed by a blocking edge);
+  /// nullptr when LIP was not enabled.
+  const LipFilter* lip_filter() const { return lip_filter_.get(); }
+
+  /// Creates the hash-table object once the input schema is known (called
+  /// lazily at first block delivery, or explicitly by plan builders that
+  /// know the schema upfront).
+  void InitHashTable(const Schema& input_schema);
+
+ private:
+  const std::vector<int> key_cols_;
+  const std::vector<int> payload_cols_;
+  const double load_factor_;
+  MemoryTracker* const tracker_;
+
+  StreamingInput input_;
+  std::vector<Block*> buffered_;
+  std::unique_ptr<JoinHashTable> hash_table_;
+  int lip_bits_per_entry_ = 0;  // 0 = LIP disabled
+  std::unique_ptr<LipFilter> lip_filter_;
+  bool generated_ = false;
+};
+
+/// Inserts one block's rows into the shared hash table.
+class BuildHashWorkOrder final : public WorkOrder {
+ public:
+  BuildHashWorkOrder(const Block* block, const std::vector<int>* key_cols,
+                     const std::vector<int>* payload_cols,
+                     JoinHashTable* hash_table, LipFilter* lip_filter)
+      : block_(block),
+        key_cols_(key_cols),
+        payload_cols_(payload_cols),
+        hash_table_(hash_table),
+        lip_filter_(lip_filter) {}
+
+  void Execute() override;
+
+ private:
+  const Block* const block_;
+  const std::vector<int>* const key_cols_;
+  const std::vector<int>* const payload_cols_;
+  JoinHashTable* const hash_table_;
+  LipFilter* const lip_filter_;  // may be null
+};
+
+}  // namespace uot
+
+#endif  // UOT_OPERATORS_BUILD_HASH_OPERATOR_H_

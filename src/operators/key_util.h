@@ -1,0 +1,101 @@
+#ifndef UOT_OPERATORS_KEY_UTIL_H_
+#define UOT_OPERATORS_KEY_UTIL_H_
+
+#include <cstring>
+#include <vector>
+
+#include "storage/block.h"
+#include "types/schema.h"
+#include "util/macros.h"
+
+namespace uot {
+
+/// Join/grouping keys are 1-2 columns widened to 64-bit words. Integral
+/// columns sign-extend; CHAR columns of width <= 8 pack their (space padded)
+/// bytes. Equality of widened words is equivalent to equality of values.
+inline uint64_t WidenKeyValue(const Type& type, const std::byte* value) {
+  switch (type.id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      int32_t v;
+      std::memcpy(&v, value, 4);
+      return static_cast<uint64_t>(static_cast<int64_t>(v));
+    }
+    case TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, value, 8);
+      return static_cast<uint64_t>(v);
+    }
+    case TypeId::kChar: {
+      UOT_DCHECK(type.width() <= 8);
+      uint64_t v = 0;
+      std::memcpy(&v, value, type.width());
+      return v;
+    }
+    case TypeId::kDouble:
+      UOT_CHECK(false);  // doubles are not key material
+  }
+  return 0;
+}
+
+/// Restores the packed representation of a widened key word.
+inline void UnwidenKeyValue(const Type& type, uint64_t word, std::byte* out) {
+  switch (type.id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      const int32_t v = static_cast<int32_t>(static_cast<int64_t>(word));
+      std::memcpy(out, &v, 4);
+      return;
+    }
+    case TypeId::kInt64: {
+      const int64_t v = static_cast<int64_t>(word);
+      std::memcpy(out, &v, 8);
+      return;
+    }
+    case TypeId::kChar:
+      std::memcpy(out, &word, type.width());
+      return;
+    case TypeId::kDouble:
+      UOT_CHECK(false);
+  }
+}
+
+/// True if `type` can serve as a key column.
+inline bool IsKeyableType(const Type& type) {
+  return type.IsIntegral() ||
+         (type.id() == TypeId::kChar && type.width() <= 8);
+}
+
+/// Extracts the composite key of row `row` from `block` into `out[0..words)`.
+inline void ExtractKey(const Block& block, const std::vector<int>& key_cols,
+                       uint32_t row, uint64_t* out) {
+  for (size_t k = 0; k < key_cols.size(); ++k) {
+    const int col = key_cols[k];
+    const Type& type = block.schema().column(col).type;
+    out[k] = WidenKeyValue(type, block.Column(col).at(row));
+  }
+}
+
+/// Copies the given columns of row `row` into a packed row of the
+/// sub-schema formed by those columns, written at `out`.
+inline void ExtractColumns(const Block& block, const std::vector<int>& cols,
+                           const Schema& out_schema, uint32_t row,
+                           std::byte* out) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const uint16_t w = out_schema.column(static_cast<int>(i)).type.width();
+    std::memcpy(out + out_schema.offset(static_cast<int>(i)),
+                block.Column(cols[i]).at(row), w);
+  }
+}
+
+/// Builds the sub-schema of `input` selecting `cols` (names preserved).
+inline Schema SubSchema(const Schema& input, const std::vector<int>& cols) {
+  std::vector<Column> out;
+  out.reserve(cols.size());
+  for (int c : cols) out.push_back(input.column(c));
+  return Schema(std::move(out));
+}
+
+}  // namespace uot
+
+#endif  // UOT_OPERATORS_KEY_UTIL_H_

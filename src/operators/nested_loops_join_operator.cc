@@ -1,0 +1,90 @@
+#include "operators/nested_loops_join_operator.h"
+
+#include <cstring>
+
+#include "operators/key_util.h"
+
+namespace uot {
+
+NestedLoopsJoinOperator::NestedLoopsJoinOperator(
+    std::string name, const Table* inner, std::vector<int> outer_key_cols,
+    std::vector<int> inner_key_cols, std::vector<int> outer_output_cols,
+    std::vector<int> inner_output_cols, InsertDestination* destination)
+    : Operator(std::move(name)),
+      inner_(inner),
+      outer_key_cols_(std::move(outer_key_cols)),
+      inner_key_cols_(std::move(inner_key_cols)),
+      outer_output_cols_(std::move(outer_output_cols)),
+      inner_output_cols_(std::move(inner_output_cols)),
+      destination_(destination) {
+  UOT_CHECK(inner_ != nullptr);
+  UOT_CHECK(outer_key_cols_.size() == inner_key_cols_.size());
+  UOT_CHECK(!outer_key_cols_.empty() && outer_key_cols_.size() <= 2);
+}
+
+void NestedLoopsJoinOperator::ReceiveInputBlocks(
+    int input_index, const std::vector<Block*>& blocks) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  input_.Deliver(blocks);
+}
+
+void NestedLoopsJoinOperator::InputDone(int input_index) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  input_.MarkDone();
+}
+
+bool NestedLoopsJoinOperator::GenerateWorkOrders(
+    std::vector<std::unique_ptr<WorkOrder>>* out) {
+  for (Block* block : input_.TakePending()) {
+    out->push_back(std::make_unique<NestedLoopsJoinWorkOrder>(block, this));
+  }
+  return input_.done();
+}
+
+void NestedLoopsJoinOperator::Finish() { destination_->Flush(); }
+
+Schema NestedLoopsJoinOperator::OutputSchema(
+    const Schema& outer_schema, const std::vector<int>& outer_output_cols,
+    const Schema& inner_schema, const std::vector<int>& inner_output_cols) {
+  std::vector<Column> columns;
+  for (int c : outer_output_cols) columns.push_back(outer_schema.column(c));
+  for (int c : inner_output_cols) columns.push_back(inner_schema.column(c));
+  return Schema(std::move(columns));
+}
+
+void NestedLoopsJoinWorkOrder::Execute() {
+  const Schema& out_schema = op_->destination_->schema();
+  const Schema outer_part =
+      SubSchema(outer_block_->schema(), op_->outer_output_cols_);
+  const Schema inner_part =
+      SubSchema(op_->inner_->schema(), op_->inner_output_cols_);
+  std::vector<std::byte> row(out_schema.row_width());
+  uint64_t outer_key[2] = {0, 0};
+  uint64_t inner_key[2] = {0, 0};
+  const size_t key_words = op_->outer_key_cols_.size();
+
+  InsertDestination::Writer writer(op_->destination_);
+  for (uint32_t r = 0; r < outer_block_->num_rows(); ++r) {
+    ExtractKey(*outer_block_, op_->outer_key_cols_, r, outer_key);
+    bool outer_ready = false;
+    for (const Block* inner_block : op_->inner_->blocks()) {
+      for (uint32_t s = 0; s < inner_block->num_rows(); ++s) {
+        ExtractKey(*inner_block, op_->inner_key_cols_, s, inner_key);
+        if (outer_key[0] != inner_key[0]) continue;
+        if (key_words == 2 && outer_key[1] != inner_key[1]) continue;
+        if (!outer_ready) {
+          ExtractColumns(*outer_block_, op_->outer_output_cols_, outer_part,
+                         r, row.data());
+          outer_ready = true;
+        }
+        ExtractColumns(*inner_block, op_->inner_output_cols_, inner_part, s,
+                       row.data() + outer_part.row_width());
+        writer.AppendRow(row.data());
+      }
+    }
+  }
+}
+
+}  // namespace uot

@@ -1,0 +1,70 @@
+#ifndef UOT_OPERATORS_NESTED_LOOPS_JOIN_OPERATOR_H_
+#define UOT_OPERATORS_NESTED_LOOPS_JOIN_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "operators/operator.h"
+#include "storage/insert_destination.h"
+
+namespace uot {
+
+/// Equality nested-loops join, one work order per outer block (paper §V-B
+/// discusses NLJ access patterns). Primarily a reference implementation:
+/// property tests check that hash joins produce identical results.
+class NestedLoopsJoinOperator final : public Operator {
+ public:
+  /// Joins streamed/attached outer input against the materialized `inner`
+  /// table on `outer_key_cols == inner_key_cols` (widened integral
+  /// equality). Output: outer output cols, then inner output cols.
+  NestedLoopsJoinOperator(std::string name, const Table* inner,
+                          std::vector<int> outer_key_cols,
+                          std::vector<int> inner_key_cols,
+                          std::vector<int> outer_output_cols,
+                          std::vector<int> inner_output_cols,
+                          InsertDestination* destination);
+
+  void AttachBaseTable(const Table* table) { input_.AttachTable(table); }
+
+  void ReceiveInputBlocks(int input_index,
+                          const std::vector<Block*>& blocks) override;
+  void InputDone(int input_index) override;
+  bool GenerateWorkOrders(
+      std::vector<std::unique_ptr<WorkOrder>>* out) override;
+  void Finish() override;
+
+  static Schema OutputSchema(const Schema& outer_schema,
+                             const std::vector<int>& outer_output_cols,
+                             const Schema& inner_schema,
+                             const std::vector<int>& inner_output_cols);
+
+ private:
+  friend class NestedLoopsJoinWorkOrder;
+
+  const Table* const inner_;
+  const std::vector<int> outer_key_cols_;
+  const std::vector<int> inner_key_cols_;
+  const std::vector<int> outer_output_cols_;
+  const std::vector<int> inner_output_cols_;
+  InsertDestination* const destination_;
+
+  StreamingInput input_;
+};
+
+/// Joins one outer block against every inner block.
+class NestedLoopsJoinWorkOrder final : public WorkOrder {
+ public:
+  NestedLoopsJoinWorkOrder(const Block* outer_block,
+                           NestedLoopsJoinOperator* op)
+      : outer_block_(outer_block), op_(op) {}
+
+  void Execute() override;
+
+ private:
+  const Block* const outer_block_;
+  NestedLoopsJoinOperator* const op_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_OPERATORS_NESTED_LOOPS_JOIN_OPERATOR_H_

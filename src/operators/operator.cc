@@ -1,0 +1,3 @@
+#include "operators/operator.h"
+
+// Interface definitions only; this file anchors the translation unit.

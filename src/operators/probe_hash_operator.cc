@@ -1,0 +1,172 @@
+#include "operators/probe_hash_operator.h"
+
+#include <cstring>
+
+#include "operators/key_util.h"
+
+namespace uot {
+namespace {
+
+template <typename T>
+bool CompareValues(CompareOp op, T a, T b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// Loads a numeric column value widened to double.
+double LoadNumeric(const Type& type, const std::byte* src) {
+  switch (type.id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      int32_t v;
+      std::memcpy(&v, src, 4);
+      return static_cast<double>(v);
+    }
+    case TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, src, 8);
+      return static_cast<double>(v);
+    }
+    case TypeId::kDouble: {
+      double v;
+      std::memcpy(&v, src, 8);
+      return v;
+    }
+    case TypeId::kChar:
+      UOT_CHECK(false);  // residuals compare numeric columns
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+ProbeHashOperator::ProbeHashOperator(
+    std::string name, const BuildHashOperator* build,
+    std::vector<int> probe_key_cols, std::vector<int> probe_output_cols,
+    JoinKind kind, std::vector<ResidualCondition> residuals,
+    InsertDestination* destination)
+    : Operator(std::move(name)),
+      build_(build),
+      probe_key_cols_(std::move(probe_key_cols)),
+      probe_output_cols_(std::move(probe_output_cols)),
+      kind_(kind),
+      residuals_(std::move(residuals)),
+      destination_(destination) {
+  UOT_CHECK(probe_key_cols_.size() == 1 || probe_key_cols_.size() == 2);
+  UOT_CHECK(residuals_.size() <= 4);
+}
+
+void ProbeHashOperator::ReceiveInputBlocks(int input_index,
+                                           const std::vector<Block*>& blocks) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  input_.Deliver(blocks);
+}
+
+void ProbeHashOperator::InputDone(int input_index) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  input_.MarkDone();
+}
+
+bool ProbeHashOperator::GenerateWorkOrders(
+    std::vector<std::unique_ptr<WorkOrder>>* out) {
+  const JoinHashTable* table = build_->hash_table();
+  UOT_CHECK(table != nullptr);  // blocking edge guarantees build finished
+  for (Block* block : input_.TakePending()) {
+    auto wo = std::make_unique<ProbeHashWorkOrder>(
+        block, table, &probe_key_cols_, &probe_output_cols_, kind_,
+        &residuals_, destination_);
+    if (!input_.from_base_table()) wo->consumed_block = block;
+    out->push_back(std::move(wo));
+  }
+  return input_.done();
+}
+
+void ProbeHashOperator::Finish() { destination_->Flush(); }
+
+Schema ProbeHashOperator::OutputSchema(const Schema& probe_schema,
+                                       const std::vector<int>& probe_output_cols,
+                                       const Schema& build_schema,
+                                       const std::vector<int>& payload_cols,
+                                       JoinKind kind) {
+  std::vector<Column> columns;
+  for (int c : probe_output_cols) columns.push_back(probe_schema.column(c));
+  if (kind == JoinKind::kInner) {
+    for (int c : payload_cols) columns.push_back(build_schema.column(c));
+  }
+  return Schema(std::move(columns));
+}
+
+void ProbeHashWorkOrder::Execute() {
+  const Schema& out_schema = destination_->schema();
+  const Schema& payload_schema = hash_table_->payload_schema();
+  const Schema probe_part = SubSchema(block_->schema(), *probe_output_cols_);
+  const uint32_t probe_width = probe_part.row_width();
+  UOT_DCHECK(kind_ != JoinKind::kInner ||
+             probe_width + payload_schema.row_width() ==
+                 out_schema.row_width());
+  (void)out_schema;
+
+  std::vector<std::byte> row(destination_->schema().row_width());
+  uint64_t key[2] = {0, 0};
+  InsertDestination::Writer writer(destination_);
+
+  for (uint32_t r = 0; r < block_->num_rows(); ++r) {
+    ExtractKey(*block_, *probe_key_cols_, r, key);
+    // Residual probe-side values are loaded once per row.
+    double probe_residuals[4];
+    for (size_t i = 0; i < residuals_->size(); ++i) {
+      const ResidualCondition& rc = (*residuals_)[i];
+      probe_residuals[i] =
+          LoadNumeric(block_->schema().column(rc.probe_col).type,
+                      block_->Column(rc.probe_col).at(r));
+    }
+    bool probe_part_ready = false;
+    bool any_match = false;
+    hash_table_->Probe(key, [&](const std::byte* payload) {
+      for (size_t i = 0; i < residuals_->size(); ++i) {
+        const ResidualCondition& rc = (*residuals_)[i];
+        const double build_val =
+            rc.scale *
+            LoadNumeric(payload_schema.column(rc.payload_col).type,
+                        payload + payload_schema.offset(rc.payload_col));
+        if (!CompareValues(rc.op, probe_residuals[i], build_val)) return;
+      }
+      any_match = true;
+      if (kind_ != JoinKind::kInner) return;
+      if (!probe_part_ready) {
+        ExtractColumns(*block_, *probe_output_cols_, probe_part, r,
+                       row.data());
+        probe_part_ready = true;
+      }
+      if (payload_schema.row_width() > 0) {
+        std::memcpy(row.data() + probe_width, payload,
+                    payload_schema.row_width());
+      }
+      writer.AppendRow(row.data());
+    });
+    const bool emit_probe_row =
+        (kind_ == JoinKind::kLeftSemi && any_match) ||
+        (kind_ == JoinKind::kLeftAnti && !any_match);
+    if (emit_probe_row) {
+      ExtractColumns(*block_, *probe_output_cols_, probe_part, r, row.data());
+      writer.AppendRow(row.data());
+    }
+  }
+}
+
+}  // namespace uot

@@ -1,0 +1,66 @@
+#include "operators/select_operator.h"
+
+#include "operators/key_util.h"
+
+namespace uot {
+
+SelectOperator::SelectOperator(std::string name,
+                               std::unique_ptr<Predicate> predicate,
+                               std::unique_ptr<Projection> projection,
+                               InsertDestination* destination)
+    : Operator(std::move(name)),
+      predicate_(std::move(predicate)),
+      projection_(std::move(projection)),
+      destination_(destination) {
+  UOT_CHECK(destination_ != nullptr);
+  UOT_CHECK(destination_->schema() == projection_->output_schema());
+}
+
+void SelectOperator::ReceiveInputBlocks(int input_index,
+                                        const std::vector<Block*>& blocks) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  input_.Deliver(blocks);
+}
+
+void SelectOperator::InputDone(int input_index) {
+  UOT_DCHECK(input_index == 0);
+  (void)input_index;
+  input_.MarkDone();
+}
+
+bool SelectOperator::GenerateWorkOrders(
+    std::vector<std::unique_ptr<WorkOrder>>* out) {
+  for (Block* block : input_.TakePending()) {
+    auto wo = std::make_unique<SelectWorkOrder>(
+        block, predicate_.get(), projection_.get(), &lip_, destination_);
+    if (!input_.from_base_table()) wo->consumed_block = block;
+    out->push_back(std::move(wo));
+  }
+  return input_.done();
+}
+
+void SelectOperator::Finish() { destination_->Flush(); }
+
+void SelectWorkOrder::Execute() {
+  std::vector<uint32_t> sel = predicate_->FilterAll(*block_);
+  // LIP pruning: drop rows whose join key cannot match any build row.
+  for (const LipAttachment& lip : *lip_) {
+    if (sel.empty()) break;
+    const LipFilter* filter = lip.source->lip_filter();
+    UOT_CHECK(filter != nullptr);  // blocking edge + EnableLipFilter
+    const Type& type = block_->schema().column(lip.key_col).type;
+    const ColumnAccess access = block_->Column(lip.key_col);
+    uint32_t kept = 0;
+    for (uint32_t i = 0; i < sel.size(); ++i) {
+      const uint64_t key[1] = {WidenKeyValue(type, access.at(sel[i]))};
+      if (filter->MightContain(HashJoinKey(key, 1))) sel[kept++] = sel[i];
+    }
+    sel.resize(kept);
+  }
+  if (sel.empty()) return;
+  InsertDestination::Writer writer(destination_);
+  projection_->MaterializeInto(*block_, sel, &writer);
+}
+
+}  // namespace uot

@@ -1,0 +1,142 @@
+#include "operators/sort_merge_join_operator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "operators/key_util.h"
+
+namespace uot {
+namespace {
+
+/// A side's row with its composite sort key.
+struct KeyedRow {
+  uint64_t key[2];
+  const Block* block;
+  uint32_t row;
+};
+
+bool KeyLess(const KeyedRow& a, const KeyedRow& b) {
+  // Sort by the widened words reinterpreted as signed values so runs of
+  // equal keys are contiguous; ordering direction is irrelevant to the
+  // join, only grouping is.
+  if (a.key[0] != b.key[0]) {
+    return static_cast<int64_t>(a.key[0]) < static_cast<int64_t>(b.key[0]);
+  }
+  return static_cast<int64_t>(a.key[1]) < static_cast<int64_t>(b.key[1]);
+}
+
+bool KeyEqual(const KeyedRow& a, const KeyedRow& b) {
+  return a.key[0] == b.key[0] && a.key[1] == b.key[1];
+}
+
+std::vector<KeyedRow> GatherKeyed(const std::vector<Block*>& blocks,
+                                  const std::vector<int>& key_cols) {
+  std::vector<KeyedRow> rows;
+  for (const Block* block : blocks) {
+    for (uint32_t r = 0; r < block->num_rows(); ++r) {
+      KeyedRow kr;
+      kr.key[0] = 0;
+      kr.key[1] = 0;
+      ExtractKey(*block, key_cols, r, kr.key);
+      kr.block = block;
+      kr.row = r;
+      rows.push_back(kr);
+    }
+  }
+  std::sort(rows.begin(), rows.end(), KeyLess);
+  return rows;
+}
+
+}  // namespace
+
+SortMergeJoinOperator::SortMergeJoinOperator(
+    std::string name, const Schema& left_schema, const Schema& right_schema,
+    std::vector<int> left_key_cols, std::vector<int> right_key_cols,
+    std::vector<int> left_output_cols, std::vector<int> right_output_cols,
+    InsertDestination* destination)
+    : Operator(std::move(name)),
+      left_schema_(left_schema),
+      right_schema_(right_schema),
+      left_key_cols_(std::move(left_key_cols)),
+      right_key_cols_(std::move(right_key_cols)),
+      left_output_cols_(std::move(left_output_cols)),
+      right_output_cols_(std::move(right_output_cols)),
+      destination_(destination) {
+  UOT_CHECK(left_key_cols_.size() == right_key_cols_.size());
+  UOT_CHECK(!left_key_cols_.empty() && left_key_cols_.size() <= 2);
+}
+
+void SortMergeJoinOperator::ReceiveInputBlocks(
+    int input_index, const std::vector<Block*>& blocks) {
+  (input_index == 0 ? left_ : right_).Deliver(blocks);
+}
+
+void SortMergeJoinOperator::InputDone(int input_index) {
+  (input_index == 0 ? left_ : right_).MarkDone();
+}
+
+bool SortMergeJoinOperator::GenerateWorkOrders(
+    std::vector<std::unique_ptr<WorkOrder>>* out) {
+  if (!left_.done() || !right_.done()) return false;
+  if (!generated_) {
+    left_blocks_ = left_.TakePending();
+    right_blocks_ = right_.TakePending();
+    out->push_back(std::make_unique<SortMergeJoinWorkOrder>(this));
+    generated_ = true;
+  }
+  return true;
+}
+
+void SortMergeJoinOperator::Finish() { destination_->Flush(); }
+
+Schema SortMergeJoinOperator::OutputSchema(
+    const Schema& left_schema, const std::vector<int>& left_output_cols,
+    const Schema& right_schema, const std::vector<int>& right_output_cols) {
+  std::vector<Column> columns;
+  for (int c : left_output_cols) columns.push_back(left_schema.column(c));
+  for (int c : right_output_cols) columns.push_back(right_schema.column(c));
+  return Schema(std::move(columns));
+}
+
+void SortMergeJoinWorkOrder::Execute() {
+  const std::vector<KeyedRow> left =
+      GatherKeyed(op_->left_blocks_, op_->left_key_cols_);
+  const std::vector<KeyedRow> right =
+      GatherKeyed(op_->right_blocks_, op_->right_key_cols_);
+
+  const Schema left_part = SubSchema(op_->left_schema_,
+                                     op_->left_output_cols_);
+  const Schema right_part = SubSchema(op_->right_schema_,
+                                      op_->right_output_cols_);
+  std::vector<std::byte> row(op_->destination_->schema().row_width());
+  InsertDestination::Writer writer(op_->destination_);
+
+  size_t li = 0, ri = 0;
+  while (li < left.size() && ri < right.size()) {
+    if (KeyLess(left[li], right[ri])) {
+      ++li;
+    } else if (KeyLess(right[ri], left[li])) {
+      ++ri;
+    } else {
+      // Equal-key runs: emit the cross product.
+      size_t lend = li;
+      while (lend < left.size() && KeyEqual(left[lend], left[li])) ++lend;
+      size_t rend = ri;
+      while (rend < right.size() && KeyEqual(right[rend], right[ri])) ++rend;
+      for (size_t l = li; l < lend; ++l) {
+        ExtractColumns(*left[l].block, op_->left_output_cols_, left_part,
+                       left[l].row, row.data());
+        for (size_t r = ri; r < rend; ++r) {
+          ExtractColumns(*right[r].block, op_->right_output_cols_,
+                         right_part, right[r].row,
+                         row.data() + left_part.row_width());
+          writer.AppendRow(row.data());
+        }
+      }
+      li = lend;
+      ri = rend;
+    }
+  }
+}
+
+}  // namespace uot

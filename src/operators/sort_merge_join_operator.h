@@ -1,0 +1,78 @@
+#ifndef UOT_OPERATORS_SORT_MERGE_JOIN_OPERATOR_H_
+#define UOT_OPERATORS_SORT_MERGE_JOIN_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "operators/operator.h"
+#include "storage/insert_destination.h"
+
+namespace uot {
+
+/// Sort-merge equality join. Both inputs are buffered completely, then one
+/// work order sorts the two sides by their (widened integral) keys and
+/// merges equal-key runs.
+///
+/// The paper's Section V-B classifies sort-based operators as inherently
+/// blocking — the UoT value does not apply to their input edges; this
+/// operator exists to make that part of the operator taxonomy concrete and
+/// as a second reference implementation for join correctness tests.
+class SortMergeJoinOperator final : public Operator {
+ public:
+  /// Output: `left_output_cols` then `right_output_cols`. Input 0 is the
+  /// left side, input 1 the right side.
+  SortMergeJoinOperator(std::string name, const Schema& left_schema,
+                        const Schema& right_schema,
+                        std::vector<int> left_key_cols,
+                        std::vector<int> right_key_cols,
+                        std::vector<int> left_output_cols,
+                        std::vector<int> right_output_cols,
+                        InsertDestination* destination);
+
+  void AttachLeftTable(const Table* table) { left_.AttachTable(table); }
+  void AttachRightTable(const Table* table) { right_.AttachTable(table); }
+
+  void ReceiveInputBlocks(int input_index,
+                          const std::vector<Block*>& blocks) override;
+  void InputDone(int input_index) override;
+  bool GenerateWorkOrders(
+      std::vector<std::unique_ptr<WorkOrder>>* out) override;
+  void Finish() override;
+
+  static Schema OutputSchema(const Schema& left_schema,
+                             const std::vector<int>& left_output_cols,
+                             const Schema& right_schema,
+                             const std::vector<int>& right_output_cols);
+
+ private:
+  friend class SortMergeJoinWorkOrder;
+
+  const Schema left_schema_;
+  const Schema right_schema_;
+  const std::vector<int> left_key_cols_;
+  const std::vector<int> right_key_cols_;
+  const std::vector<int> left_output_cols_;
+  const std::vector<int> right_output_cols_;
+  InsertDestination* const destination_;
+
+  StreamingInput left_;
+  StreamingInput right_;
+  std::vector<Block*> left_blocks_;
+  std::vector<Block*> right_blocks_;
+  bool generated_ = false;
+};
+
+/// Sorts both buffered sides and merges them.
+class SortMergeJoinWorkOrder final : public WorkOrder {
+ public:
+  explicit SortMergeJoinWorkOrder(SortMergeJoinOperator* op) : op_(op) {}
+
+  void Execute() override;
+
+ private:
+  SortMergeJoinOperator* const op_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_OPERATORS_SORT_MERGE_JOIN_OPERATOR_H_

@@ -1,0 +1,179 @@
+#ifndef UOT_PLAN_PLAN_BUILDER_H_
+#define UOT_PLAN_PLAN_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "operators/aggregate_operator.h"
+#include "operators/build_hash_operator.h"
+#include "operators/probe_hash_operator.h"
+#include "operators/select_operator.h"
+#include "operators/sort_operator.h"
+#include "plan/query_plan.h"
+
+namespace uot {
+
+/// Plan-construction knobs shared by all benchmark plan builders.
+struct PlanBuilderConfig {
+  /// Block size of temporary (intermediate) tables.
+  size_t block_bytes = 1 << 20;
+  /// Join hash-table load factor (the model's `f`).
+  double load_factor = 0.75;
+  /// Temporary tables use the row-store format irrespective of the base
+  /// tables (paper Section IV-B).
+  Layout temp_layout = Layout::kRowStore;
+  /// Attach LIP Bloom filters (Zhu et al. [42]) from selective hash-table
+  /// builds to probe-side selections — the paper's selectivity-lowering
+  /// technique (Section VI-C). Results are unchanged; intermediates
+  /// shrink.
+  bool use_lip = false;
+};
+
+/// Wires operators, temp tables, destinations and edges so per-query plan
+/// builders read like logical plans. Used by the TPC-H and SSB substrates
+/// and usable for ad-hoc plans in examples/tests.
+class PlanBuilder {
+ public:
+  PlanBuilder(StorageManager* storage, const PlanBuilderConfig& config)
+      : storage_(storage),
+        config_(config),
+        plan_(std::make_unique<QueryPlan>(storage)) {}
+
+  /// A data source: a base table (op < 0) or an operator's output stream.
+  struct Src {
+    int op = -1;
+    const Table* table = nullptr;
+    Table* temp = nullptr;  // non-null for operator outputs
+  };
+
+  static Src Base(const Table& table) { return Src{-1, &table, nullptr}; }
+
+  const Schema& SchemaOf(const Src& src) const { return src.table->schema(); }
+
+  /// `lip` lists (build op, input column) pairs whose Bloom filters prune
+  /// this selection (only applied when the config enables LIP).
+  Src Select(const std::string& name, const Src& in,
+             std::unique_ptr<Predicate> pred,
+             std::unique_ptr<Projection> proj,
+             std::vector<std::pair<BuildHashOperator*, int>> lip = {}) {
+    Table* out =
+        plan_->CreateTempTable(name + ".out", proj->output_schema(),
+                               config_.temp_layout, config_.block_bytes);
+    InsertDestination* dest = plan_->CreateDestination(out);
+    auto op = std::make_unique<SelectOperator>(name, std::move(pred),
+                                               std::move(proj), dest);
+    SelectOperator* raw = op.get();
+    const int idx = plan_->AddOperator(std::move(op));
+    plan_->RegisterOutput(idx, dest);
+    Attach(in, idx, [raw](const Table* t) { raw->AttachBaseTable(t); });
+    if (config_.use_lip) {
+      for (const auto& [build, col] : lip) {
+        build->EnableLipFilter();
+        raw->AddLipFilter(build, col);
+        plan_->AddBlockingEdge(build_index_.at(build), idx);
+      }
+    }
+    return Src{idx, out, out};
+  }
+
+  /// Returns the build operator (probe operators reference it).
+  BuildHashOperator* Build(const std::string& name, const Src& in,
+                           std::vector<int> key_cols,
+                           std::vector<int> payload_cols) {
+    auto op = std::make_unique<BuildHashOperator>(
+        name, std::move(key_cols), std::move(payload_cols),
+        config_.load_factor, &storage_->tracker());
+    BuildHashOperator* raw = op.get();
+    raw->InitHashTable(SchemaOf(in));
+    const int idx = plan_->AddOperator(std::move(op));
+    build_index_[raw] = idx;
+    Attach(in, idx, [raw](const Table* t) { raw->AttachBaseTable(t); });
+    return raw;
+  }
+
+  Src Probe(const std::string& name, const Src& in, BuildHashOperator* build,
+            std::vector<int> key_cols, std::vector<int> out_cols,
+            JoinKind kind = JoinKind::kInner,
+            std::vector<ResidualCondition> residuals = {}) {
+    std::vector<int> payload_cols;
+    const Schema& payload = build->hash_table()->payload_schema();
+    for (int c = 0; c < payload.num_columns(); ++c) payload_cols.push_back(c);
+    Schema out_schema = ProbeHashOperator::OutputSchema(
+        SchemaOf(in), out_cols, payload, payload_cols, kind);
+    Table* out =
+        plan_->CreateTempTable(name + ".out", std::move(out_schema),
+                               config_.temp_layout, config_.block_bytes);
+    InsertDestination* dest = plan_->CreateDestination(out);
+    auto op = std::make_unique<ProbeHashOperator>(
+        name, build, std::move(key_cols), std::move(out_cols), kind,
+        std::move(residuals), dest);
+    ProbeHashOperator* raw = op.get();
+    const int idx = plan_->AddOperator(std::move(op));
+    plan_->RegisterOutput(idx, dest);
+    plan_->AddBlockingEdge(build_index_.at(build), idx);
+    Attach(in, idx, [raw](const Table* t) { raw->AttachBaseTable(t); });
+    return Src{idx, out, out};
+  }
+
+  Src Aggregate(const std::string& name, const Src& in,
+                std::vector<int> group_cols, std::vector<AggSpec> aggs,
+                std::unique_ptr<Predicate> pred = nullptr) {
+    Schema out_schema =
+        AggregateOperator::OutputSchema(SchemaOf(in), group_cols, aggs);
+    Table* out =
+        plan_->CreateTempTable(name + ".out", std::move(out_schema),
+                               config_.temp_layout, config_.block_bytes);
+    InsertDestination* dest = plan_->CreateDestination(out);
+    auto op = std::make_unique<AggregateOperator>(
+        name, SchemaOf(in), std::move(group_cols), std::move(aggs),
+        std::move(pred), dest);
+    AggregateOperator* raw = op.get();
+    const int idx = plan_->AddOperator(std::move(op));
+    plan_->RegisterOutput(idx, dest);
+    Attach(in, idx, [raw](const Table* t) { raw->AttachBaseTable(t); });
+    return Src{idx, out, out};
+  }
+
+  Src Sort(const std::string& name, const Src& in, std::vector<SortKey> keys,
+           uint64_t limit = 0) {
+    Table* out = plan_->CreateTempTable("sort.out", SchemaOf(in),
+                                        config_.temp_layout,
+                                        config_.block_bytes);
+    InsertDestination* dest = plan_->CreateDestination(out);
+    auto op = std::make_unique<SortOperator>(name, SchemaOf(in),
+                                             std::move(keys), dest, limit);
+    SortOperator* raw = op.get();
+    const int idx = plan_->AddOperator(std::move(op));
+    plan_->RegisterOutput(idx, dest);
+    Attach(in, idx, [raw](const Table* t) { raw->AttachBaseTable(t); });
+    return Src{idx, out, out};
+  }
+
+  std::unique_ptr<QueryPlan> Finish(const Src& result) {
+    UOT_CHECK(result.temp != nullptr);
+    plan_->SetResultTable(result.temp);
+    return std::move(plan_);
+  }
+
+ private:
+  template <typename AttachFn>
+  void Attach(const Src& in, int consumer, AttachFn&& attach_base) {
+    if (in.op < 0) {
+      attach_base(in.table);
+    } else {
+      plan_->AddStreamingEdge(in.op, consumer);
+    }
+  }
+
+  StorageManager* const storage_;
+  const PlanBuilderConfig config_;
+  std::unique_ptr<QueryPlan> plan_;
+  std::map<const BuildHashOperator*, int> build_index_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_PLAN_PLAN_BUILDER_H_

@@ -1,0 +1,58 @@
+#include "plan/query_plan.h"
+
+namespace uot {
+
+int QueryPlan::AddOperator(std::unique_ptr<Operator> op) {
+  operators_.push_back(std::move(op));
+  return static_cast<int>(operators_.size()) - 1;
+}
+
+void QueryPlan::AddStreamingEdge(int producer, int consumer,
+                                 int consumer_input) {
+  UOT_CHECK(producer >= 0 && producer < num_operators());
+  UOT_CHECK(consumer >= 0 && consumer < num_operators());
+  UOT_CHECK(producer != consumer);
+  streaming_edges_.push_back(
+      StreamingEdge{producer, consumer, consumer_input});
+}
+
+void QueryPlan::AddBlockingEdge(int producer, int consumer) {
+  UOT_CHECK(producer >= 0 && producer < num_operators());
+  UOT_CHECK(consumer >= 0 && consumer < num_operators());
+  UOT_CHECK(producer != consumer);
+  blocking_edges_.push_back(BlockingEdge{producer, consumer});
+}
+
+Table* QueryPlan::CreateTempTable(std::string name, Schema schema,
+                                  Layout layout, size_t block_bytes) {
+  temp_tables_.push_back(std::make_unique<Table>(
+      std::move(name), std::move(schema), layout, block_bytes, storage_,
+      MemoryCategory::kTemporaryTable));
+  return temp_tables_.back().get();
+}
+
+InsertDestination* QueryPlan::CreateDestination(Table* table) {
+  destinations_.push_back(OwnedDestination{
+      -1, std::make_unique<InsertDestination>(storage_, table, nullptr)});
+  return destinations_.back().destination.get();
+}
+
+void QueryPlan::RegisterOutput(int producer, InsertDestination* destination) {
+  UOT_CHECK(producer >= 0 && producer < num_operators());
+  for (OwnedDestination& d : destinations_) {
+    if (d.destination.get() == destination) {
+      d.producer = producer;
+      return;
+    }
+  }
+  UOT_CHECK(false);  // destination not created by this plan
+}
+
+InsertDestination* QueryPlan::destination_of(int producer) const {
+  for (const OwnedDestination& d : destinations_) {
+    if (d.producer == producer) return d.destination.get();
+  }
+  return nullptr;
+}
+
+}  // namespace uot

@@ -1,0 +1,103 @@
+#ifndef UOT_PLAN_QUERY_PLAN_H_
+#define UOT_PLAN_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "operators/operator.h"
+#include "storage/insert_destination.h"
+#include "storage/storage_manager.h"
+#include "storage/table.h"
+
+namespace uot {
+
+/// A physical query plan: a DAG of operators connected by two kinds of
+/// edges (paper Section III-C):
+///
+///  - streaming edges carry blocks of the producer's output to the consumer;
+///    the scheduler's UoT policy decides when accumulated blocks are
+///    actually transferred;
+///  - blocking edges express hard ordering (e.g. a probe operator cannot
+///    start until its hash-table build operator has finished).
+///
+/// The plan also owns the temporary tables and insert destinations of its
+/// producer operators, and identifies the result table.
+class QueryPlan {
+ public:
+  explicit QueryPlan(StorageManager* storage) : storage_(storage) {}
+  UOT_DISALLOW_COPY_AND_ASSIGN(QueryPlan);
+
+  struct StreamingEdge {
+    int producer;
+    int consumer;
+    int consumer_input;
+  };
+  struct BlockingEdge {
+    int producer;
+    int consumer;
+  };
+
+  /// Adds an operator, returning its index.
+  int AddOperator(std::unique_ptr<Operator> op);
+
+  /// Declares that `producer`'s completed output blocks stream to
+  /// `consumer` (input slot `consumer_input`), subject to the UoT policy.
+  void AddStreamingEdge(int producer, int consumer, int consumer_input = 0);
+
+  /// Declares that `consumer` may not generate work orders until
+  /// `producer` has finished.
+  void AddBlockingEdge(int producer, int consumer);
+
+  /// Creates a plan-owned temporary table.
+  Table* CreateTempTable(std::string name, Schema schema, Layout layout,
+                         size_t block_bytes);
+
+  /// Creates a plan-owned insert destination writing to `table`. Register
+  /// it as an operator's output with RegisterOutput once the operator has
+  /// been added; the scheduler installs the block-ready listener at
+  /// execution start.
+  InsertDestination* CreateDestination(Table* table);
+
+  /// Declares `destination` (from CreateDestination) as `producer`'s
+  /// output.
+  void RegisterOutput(int producer, InsertDestination* destination);
+
+  void SetResultTable(Table* table) { result_table_ = table; }
+  Table* result_table() const { return result_table_; }
+
+  int num_operators() const { return static_cast<int>(operators_.size()); }
+  Operator* op(int i) { return operators_[static_cast<size_t>(i)].get(); }
+  const Operator* op(int i) const {
+    return operators_[static_cast<size_t>(i)].get();
+  }
+
+  const std::vector<StreamingEdge>& streaming_edges() const {
+    return streaming_edges_;
+  }
+  const std::vector<BlockingEdge>& blocking_edges() const {
+    return blocking_edges_;
+  }
+
+  /// The destination registered for `producer`, or nullptr.
+  InsertDestination* destination_of(int producer) const;
+
+  StorageManager* storage() const { return storage_; }
+
+ private:
+  StorageManager* const storage_;
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<StreamingEdge> streaming_edges_;
+  std::vector<BlockingEdge> blocking_edges_;
+  std::vector<std::unique_ptr<Table>> temp_tables_;
+  struct OwnedDestination {
+    int producer;
+    std::unique_ptr<InsertDestination> destination;
+  };
+  std::vector<OwnedDestination> destinations_;
+  Table* result_table_ = nullptr;
+};
+
+}  // namespace uot
+
+#endif  // UOT_PLAN_QUERY_PLAN_H_

@@ -1,0 +1,51 @@
+#include "scheduler/execution_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace uot {
+
+double ExecutionStats::AverageDop(int op) const {
+  // Sweep the +1/-1 events of this operator's work orders.
+  std::vector<std::pair<int64_t, int>> events;
+  for (const WorkOrderRecord& r : records) {
+    if (r.op != op) continue;
+    events.emplace_back(r.start_ns, +1);
+    events.emplace_back(r.end_ns, -1);
+  }
+  if (events.empty()) return 0.0;
+  std::sort(events.begin(), events.end());
+  int64_t busy_weighted = 0;
+  int64_t span_start = events.front().first;
+  int64_t prev = span_start;
+  int running = 0;
+  for (const auto& [ts, delta] : events) {
+    busy_weighted += running * (ts - prev);
+    running += delta;
+    prev = ts;
+  }
+  const int64_t span = prev - span_start;
+  if (span <= 0) return static_cast<double>(events.size() / 2);
+  return static_cast<double>(busy_weighted) / static_cast<double>(span);
+}
+
+std::string ExecutionStats::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "query: %.3f ms, %zu work orders\n",
+                QueryMillis(), records.size());
+  out += line;
+  for (size_t i = 0; i < operators.size(); ++i) {
+    const OperatorStats& s = operators[i];
+    std::snprintf(line, sizeof(line),
+                  "  [%zu] %-24s tasks=%-6llu total=%9.3f ms avg=%8.4f ms "
+                  "span=%9.3f ms\n",
+                  i, s.name.c_str(),
+                  static_cast<unsigned long long>(s.num_work_orders),
+                  s.total_task_ms(), s.avg_task_ms(), s.span_ms());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace uot

@@ -1,0 +1,79 @@
+#ifndef UOT_SCHEDULER_EXECUTION_STATS_H_
+#define UOT_SCHEDULER_EXECUTION_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/memory_tracker.h"
+
+namespace uot {
+
+/// Timing record of one executed work order.
+struct WorkOrderRecord {
+  int op = -1;
+  int worker = -1;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+
+  int64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// Aggregated per-operator execution statistics.
+struct OperatorStats {
+  std::string name;
+  uint64_t num_work_orders = 0;
+  int64_t total_task_ns = 0;   // sum of work-order durations
+  int64_t first_start_ns = 0;  // earliest work-order start
+  int64_t last_end_ns = 0;     // latest work-order end
+
+  double total_task_ms() const {
+    return static_cast<double>(total_task_ns) / 1e6;
+  }
+  double avg_task_ms() const {
+    return num_work_orders == 0
+               ? 0.0
+               : total_task_ms() / static_cast<double>(num_work_orders);
+  }
+  /// Wall-clock span from the first work-order start to the last end.
+  double span_ms() const {
+    return static_cast<double>(last_end_ns - first_start_ns) / 1e6;
+  }
+};
+
+/// Everything the benches need from one query execution: per-work-order
+/// timings, per-operator aggregates, per-edge transfer counts and memory
+/// peaks (paper Figs. 3/5/6/7, Table II).
+struct ExecutionStats {
+  int64_t query_start_ns = 0;
+  int64_t query_end_ns = 0;
+  std::vector<WorkOrderRecord> records;
+  std::vector<OperatorStats> operators;
+  /// Number of block transfers performed per streaming edge (a transfer
+  /// delivers up to UoT blocks).
+  std::vector<uint64_t> edge_transfers;
+  /// Peak memory during execution, per category.
+  int64_t peak_bytes[kNumMemoryCategories] = {};
+
+  double QueryMillis() const {
+    return static_cast<double>(query_end_ns - query_start_ns) / 1e6;
+  }
+
+  int64_t PeakHashTableBytes() const {
+    return peak_bytes[static_cast<int>(MemoryCategory::kHashTable)];
+  }
+  int64_t PeakTemporaryBytes() const {
+    return peak_bytes[static_cast<int>(MemoryCategory::kTemporaryTable)];
+  }
+
+  /// Average degree of parallelism of operator `op` over the interval in
+  /// which any of its work orders ran (integral of #running / span).
+  double AverageDop(int op) const;
+
+  /// Renders a per-operator summary table.
+  std::string ToString() const;
+};
+
+}  // namespace uot
+
+#endif  // UOT_SCHEDULER_EXECUTION_STATS_H_

@@ -1,0 +1,292 @@
+#include "scheduler/scheduler.h"
+
+#include "util/timer.h"
+
+namespace uot {
+
+Scheduler::Scheduler(QueryPlan* plan, ExecConfig config)
+    : plan_(plan), config_(config) {
+  UOT_CHECK(plan_ != nullptr);
+  UOT_CHECK(config_.num_workers >= 1);
+}
+
+ExecutionStats Scheduler::Run() {
+  const int n = plan_->num_operators();
+  op_states_.clear();
+  op_states_.resize(static_cast<size_t>(n));
+  edge_states_.clear();
+  edge_states_.resize(plan_->streaming_edges().size());
+  deferred_.clear();
+  total_running_ = 0;
+  stats_ = ExecutionStats{};
+  stats_.operators.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    stats_.operators[static_cast<size_t>(i)].name = plan_->op(i)->name();
+  }
+
+  for (const QueryPlan::BlockingEdge& e : plan_->blocking_edges()) {
+    ++op_states_[static_cast<size_t>(e.consumer)].blocking_deps;
+  }
+  // Operators fed by a streaming edge are pipeline consumers: their work
+  // orders overtake queued leaf work so transferred data is consumed while
+  // hot (the eager-execution half of the paper's pipelining definition,
+  // Section II; cf. the interleaved schedules of Fig. 2).
+  for (const QueryPlan::StreamingEdge& e : plan_->streaming_edges()) {
+    op_states_[static_cast<size_t>(e.consumer)].is_consumer = true;
+  }
+
+  // A consumer may drop its input blocks after use iff it is the sole
+  // consumer of its producer's output.
+  droppable_source_.assign(static_cast<size_t>(n), nullptr);
+  if (config_.drop_consumed_blocks) {
+    for (const QueryPlan::StreamingEdge& e : plan_->streaming_edges()) {
+      int consumers_of_producer = 0;
+      for (const QueryPlan::StreamingEdge& other :
+           plan_->streaming_edges()) {
+        if (other.producer == e.producer) ++consumers_of_producer;
+      }
+      InsertDestination* dest = plan_->destination_of(e.producer);
+      if (consumers_of_producer == 1 && dest != nullptr) {
+        droppable_source_[static_cast<size_t>(e.consumer)] = dest->output();
+      }
+    }
+  }
+
+  // Completed producer blocks surface as kBlockReady events.
+  for (int i = 0; i < n; ++i) {
+    InsertDestination* dest = plan_->destination_of(i);
+    if (dest == nullptr) continue;
+    dest->set_on_block_ready([this, i](Block* block) {
+      event_queue_.Push(Event{Event::Kind::kBlockReady, i, block, nullptr, {}});
+    });
+  }
+
+  plan_->storage()->tracker().ResetPeaks();
+  stats_.query_start_ns = NowNanos();
+
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+
+  for (int i = 0; i < n; ++i) TryGenerate(i);
+  ReleaseDeferred();
+
+  while (!AllFinished()) {
+    std::optional<Event> event = event_queue_.Pop();
+    UOT_CHECK(event.has_value());  // queue is never closed mid-run
+    switch (event->kind) {
+      case Event::Kind::kBlockReady:
+        HandleBlockReady(event->op, event->block);
+        break;
+      case Event::Kind::kWorkOrderDone: {
+        OpState& state = op_states_[static_cast<size_t>(event->op)];
+        ++state.completed;
+        --state.running;
+        --total_running_;
+        // Transient intermediate blocks are dropped once consumed.
+        Table* source = droppable_source_[static_cast<size_t>(event->op)];
+        if (event->consumed != nullptr && source != nullptr &&
+            source->ReleaseBlock(event->consumed)) {
+          plan_->storage()->DropBlock(event->consumed);
+        }
+        stats_.records.push_back(event->record);
+        OperatorStats& os = stats_.operators[static_cast<size_t>(event->op)];
+        ++os.num_work_orders;
+        os.total_task_ns += event->record.duration_ns();
+        if (os.first_start_ns == 0 ||
+            event->record.start_ns < os.first_start_ns) {
+          os.first_start_ns = event->record.start_ns;
+        }
+        if (event->record.end_ns > os.last_end_ns) {
+          os.last_end_ns = event->record.end_ns;
+        }
+        // Release held work orders under the concurrency cap.
+        while (!state.held.empty() &&
+               (config_.max_concurrent_per_op == 0 ||
+                state.running < config_.max_concurrent_per_op)) {
+          std::unique_ptr<WorkOrder> wo = std::move(state.held.back());
+          state.held.pop_back();
+          ++state.running;
+          if (state.is_consumer) {
+            work_queue_.PushFront(std::move(wo));
+          } else {
+            work_queue_.Push(std::move(wo));
+          }
+        }
+        ReleaseDeferred();
+        CheckOperatorDone(event->op);
+        break;
+      }
+      case Event::Kind::kOperatorFlushed:
+        HandleOperatorFlushed(event->op);
+        break;
+    }
+  }
+
+  stats_.query_end_ns = NowNanos();
+  work_queue_.Close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+
+  const MemoryTracker& tracker = plan_->storage()->tracker();
+  for (int c = 0; c < kNumMemoryCategories; ++c) {
+    stats_.peak_bytes[c] = tracker.Peak(static_cast<MemoryCategory>(c));
+  }
+  stats_.edge_transfers.clear();
+  for (const EdgeState& e : edge_states_) {
+    stats_.edge_transfers.push_back(e.transfers);
+  }
+  return std::move(stats_);
+}
+
+void Scheduler::WorkerLoop(int worker_id) {
+  while (true) {
+    std::optional<std::unique_ptr<WorkOrder>> item = work_queue_.Pop();
+    if (!item.has_value()) return;
+    WorkOrderRecord record;
+    record.op = (*item)->operator_index;
+    record.worker = worker_id;
+    record.start_ns = NowNanos();
+    (*item)->Execute();
+    record.end_ns = NowNanos();
+    event_queue_.Push(Event{Event::Kind::kWorkOrderDone, record.op, nullptr,
+                            (*item)->consumed_block, record});
+    // Let the coordinator react (transfer blocks, release transients)
+    // before taking more work — important on machines with few cores,
+    // where a busy worker can otherwise starve the scheduler thread.
+    std::this_thread::yield();
+  }
+}
+
+void Scheduler::TryGenerate(int op) {
+  OpState& state = op_states_[static_cast<size_t>(op)];
+  if (state.finished || state.finishing || state.blocking_deps > 0) return;
+  if (!state.done_generating) {
+    std::vector<std::unique_ptr<WorkOrder>> out;
+    state.done_generating = plan_->op(op)->GenerateWorkOrders(&out);
+    for (auto& wo : out) {
+      wo->operator_index = op;
+      ++state.generated;
+      Dispatch(op, std::move(wo));
+    }
+  }
+  CheckOperatorDone(op);
+}
+
+void Scheduler::Dispatch(int op, std::unique_ptr<WorkOrder> wo) {
+  OpState& state = op_states_[static_cast<size_t>(op)];
+  if (config_.max_concurrent_per_op != 0 &&
+      state.running >= config_.max_concurrent_per_op) {
+    state.held.push_back(std::move(wo));
+    return;
+  }
+  // Memory-budget policy: *producer* work orders (leaf scans creating new
+  // intermediates) go through admission control and are released paced
+  // against the budget. Consumer work orders always run — they consume
+  // and release transient blocks, which is what brings memory back under
+  // the budget.
+  if (config_.memory_budget_bytes > 0 && !state.is_consumer) {
+    deferred_.emplace_back(op, std::move(wo));
+    return;
+  }
+  ++state.running;
+  ++total_running_;
+  if (state.is_consumer) {
+    work_queue_.PushFront(std::move(wo));
+  } else {
+    work_queue_.Push(std::move(wo));
+  }
+}
+
+void Scheduler::ReleaseDeferred() {
+  while (!deferred_.empty()) {
+    const bool over_budget =
+        plan_->storage()->tracker().TotalCurrent() >
+        config_.memory_budget_bytes;
+    // Over budget: only release if nothing is running (progress
+    // guarantee). Under budget: admit producers only up to the worker
+    // count, so allocations stay paced against completions.
+    if (over_budget && total_running_ > 0) return;
+    if (!over_budget && total_running_ >= config_.num_workers) return;
+    auto [op, wo] = std::move(deferred_.front());
+    deferred_.pop_front();
+    OpState& state = op_states_[static_cast<size_t>(op)];
+    if (config_.max_concurrent_per_op != 0 &&
+        state.running >= config_.max_concurrent_per_op) {
+      state.held.push_back(std::move(wo));
+      continue;
+    }
+    ++state.running;
+    ++total_running_;
+    work_queue_.Push(std::move(wo));  // producers queue behind consumers
+    if (over_budget) return;  // released the single progress work order
+  }
+}
+
+void Scheduler::CheckOperatorDone(int op) {
+  OpState& state = op_states_[static_cast<size_t>(op)];
+  if (state.finished || state.finishing) return;
+  if (!state.done_generating || state.completed != state.generated) return;
+  // All work orders executed and no more coming: flush the operator. The
+  // flush callbacks enqueue kBlockReady events; the marker event below is
+  // processed after them (FIFO), so final UoT transfers see every block.
+  state.finishing = true;
+  plan_->op(op)->Finish();
+  event_queue_.Push(Event{Event::Kind::kOperatorFlushed, op, nullptr, nullptr, {}});
+}
+
+void Scheduler::HandleBlockReady(int op, Block* block) {
+  const auto& edges = plan_->streaming_edges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].producer != op) continue;
+    EdgeState& edge = edge_states_[i];
+    edge.buffer.push_back(block);
+    if (!config_.uot.IsWholeTable() &&
+        edge.buffer.size() >= config_.uot.blocks_per_transfer()) {
+      DeliverEdge(static_cast<int>(i), /*final_flush=*/false);
+    }
+  }
+}
+
+void Scheduler::DeliverEdge(int edge_index, bool final_flush) {
+  const QueryPlan::StreamingEdge& edge =
+      plan_->streaming_edges()[static_cast<size_t>(edge_index)];
+  EdgeState& state = edge_states_[static_cast<size_t>(edge_index)];
+  if (!state.buffer.empty()) {
+    plan_->op(edge.consumer)
+        ->ReceiveInputBlocks(edge.consumer_input, state.buffer);
+    ++state.transfers;
+    state.buffer.clear();
+  }
+  if (final_flush) {
+    plan_->op(edge.consumer)->InputDone(edge.consumer_input);
+  }
+  TryGenerate(edge.consumer);
+}
+
+void Scheduler::HandleOperatorFlushed(int op) {
+  OpState& state = op_states_[static_cast<size_t>(op)];
+  state.finished = true;
+  state.finishing = false;
+  const auto& edges = plan_->streaming_edges();
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].producer != op) continue;
+    DeliverEdge(static_cast<int>(i), /*final_flush=*/true);
+  }
+  for (const QueryPlan::BlockingEdge& e : plan_->blocking_edges()) {
+    if (e.producer != op) continue;
+    OpState& consumer = op_states_[static_cast<size_t>(e.consumer)];
+    --consumer.blocking_deps;
+    if (consumer.blocking_deps == 0) TryGenerate(e.consumer);
+  }
+}
+
+bool Scheduler::AllFinished() const {
+  for (const OpState& s : op_states_) {
+    if (!s.finished) return false;
+  }
+  return true;
+}
+
+}  // namespace uot

@@ -1,0 +1,117 @@
+#ifndef UOT_SCHEDULER_SCHEDULER_H_
+#define UOT_SCHEDULER_SCHEDULER_H_
+
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "plan/query_plan.h"
+#include "scheduler/execution_stats.h"
+#include "scheduler/uot_policy.h"
+#include "util/thread_safe_queue.h"
+
+namespace uot {
+
+/// Execution configuration for one query run.
+struct ExecConfig {
+  /// Number of worker threads executing work orders.
+  int num_workers = 4;
+  /// The unit of transfer applied to every streaming edge.
+  UotPolicy uot;
+  /// Optional cap on concurrently executing work orders per operator
+  /// (0 = unlimited). One of the "sophisticated scheduling policies" the
+  /// paper mentions in Section III-C.
+  int max_concurrent_per_op = 0;
+  /// Drop intermediate blocks once their (single) consumer work order has
+  /// executed. This makes temporaries transient, which is what gives the
+  /// low-UoT strategy its near-zero intermediate footprint (Table II).
+  /// Blocks feeding several consumers are kept.
+  bool drop_consumed_blocks = true;
+  /// Soft memory budget in bytes (0 = unlimited): while total tracked
+  /// memory exceeds it, new work orders are deferred — except that one
+  /// work order is always kept in flight so the query progresses. Another
+  /// of the paper's Section III-C scheduling policies.
+  int64_t memory_budget_bytes = 0;
+};
+
+/// The query scheduler (paper Section III): a single coordinating loop plus
+/// a pool of worker threads.
+///
+/// Workers execute work orders to completion; the coordinator reacts to
+/// execution events:
+///  - a producer completed an output block -> accumulate it on each
+///    outgoing streaming edge and transfer to the consumer once UoT blocks
+///    are available (for the whole-table UoT, only when the producer
+///    finished);
+///  - a work order finished -> account it, release capped work orders, and
+///    when the operator is fully done, flush its partial output blocks and
+///    unblock dependent operators.
+class Scheduler {
+ public:
+  Scheduler(QueryPlan* plan, ExecConfig config);
+  UOT_DISALLOW_COPY_AND_ASSIGN(Scheduler);
+
+  /// Executes the plan to completion and returns the collected statistics.
+  ExecutionStats Run();
+
+ private:
+  struct Event {
+    enum class Kind { kBlockReady, kWorkOrderDone, kOperatorFlushed };
+    Kind kind;
+    int op = -1;
+    Block* block = nullptr;
+    Block* consumed = nullptr;  // transient input block, for dropping
+    WorkOrderRecord record;
+  };
+
+  struct OpState {
+    int blocking_deps = 0;
+    bool is_consumer = false;  // fed by a streaming edge
+    bool done_generating = false;
+    bool finishing = false;
+    bool finished = false;
+    uint64_t generated = 0;
+    uint64_t completed = 0;
+    int running = 0;
+    std::vector<std::unique_ptr<WorkOrder>> held;  // over the concurrency cap
+  };
+
+  struct EdgeState {
+    std::vector<Block*> buffer;
+    uint64_t transfers = 0;
+  };
+
+  void WorkerLoop(int worker_id);
+  void TryGenerate(int op);
+  void Dispatch(int op, std::unique_ptr<WorkOrder> wo);
+  /// Re-dispatches budget-deferred work orders when allowed.
+  void ReleaseDeferred();
+  void CheckOperatorDone(int op);
+  void HandleBlockReady(int op, Block* block);
+  void HandleOperatorFlushed(int op);
+  void DeliverEdge(int edge_index, bool final_flush);
+  bool AllFinished() const;
+
+  QueryPlan* const plan_;
+  const ExecConfig config_;
+
+  ThreadSafeQueue<std::unique_ptr<WorkOrder>> work_queue_;
+  ThreadSafeQueue<Event> event_queue_;
+  std::vector<std::thread> workers_;
+
+  std::vector<OpState> op_states_;
+  std::vector<EdgeState> edge_states_;
+  // Per consumer op: the producer output table whose blocks may be dropped
+  // after this op consumes them (nullptr when not droppable).
+  std::vector<Table*> droppable_source_;
+  // Work orders deferred by the memory budget, FIFO.
+  std::deque<std::pair<int, std::unique_ptr<WorkOrder>>> deferred_;
+  int total_running_ = 0;
+  ExecutionStats stats_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_SCHEDULER_SCHEDULER_H_

@@ -1,0 +1,3 @@
+#include "scheduler/uot_policy.h"
+
+// Header-only implementation; this file anchors the translation unit.

@@ -1,0 +1,47 @@
+#ifndef UOT_SCHEDULER_UOT_POLICY_H_
+#define UOT_SCHEDULER_UOT_POLICY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace uot {
+
+/// The unit of transfer (UoT): how much producer output accumulates before
+/// it is transferred to the consumer operator (paper Sections I-III, Fig 1).
+///
+/// The granularity is measured in completed output blocks, matching the
+/// paper's block-based setting: the smallest UoT is a single block
+/// (traditionally called "pipelining"); the largest is the whole
+/// intermediate table (traditionally "blocking"/"materializing"). Every
+/// value in between is a valid point on the spectrum.
+class UotPolicy {
+ public:
+  static constexpr uint64_t kWholeTable = UINT64_MAX;
+
+  /// Default: smallest UoT (one block per transfer).
+  UotPolicy() : blocks_per_transfer_(1) {}
+  explicit UotPolicy(uint64_t blocks_per_transfer)
+      : blocks_per_transfer_(blocks_per_transfer == 0 ? 1
+                                                      : blocks_per_transfer) {}
+
+  /// The low end of the spectrum: transfer every `k` completed blocks.
+  static UotPolicy LowUot(uint64_t k = 1) { return UotPolicy(k); }
+
+  /// The high end: wait for the entire intermediate table.
+  static UotPolicy HighUot() { return UotPolicy(kWholeTable); }
+
+  bool IsWholeTable() const { return blocks_per_transfer_ == kWholeTable; }
+  uint64_t blocks_per_transfer() const { return blocks_per_transfer_; }
+
+  std::string ToString() const {
+    if (IsWholeTable()) return "UoT=whole-table";
+    return "UoT=" + std::to_string(blocks_per_transfer_) + "-block(s)";
+  }
+
+ private:
+  uint64_t blocks_per_transfer_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_SCHEDULER_UOT_POLICY_H_

@@ -1,0 +1,95 @@
+#include "simcache/access_streams.h"
+
+namespace uot {
+namespace {
+
+constexpr int kInputStream = 0;
+constexpr int kHashStream = 1;
+constexpr int kOutputStream = 2;
+
+/// Touches `[addr, addr+bytes)` through stream `stream`, issuing the raw
+/// (unaligned) addresses so the stride detector sees the true tuple
+/// stride.
+double TouchSpan(CacheSimulator* sim, uint64_t addr, uint32_t bytes,
+                 int stream) {
+  const uint64_t line = sim->config().line_bytes;
+  double ns = sim->Access(addr, stream);
+  // Touch any additional lines the span crosses.
+  const uint64_t first = addr / line;
+  const uint64_t last = (addr + bytes - 1) / line;
+  for (uint64_t l = first + 1; l <= last; ++l) {
+    ns += sim->Access(l * line, stream);
+  }
+  return ns;
+}
+
+}  // namespace
+
+double SimulateSelectTask(CacheSimulator* sim, const TaskTraceConfig& config,
+                          Random* rng, double output_selectivity) {
+  const uint64_t tuples = config.block_bytes / config.tuple_bytes;
+  double ns = 0.0;
+  uint64_t out_addr = config.output_base;
+  for (uint64_t t = 0; t < tuples; ++t) {
+    // Strided single-attribute scan over the row store.
+    ns += TouchSpan(sim, config.input_base + t * config.tuple_bytes,
+                    config.attr_bytes, kInputStream);
+    if (rng->NextDouble() < output_selectivity) {
+      ns += TouchSpan(sim, out_addr, config.attr_bytes, kOutputStream);
+      out_addr += config.attr_bytes;
+    }
+  }
+  return ns;
+}
+
+double SimulateBuildTask(CacheSimulator* sim, const TaskTraceConfig& config,
+                         Random* rng) {
+  const uint64_t tuples = config.block_bytes / config.tuple_bytes;
+  const uint64_t line = sim->config().line_bytes;
+  const uint64_t ht_lines = config.hash_table_bytes / line;
+  double ns = 0.0;
+  for (uint64_t t = 0; t < tuples; ++t) {
+    ns += TouchSpan(sim, config.input_base + t * config.tuple_bytes,
+                    config.attr_bytes, kInputStream);
+    if (rng->NextDouble() < config.hash_op_fraction) {
+      // Random bucket writes (chain head + chain walk).
+      for (int b = 0; b < config.bucket_probes; ++b) {
+        const uint64_t bucket =
+            static_cast<uint64_t>(rng->Uniform(0, static_cast<int64_t>(
+                                                      ht_lines - 1)));
+        ns += sim->Access(config.hash_table_base + bucket * line,
+                          kHashStream);
+      }
+    }
+  }
+  return ns;
+}
+
+double SimulateProbeTask(CacheSimulator* sim, const TaskTraceConfig& config,
+                         Random* rng, double match_fraction) {
+  const uint64_t tuples = config.block_bytes / config.tuple_bytes;
+  const uint64_t line = sim->config().line_bytes;
+  const uint64_t ht_lines = config.hash_table_bytes / line;
+  double ns = 0.0;
+  uint64_t out_addr = config.output_base;
+  for (uint64_t t = 0; t < tuples; ++t) {
+    ns += TouchSpan(sim, config.input_base + t * config.tuple_bytes,
+                    config.attr_bytes, kInputStream);
+    if (rng->NextDouble() < config.hash_op_fraction) {
+      for (int b = 0; b < config.bucket_probes; ++b) {
+        const uint64_t bucket =
+            static_cast<uint64_t>(rng->Uniform(0, static_cast<int64_t>(
+                                                      ht_lines - 1)));
+        ns += sim->Access(config.hash_table_base + bucket * line,
+                          kHashStream);
+      }
+      if (rng->NextDouble() < match_fraction) {
+        ns += TouchSpan(sim, out_addr, config.tuple_bytes, kOutputStream);
+        out_addr += config.tuple_bytes;
+      }
+    }
+  }
+  return ns;
+}
+
+}  // namespace uot

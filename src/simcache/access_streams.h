@@ -1,0 +1,53 @@
+#ifndef UOT_SIMCACHE_ACCESS_STREAMS_H_
+#define UOT_SIMCACHE_ACCESS_STREAMS_H_
+
+#include <cstdint>
+
+#include "simcache/cache_simulator.h"
+#include "util/random.h"
+
+namespace uot {
+
+/// Parameters of one simulated operator task over a row-store block
+/// (the Table VI setting: row store, one referenced attribute).
+struct TaskTraceConfig {
+  /// Block (work-order input) size in bytes.
+  uint64_t block_bytes = 128 * 1024;
+  /// Fixed row-store tuple width; scanning one attribute strides by this.
+  uint32_t tuple_bytes = 100;
+  /// Referenced attribute width actually touched per tuple.
+  uint32_t attr_bytes = 8;
+  /// Join hash table size in bytes (build/probe tasks).
+  uint64_t hash_table_bytes = 64UL * 1024 * 1024;
+  /// Buckets touched per hash-table operation (chain walk).
+  int bucket_probes = 2;
+  /// Fraction of scanned tuples that reach the hash table (selectivity of
+  /// the work already done below this operator).
+  double hash_op_fraction = 1.0;
+  /// Base virtual address of the input region (keeps tasks from aliasing).
+  uint64_t input_base = 1UL << 32;
+  uint64_t hash_table_base = 1UL << 36;
+  uint64_t output_base = 1UL << 40;
+};
+
+/// Replays the memory access pattern of one *select* work order: a strided
+/// scan of one attribute across the block's tuples plus a sequential write
+/// of the selected output. Returns modeled time in ns.
+double SimulateSelectTask(CacheSimulator* sim, const TaskTraceConfig& config,
+                          Random* rng, double output_selectivity);
+
+/// One *build hash table* work order: strided scan of the input attribute
+/// plus a random write per tuple into the hash-table region (two data
+/// streams with conflicting patterns — the case where the paper found
+/// prefetching hurts).
+double SimulateBuildTask(CacheSimulator* sim, const TaskTraceConfig& config,
+                         Random* rng);
+
+/// One *probe hash table* work order: strided scan of the probe input,
+/// random reads into the hash-table region, sequential output writes.
+double SimulateProbeTask(CacheSimulator* sim, const TaskTraceConfig& config,
+                         Random* rng, double match_fraction);
+
+}  // namespace uot
+
+#endif  // UOT_SIMCACHE_ACCESS_STREAMS_H_

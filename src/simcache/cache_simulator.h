@@ -1,0 +1,138 @@
+#ifndef UOT_SIMCACHE_CACHE_SIMULATOR_H_
+#define UOT_SIMCACHE_CACHE_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace uot {
+
+/// One set-associative, LRU cache level.
+struct CacheLevelConfig {
+  size_t size_bytes;
+  int associativity;
+  double hit_latency_ns;
+};
+
+/// A three-level cache hierarchy with a stride ("spatial") hardware
+/// prefetcher that can be enabled or disabled.
+///
+/// Substitutes for the paper's MSR 0x1A4 experiment (Section IV-D /
+/// Table VI): the same access patterns the engine's operators issue are
+/// replayed through this simulator with the prefetcher on and off.
+/// Defaults mirror the paper's Haswell EP platform (Table V).
+struct CacheSimConfig {
+  size_t line_bytes = 64;
+  CacheLevelConfig l1{32 * 1024, 8, 1.0};
+  CacheLevelConfig l2{256 * 1024, 8, 4.0};
+  CacheLevelConfig l3{25UL * 1024 * 1024, 16, 12.0};
+  double memory_latency_ns = 90.0;
+
+  bool prefetch_enabled = true;
+  /// Consecutive same-stride accesses needed before prefetching starts.
+  int prefetch_trigger = 2;
+  /// Lines fetched ahead once a stream is confirmed.
+  int prefetch_degree = 4;
+  /// Maximum stride (bytes) the detector tracks.
+  int64_t max_stride_bytes = 2048;
+  /// Stream trackers available (hardware streamers track a handful of
+  /// regions; random access patterns thrash this table, which is what
+  /// makes mixed streams defeat the prefetcher — paper Section VII-B6).
+  int tracker_entries = 16;
+  /// log2 of the tracked region size (16 KB regions).
+  int region_shift = 14;
+  /// Memory-bandwidth cost charged per prefetch that has to be filled from
+  /// DRAM (the line occupies the memory channel that demand misses also
+  /// need — useless prefetches are not free).
+  double prefetch_issue_ns = 40.0;
+  /// Model the L2 adjacent-line prefetcher (MSR 0x1A4 bit 1): every L2
+  /// demand miss also fetches the buddy line. Useful for strided scans,
+  /// pure overhead for random hash-table traffic — the effect behind the
+  /// paper's Table VI probe/build slowdowns.
+  bool adjacent_line_prefetch = true;
+};
+
+/// Per-level and prefetcher statistics.
+struct CacheSimStats {
+  uint64_t accesses = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l3_hits = 0;
+  uint64_t memory_accesses = 0;
+  uint64_t prefetches_issued = 0;
+  uint64_t prefetch_hits = 0;  // demand hits on prefetched lines
+  double total_ns = 0.0;
+
+  double MissRatioL3() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(memory_accesses) /
+                     static_cast<double>(accesses);
+  }
+};
+
+/// Trace-driven cache simulator. Each access belongs to a small-integer
+/// "stream" (e.g. 0 = input scan, 1 = hash table, 2 = output) so the stride
+/// prefetcher can track concurrent access streams the way per-page/stream
+/// hardware detectors do.
+class CacheSimulator {
+ public:
+  explicit CacheSimulator(CacheSimConfig config = CacheSimConfig());
+  UOT_DISALLOW_COPY_AND_ASSIGN(CacheSimulator);
+
+  /// Simulates a demand access (read or write — the timing model treats
+  /// them alike) and returns its latency in ns.
+  double Access(uint64_t addr, int stream_id);
+
+  const CacheSimStats& stats() const { return stats_; }
+  const CacheSimConfig& config() const { return config_; }
+  void ResetStats() { stats_ = CacheSimStats{}; }
+
+  std::string Describe() const;
+
+ private:
+  struct Level {
+    uint64_t num_sets;
+    int ways;
+    double latency_ns;
+    // tags[set * ways + way]; 0 = invalid. lru holds a global counter.
+    std::vector<uint64_t> tags;
+    std::vector<uint64_t> lru;
+    std::vector<uint8_t> was_prefetch;
+  };
+
+  struct StreamState {
+    uint64_t region = 0;  // addr >> region_shift
+    uint64_t last_addr = 0;
+    int64_t last_stride = 0;
+    int confidence = 0;
+    uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  /// Returns the tracker for the region of `addr`, allocating (LRU
+  /// eviction) if absent. Sets *fresh when the tracker was (re)allocated.
+  StreamState* TrackerFor(uint64_t addr, bool* fresh);
+
+  /// Looks up `line` in `level`; returns true on hit (updating LRU). Only
+  /// demand lookups consume the entry's prefetch marker.
+  bool Lookup(Level* level, uint64_t line, bool* was_prefetch,
+              bool demand = true);
+  /// Inserts `line` into `level`, evicting LRU.
+  void Insert(Level* level, uint64_t line, bool is_prefetch);
+  void MakeLevel(Level* level, const CacheLevelConfig& config);
+  /// Returns true if the prefetch had to be filled from memory.
+  bool PrefetchLine(uint64_t line);
+
+  CacheSimConfig config_;
+  Level l1_, l2_, l3_;
+  std::vector<StreamState> streams_;
+  uint64_t clock_ = 0;
+  CacheSimStats stats_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_SIMCACHE_CACHE_SIMULATOR_H_

@@ -1,0 +1,197 @@
+#include "ssb/ssb_generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "types/date.h"
+#include "types/row_builder.h"
+
+namespace uot {
+namespace {
+
+using ssb::CustomerCol;
+using ssb::DateCol;
+using ssb::LineorderCol;
+using ssb::PartCol;
+using ssb::SupplierCol;
+
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDEAST"};
+
+/// Nation tag "Nnn" for nation index 1..25; region = (n-1)/5.
+std::string NationTag(int nation) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "N%02d", nation);
+  return buf;
+}
+
+std::string CityTag(int nation, int city) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "N%02dC%d", nation, city);
+  return buf;
+}
+
+int32_t DateKey(int y, int m, int d) { return y * 10000 + m * 100 + d; }
+
+constexpr int kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+
+}  // namespace
+
+void SsbDatabase::Generate(const SsbConfig& config) {
+  config_ = config;
+  const double sf = config.scale_factor;
+  UOT_CHECK(sf > 0);
+  Random rng(config.seed);
+
+  const int64_t num_lineorder =
+      std::max<int64_t>(3000, static_cast<int64_t>(6000000 * sf));
+  const int64_t num_customer =
+      std::max<int64_t>(150, static_cast<int64_t>(30000 * sf));
+  const int64_t num_supplier =
+      std::max<int64_t>(50, static_cast<int64_t>(2000 * sf));
+  const int64_t num_part =
+      std::max<int64_t>(200, static_cast<int64_t>(200000 * sf));
+
+  auto make_table = [&](const char* name, Schema schema) {
+    return std::make_unique<Table>(name, std::move(schema), config.layout,
+                                   config.block_bytes, storage_,
+                                   MemoryCategory::kBaseTable);
+  };
+
+  // ---- date: 7 years, 1992-1998 ----
+  date_ = make_table("date", SsbDateSchema());
+  std::vector<int32_t> datekeys;
+  {
+    RowBuilder row(&date_->schema());
+    for (int y = 1992; y <= 1998; ++y) {
+      int week = 1, day_in_year = 0;
+      for (int m = 1; m <= 12; ++m) {
+        int days = kDaysInMonth[m - 1];
+        if (m == 2 && y % 4 == 0) days = 29;
+        for (int d = 1; d <= days; ++d) {
+          ++day_in_year;
+          week = (day_in_year + 6) / 7;
+          row.SetInt32(DateCol::kDDatekey, DateKey(y, m, d));
+          row.SetInt32(DateCol::kDYear, y);
+          row.SetInt32(DateCol::kDYearmonthnum, y * 100 + m);
+          row.SetInt32(DateCol::kDMonth, m);
+          row.SetInt32(DateCol::kDWeeknuminyear, week);
+          date_->AppendRow(row.data());
+          datekeys.push_back(DateKey(y, m, d));
+        }
+      }
+    }
+  }
+
+  // ---- customer ----
+  customer_ = make_table("customer", SsbCustomerSchema());
+  {
+    RowBuilder row(&customer_->schema());
+    char buf[32];
+    constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING",
+                                          "FURNITURE", "MACHINERY",
+                                          "HOUSEHOLD"};
+    for (int64_t c = 1; c <= num_customer; ++c) {
+      const int nation = static_cast<int>(rng.Uniform(1, 25));
+      row.SetInt32(CustomerCol::kCCustkey, static_cast<int32_t>(c));
+      std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                    static_cast<long long>(c));
+      row.SetChar(CustomerCol::kCName, buf);
+      row.SetChar(CustomerCol::kCCity,
+                  CityTag(nation, static_cast<int>(rng.Uniform(0, 9))));
+      row.SetChar(CustomerCol::kCNation, NationTag(nation));
+      row.SetChar(CustomerCol::kCRegion, kRegions[(nation - 1) / 5]);
+      row.SetChar(CustomerCol::kCMktsegment, kSegments[rng.Uniform(0, 4)]);
+      customer_->AppendRow(row.data());
+    }
+  }
+
+  // ---- supplier ----
+  supplier_ = make_table("supplier", SsbSupplierSchema());
+  {
+    RowBuilder row(&supplier_->schema());
+    char buf[32];
+    for (int64_t s = 1; s <= num_supplier; ++s) {
+      const int nation = static_cast<int>(rng.Uniform(1, 25));
+      row.SetInt32(SupplierCol::kSSuppkey, static_cast<int32_t>(s));
+      std::snprintf(buf, sizeof(buf), "Supplier#%09lld",
+                    static_cast<long long>(s));
+      row.SetChar(SupplierCol::kSName, buf);
+      row.SetChar(SupplierCol::kSCity,
+                  CityTag(nation, static_cast<int>(rng.Uniform(0, 9))));
+      row.SetChar(SupplierCol::kSNation, NationTag(nation));
+      row.SetChar(SupplierCol::kSRegion, kRegions[(nation - 1) / 5]);
+      supplier_->AppendRow(row.data());
+    }
+  }
+
+  // ---- part ----
+  part_ = make_table("part", SsbPartSchema());
+  {
+    RowBuilder row(&part_->schema());
+    char buf[32];
+    constexpr const char* kColors[10] = {"red",    "green", "blue",
+                                         "yellow", "white", "black",
+                                         "pink",   "brown", "cyan",
+                                         "ivory"};
+    for (int64_t p = 1; p <= num_part; ++p) {
+      // mfgr 1..5, category 1..5 within it, brand 1..40 within that.
+      const int mfgr = static_cast<int>(rng.Uniform(1, 5));
+      const int cat = static_cast<int>(rng.Uniform(1, 5));
+      const int brand = static_cast<int>(rng.Uniform(1, 40));
+      row.SetInt32(PartCol::kPPartkey, static_cast<int32_t>(p));
+      std::snprintf(buf, sizeof(buf), "%s %s", kColors[rng.Uniform(0, 9)],
+                    kColors[rng.Uniform(0, 9)]);
+      row.SetChar(PartCol::kPName, buf);
+      std::snprintf(buf, sizeof(buf), "MFGR#%d", mfgr);
+      row.SetChar(PartCol::kPMfgr, buf);
+      std::snprintf(buf, sizeof(buf), "MFGR#%d%d", mfgr, cat);
+      row.SetChar(PartCol::kPCategory, buf);
+      std::snprintf(buf, sizeof(buf), "B#%d%d%02d", mfgr, cat, brand);
+      row.SetChar(PartCol::kPBrand1, buf);
+      row.SetChar(PartCol::kPColor, kColors[rng.Uniform(0, 9)]);
+      row.SetInt32(PartCol::kPSize, static_cast<int32_t>(rng.Uniform(1, 50)));
+      part_->AppendRow(row.data());
+    }
+  }
+
+  // ---- lineorder ----
+  lineorder_ = make_table("lineorder", SsbLineorderSchema());
+  {
+    RowBuilder row(&lineorder_->schema());
+    int64_t orderkey = 0;
+    int64_t produced = 0;
+    while (produced < num_lineorder) {
+      ++orderkey;
+      const int lines = static_cast<int>(rng.Uniform(1, 7));
+      const int32_t orderdate = datekeys[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(datekeys.size()) - 1))];
+      for (int ln = 1; ln <= lines && produced < num_lineorder; ++ln) {
+        const int32_t qty = static_cast<int32_t>(rng.Uniform(1, 50));
+        const double price =
+            static_cast<double>(rng.Uniform(90000, 200000)) / 100.0;
+        const int32_t disc = static_cast<int32_t>(rng.Uniform(0, 10));
+        row.SetInt64(LineorderCol::kLoOrderkey, orderkey);
+        row.SetInt32(LineorderCol::kLoLinenumber, ln);
+        row.SetInt32(LineorderCol::kLoCustkey,
+                     static_cast<int32_t>(rng.Uniform(1, num_customer)));
+        row.SetInt32(LineorderCol::kLoPartkey,
+                     static_cast<int32_t>(rng.Uniform(1, num_part)));
+        row.SetInt32(LineorderCol::kLoSuppkey,
+                     static_cast<int32_t>(rng.Uniform(1, num_supplier)));
+        row.SetInt32(LineorderCol::kLoOrderdate, orderdate);
+        row.SetInt32(LineorderCol::kLoQuantity, qty);
+        row.SetDouble(LineorderCol::kLoExtendedprice, price * qty);
+        row.SetInt32(LineorderCol::kLoDiscount, disc);
+        row.SetDouble(LineorderCol::kLoRevenue,
+                      price * qty * (100.0 - disc) / 100.0);
+        row.SetDouble(LineorderCol::kLoSupplycost, 0.6 * price * qty);
+        lineorder_->AppendRow(row.data());
+        ++produced;
+      }
+    }
+  }
+}
+
+}  // namespace uot

@@ -1,0 +1,55 @@
+#ifndef UOT_SSB_SSB_GENERATOR_H_
+#define UOT_SSB_SSB_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "ssb/ssb_schema.h"
+#include "storage/table.h"
+#include "util/random.h"
+
+namespace uot {
+
+/// Generation parameters for the Star Schema Benchmark substrate.
+struct SsbConfig {
+  double scale_factor = 0.01;  // SF 1 ~ 6M lineorder rows
+  Layout layout = Layout::kColumnStore;
+  size_t block_bytes = 1 << 20;
+  uint64_t seed = 7;
+};
+
+/// An in-memory SSB database: the fact table plus four dimensions.
+///
+/// Dimension values use compact tags so they fit the engine's 8-byte group
+/// keys: regions are the spec names ("AMERICA", "ASIA", ...), nations are
+/// "N01".."N25" (5 per region), cities are "N01C0".."N25C9" (10 per
+/// nation), part categories are "MFGR#CC" and brands "B#CCNN".
+class SsbDatabase {
+ public:
+  explicit SsbDatabase(StorageManager* storage) : storage_(storage) {}
+  UOT_DISALLOW_COPY_AND_ASSIGN(SsbDatabase);
+
+  void Generate(const SsbConfig& config);
+
+  const SsbConfig& config() const { return config_; }
+  StorageManager* storage() const { return storage_; }
+
+  const Table& lineorder() const { return *lineorder_; }
+  const Table& customer() const { return *customer_; }
+  const Table& supplier() const { return *supplier_; }
+  const Table& part() const { return *part_; }
+  const Table& date() const { return *date_; }
+
+ private:
+  StorageManager* const storage_;
+  SsbConfig config_;
+  std::unique_ptr<Table> lineorder_;
+  std::unique_ptr<Table> customer_;
+  std::unique_ptr<Table> supplier_;
+  std::unique_ptr<Table> part_;
+  std::unique_ptr<Table> date_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_SSB_SSB_GENERATOR_H_

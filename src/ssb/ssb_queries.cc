@@ -1,0 +1,458 @@
+#include "ssb/ssb_queries.h"
+
+#include <type_traits>
+#include <utility>
+
+namespace uot {
+namespace {
+
+using ssb::CustomerCol;
+using ssb::DateCol;
+using ssb::LineorderCol;
+using ssb::PartCol;
+using ssb::SupplierCol;
+
+template <typename T0, typename... Ts>
+auto MakeVec(T0 first, Ts... rest) {
+  using Elem =
+      std::conditional_t<std::is_same_v<std::decay_t<T0>, AggSpec>, AggSpec,
+                         std::unique_ptr<Scalar>>;
+  std::vector<Elem> v;
+  v.reserve(1 + sizeof...(rest));
+  v.push_back(std::move(first));
+  (v.push_back(std::move(rest)), ...);
+  return v;
+}
+
+std::unique_ptr<Scalar> C(const Schema& s, int col) {
+  return Col(col, s.column(col).type);
+}
+
+std::unique_ptr<Predicate> CmpCL(const Schema& s, int col, CompareOp op,
+                                 TypedValue v) {
+  return Cmp(op, C(s, col), Lit(std::move(v), s.column(col).type));
+}
+
+std::unique_ptr<Predicate> CharEq(const Schema& s, int col,
+                                  const std::string& v) {
+  return CmpCL(s, col, CompareOp::kEq, TypedValue::Char(v));
+}
+
+std::unique_ptr<Predicate> Int32Between(const Schema& s, int col, int32_t lo,
+                                        int32_t hi) {
+  std::vector<std::unique_ptr<Predicate>> parts;
+  parts.push_back(CmpCL(s, col, CompareOp::kGe, TypedValue::Int32(lo)));
+  parts.push_back(CmpCL(s, col, CompareOp::kLe, TypedValue::Int32(hi)));
+  return And(std::move(parts));
+}
+
+std::unique_ptr<Projection> Proj(std::vector<std::unique_ptr<Scalar>> exprs,
+                                 std::vector<std::string> names) {
+  return std::make_unique<Projection>(std::move(exprs), std::move(names));
+}
+
+AggSpec Agg(AggFn fn, std::unique_ptr<Scalar> expr, std::string name) {
+  return AggSpec{fn, std::move(expr), std::move(name)};
+}
+
+// ---- flight 1: date-filtered discount revenue (scalar aggregate) ----
+
+std::unique_ptr<QueryPlan> BuildFlight1(const SsbDatabase& db,
+                                        const PlanBuilderConfig& config,
+                                        std::unique_ptr<Predicate> date_pred,
+                                        int32_t disc_lo, int32_t disc_hi,
+                                        int32_t qty_lo, int32_t qty_hi) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& lo = db.lineorder().schema();
+  const Schema& d = db.date().schema();
+  (void)d;
+
+  auto sel_date = b.Select(
+      "sel(date)", PlanBuilder::Base(db.date()), std::move(date_pred),
+      Proj(MakeVec(C(db.date().schema(), DateCol::kDDatekey)),
+           {"d_datekey"}));
+  auto* ht_date = b.Build("build(date)", sel_date, {0}, {});
+
+  std::vector<std::unique_ptr<Predicate>> parts;
+  parts.push_back(
+      Int32Between(lo, LineorderCol::kLoDiscount, disc_lo, disc_hi));
+  parts.push_back(
+      Int32Between(lo, LineorderCol::kLoQuantity, qty_lo, qty_hi));
+  auto sel_lo = b.Select(
+      "sel(lineorder)", PlanBuilder::Base(db.lineorder()),
+      And(std::move(parts)),
+      Proj(MakeVec(C(lo, LineorderCol::kLoOrderdate),
+                   Mul(C(lo, LineorderCol::kLoExtendedprice),
+                       C(lo, LineorderCol::kLoDiscount))),
+           {"lo_orderdate", "value"}),
+      {{ht_date, LineorderCol::kLoOrderdate}});
+  auto matched = b.Probe("probe(date) semi", sel_lo, ht_date, {0}, {1},
+                         JoinKind::kLeftSemi);
+  auto agg = b.Aggregate(
+      "agg", matched, {},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "revenue")));
+  return b.Finish(agg);
+}
+
+// ---- flight 2: (year, brand) revenue over part/supplier filters ----
+
+std::unique_ptr<QueryPlan> BuildFlight2(const SsbDatabase& db,
+                                        const PlanBuilderConfig& config,
+                                        std::unique_ptr<Predicate> part_pred,
+                                        const std::string& s_region) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& lo = db.lineorder().schema();
+  const Schema& p = db.part().schema();
+  const Schema& s = db.supplier().schema();
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      CharEq(s, SupplierCol::kSRegion, s_region),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey)), {"s_suppkey"}));
+  auto* ht_sup = b.Build("build(supplier)", sel_sup, {0}, {});
+
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()), std::move(part_pred),
+      Proj(MakeVec(C(p, PartCol::kPPartkey), C(p, PartCol::kPBrand1)),
+           {"p_partkey", "p_brand1"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {1});
+
+  auto* ht_date = b.Build("build(date)", PlanBuilder::Base(db.date()),
+                          {DateCol::kDDatekey}, {DateCol::kDYear});
+
+  auto sel_lo = b.Select(
+      "sel(lineorder)", PlanBuilder::Base(db.lineorder()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(lo, LineorderCol::kLoOrderdate),
+                   C(lo, LineorderCol::kLoPartkey),
+                   C(lo, LineorderCol::kLoSuppkey),
+                   C(lo, LineorderCol::kLoRevenue)),
+           {"lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"}),
+      {{ht_part, LineorderCol::kLoPartkey},
+       {ht_sup, LineorderCol::kLoSuppkey}});
+  // -> [orderdate, partkey, revenue]
+  auto p1 = b.Probe("probe(supplier) semi", sel_lo, ht_sup, {2}, {0, 1, 3},
+                    JoinKind::kLeftSemi);
+  // -> [orderdate, revenue, p_brand1]
+  auto p2 = b.Probe("probe(part)", p1, ht_part, {1}, {0, 2});
+  // -> [revenue, p_brand1, d_year]
+  auto p3 = b.Probe("probe(date)", p2, ht_date, {0}, {1, 2});
+  auto agg = b.Aggregate(
+      "agg", p3, {2, 1},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "lo_revenue")));
+  auto sorted = b.Sort("sort", agg, {{0, true}, {1, true}});
+  return b.Finish(sorted);
+}
+
+// ---- flight 3: revenue by (cust attr, supp attr, year) ----
+
+std::unique_ptr<QueryPlan> BuildFlight3(
+    const SsbDatabase& db, const PlanBuilderConfig& config,
+    std::unique_ptr<Predicate> cust_pred, int cust_attr_col,
+    std::unique_ptr<Predicate> supp_pred, int supp_attr_col,
+    std::unique_ptr<Predicate> date_pred) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& lo = db.lineorder().schema();
+  const Schema& c = db.customer().schema();
+  const Schema& s = db.supplier().schema();
+  const Schema& d = db.date().schema();
+
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      std::move(cust_pred),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey), C(c, cust_attr_col)),
+           {"c_custkey", "c_attr"}));
+  auto* ht_cust = b.Build("build(customer)", sel_cust, {0}, {1});
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      std::move(supp_pred),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey), C(s, supp_attr_col)),
+           {"s_suppkey", "s_attr"}));
+  auto* ht_sup = b.Build("build(supplier)", sel_sup, {0}, {1});
+
+  auto sel_date = b.Select(
+      "sel(date)", PlanBuilder::Base(db.date()), std::move(date_pred),
+      Proj(MakeVec(C(d, DateCol::kDDatekey), C(d, DateCol::kDYear)),
+           {"d_datekey", "d_year"}));
+  auto* ht_date = b.Build("build(date)", sel_date, {0}, {1});
+
+  auto sel_lo = b.Select(
+      "sel(lineorder)", PlanBuilder::Base(db.lineorder()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(lo, LineorderCol::kLoOrderdate),
+                   C(lo, LineorderCol::kLoCustkey),
+                   C(lo, LineorderCol::kLoSuppkey),
+                   C(lo, LineorderCol::kLoRevenue)),
+           {"lo_orderdate", "lo_custkey", "lo_suppkey", "lo_revenue"}),
+      {{ht_cust, LineorderCol::kLoCustkey},
+       {ht_sup, LineorderCol::kLoSuppkey},
+       {ht_date, LineorderCol::kLoOrderdate}});
+  // -> [orderdate, suppkey, revenue, c_attr]
+  auto p1 = b.Probe("probe(customer)", sel_lo, ht_cust, {1}, {0, 2, 3});
+  // -> [orderdate, revenue, c_attr, s_attr]
+  auto p2 = b.Probe("probe(supplier)", p1, ht_sup, {1}, {0, 2, 3});
+  // -> [revenue, c_attr, s_attr, d_year]
+  auto p3 = b.Probe("probe(date)", p2, ht_date, {0}, {1, 2, 3});
+  auto agg = b.Aggregate(
+      "agg", p3, {1, 2, 3},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "lo_revenue")));
+  auto sorted = b.Sort("sort", agg, {{2, true}, {3, false}});
+  return b.Finish(sorted);
+}
+
+// ---- flight 4: profit by (year, attr [, attr]) ----
+
+std::unique_ptr<QueryPlan> BuildQ41(const SsbDatabase& db,
+                                    const PlanBuilderConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& lo = db.lineorder().schema();
+  const Schema& c = db.customer().schema();
+  const Schema& s = db.supplier().schema();
+  const Schema& p = db.part().schema();
+
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      CharEq(c, CustomerCol::kCRegion, "AMERICA"),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey),
+                   C(c, CustomerCol::kCNation)),
+           {"c_custkey", "c_nation"}));
+  auto* ht_cust = b.Build("build(customer)", sel_cust, {0}, {1});
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      CharEq(s, SupplierCol::kSRegion, "AMERICA"),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey)), {"s_suppkey"}));
+  auto* ht_sup = b.Build("build(supplier)", sel_sup, {0}, {});
+
+  std::vector<TypedValue> mfgrs;
+  mfgrs.push_back(TypedValue::Char("MFGR#1"));
+  mfgrs.push_back(TypedValue::Char("MFGR#2"));
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()),
+      std::make_unique<InList>(C(p, PartCol::kPMfgr), std::move(mfgrs)),
+      Proj(MakeVec(C(p, PartCol::kPPartkey)), {"p_partkey"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {});
+
+  auto* ht_date = b.Build("build(date)", PlanBuilder::Base(db.date()),
+                          {DateCol::kDDatekey}, {DateCol::kDYear});
+
+  auto sel_lo = b.Select(
+      "sel(lineorder)", PlanBuilder::Base(db.lineorder()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(lo, LineorderCol::kLoOrderdate),
+                   C(lo, LineorderCol::kLoCustkey),
+                   C(lo, LineorderCol::kLoPartkey),
+                   C(lo, LineorderCol::kLoSuppkey),
+                   Sub(C(lo, LineorderCol::kLoRevenue),
+                       C(lo, LineorderCol::kLoSupplycost))),
+           {"lo_orderdate", "lo_custkey", "lo_partkey", "lo_suppkey",
+            "profit"}),
+      {{ht_cust, LineorderCol::kLoCustkey},
+       {ht_sup, LineorderCol::kLoSuppkey},
+       {ht_part, LineorderCol::kLoPartkey}});
+  // -> [orderdate, custkey, partkey, profit]
+  auto p1 = b.Probe("probe(supplier) semi", sel_lo, ht_sup, {3},
+                    {0, 1, 2, 4}, JoinKind::kLeftSemi);
+  // -> [orderdate, custkey, profit]
+  auto p2 = b.Probe("probe(part) semi", p1, ht_part, {2}, {0, 1, 3},
+                    JoinKind::kLeftSemi);
+  // -> [orderdate, profit, c_nation]
+  auto p3 = b.Probe("probe(customer)", p2, ht_cust, {1}, {0, 2});
+  // -> [profit, c_nation, d_year]
+  auto p4 = b.Probe("probe(date)", p3, ht_date, {0}, {1, 2});
+  auto agg = b.Aggregate(
+      "agg", p4, {2, 1},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "profit")));
+  auto sorted = b.Sort("sort", agg, {{0, true}, {1, true}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ42Q43(const SsbDatabase& db,
+                                       const PlanBuilderConfig& config,
+                                       bool q43) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& lo = db.lineorder().schema();
+  const Schema& c = db.customer().schema();
+  const Schema& s = db.supplier().schema();
+  const Schema& p = db.part().schema();
+  const Schema& d = db.date().schema();
+
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      CharEq(c, CustomerCol::kCRegion, "AMERICA"),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey)), {"c_custkey"}));
+  auto* ht_cust = b.Build("build(customer)", sel_cust, {0}, {});
+
+  // Q42 keeps AMERICA suppliers and groups by nation; Q43 pins one nation
+  // and groups by city.
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      q43 ? CharEq(s, SupplierCol::kSNation, "N07")
+          : CharEq(s, SupplierCol::kSRegion, "AMERICA"),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey),
+                   C(s, q43 ? SupplierCol::kSCity : SupplierCol::kSNation)),
+           {"s_suppkey", "s_attr"}));
+  auto* ht_sup = b.Build("build(supplier)", sel_sup, {0}, {1});
+
+  // Q42 keeps MFGR#1/2 parts and groups by category; Q43 groups by brand.
+  std::unique_ptr<Predicate> part_pred;
+  if (q43) {
+    part_pred = CharEq(p, PartCol::kPCategory, "MFGR#14");
+  } else {
+    std::vector<TypedValue> mfgrs;
+    mfgrs.push_back(TypedValue::Char("MFGR#1"));
+    mfgrs.push_back(TypedValue::Char("MFGR#2"));
+    part_pred =
+        std::make_unique<InList>(C(p, PartCol::kPMfgr), std::move(mfgrs));
+  }
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()), std::move(part_pred),
+      Proj(MakeVec(C(p, PartCol::kPPartkey),
+                   C(p, q43 ? PartCol::kPBrand1 : PartCol::kPCategory)),
+           {"p_partkey", "p_attr"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {1});
+
+  std::vector<TypedValue> years;
+  years.push_back(TypedValue::Int32(1997));
+  years.push_back(TypedValue::Int32(1998));
+  auto sel_date = b.Select(
+      "sel(date)", PlanBuilder::Base(db.date()),
+      std::make_unique<InList>(C(d, DateCol::kDYear), std::move(years)),
+      Proj(MakeVec(C(d, DateCol::kDDatekey), C(d, DateCol::kDYear)),
+           {"d_datekey", "d_year"}));
+  auto* ht_date = b.Build("build(date)", sel_date, {0}, {1});
+
+  auto sel_lo = b.Select(
+      "sel(lineorder)", PlanBuilder::Base(db.lineorder()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(lo, LineorderCol::kLoOrderdate),
+                   C(lo, LineorderCol::kLoCustkey),
+                   C(lo, LineorderCol::kLoPartkey),
+                   C(lo, LineorderCol::kLoSuppkey),
+                   Sub(C(lo, LineorderCol::kLoRevenue),
+                       C(lo, LineorderCol::kLoSupplycost))),
+           {"lo_orderdate", "lo_custkey", "lo_partkey", "lo_suppkey",
+            "profit"}),
+      {{ht_cust, LineorderCol::kLoCustkey},
+       {ht_sup, LineorderCol::kLoSuppkey},
+       {ht_part, LineorderCol::kLoPartkey},
+       {ht_date, LineorderCol::kLoOrderdate}});
+  // -> [orderdate, partkey, suppkey, profit]
+  auto p1 = b.Probe("probe(customer) semi", sel_lo, ht_cust, {1},
+                    {0, 2, 3, 4}, JoinKind::kLeftSemi);
+  // -> [orderdate, partkey, profit, s_attr]
+  auto p2 = b.Probe("probe(supplier)", p1, ht_sup, {2}, {0, 1, 3});
+  // -> [orderdate, profit, s_attr, p_attr]
+  auto p3 = b.Probe("probe(part)", p2, ht_part, {1}, {0, 2, 3});
+  // -> [profit, s_attr, p_attr, d_year]
+  auto p4 = b.Probe("probe(date)", p3, ht_date, {0}, {1, 2, 3});
+  auto agg = b.Aggregate(
+      "agg", p4, {3, 1, 2},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "profit")));
+  auto sorted = b.Sort("sort", agg, {{0, true}, {1, true}, {2, true}});
+  return b.Finish(sorted);
+}
+
+}  // namespace
+
+const std::vector<int>& SupportedSsbQueries() {
+  static const std::vector<int>* kQueries = new std::vector<int>{
+      11, 12, 13, 21, 22, 23, 31, 32, 33, 34, 41, 42, 43};
+  return *kQueries;
+}
+
+std::unique_ptr<QueryPlan> BuildSsbPlan(int query_id, const SsbDatabase& db,
+                                        const PlanBuilderConfig& config) {
+  const Schema& d = db.date().schema();
+  const Schema& c = db.customer().schema();
+  const Schema& s = db.supplier().schema();
+  const Schema& p = db.part().schema();
+  switch (query_id) {
+    case 11:
+      return BuildFlight1(db, config,
+                          CmpCL(d, DateCol::kDYear, CompareOp::kEq,
+                                TypedValue::Int32(1993)),
+                          1, 3, 1, 24);
+    case 12:
+      return BuildFlight1(db, config,
+                          CmpCL(d, DateCol::kDYearmonthnum, CompareOp::kEq,
+                                TypedValue::Int32(199401)),
+                          4, 6, 26, 35);
+    case 13: {
+      std::vector<std::unique_ptr<Predicate>> parts;
+      parts.push_back(CmpCL(d, DateCol::kDWeeknuminyear, CompareOp::kEq,
+                            TypedValue::Int32(6)));
+      parts.push_back(CmpCL(d, DateCol::kDYear, CompareOp::kEq,
+                            TypedValue::Int32(1994)));
+      return BuildFlight1(db, config, And(std::move(parts)), 5, 7, 26, 35);
+    }
+    case 21:
+      return BuildFlight2(db, config,
+                          CharEq(p, PartCol::kPCategory, "MFGR#12"),
+                          "AMERICA");
+    case 22: {
+      std::vector<std::unique_ptr<Predicate>> parts;
+      parts.push_back(CmpCL(p, PartCol::kPBrand1, CompareOp::kGe,
+                            TypedValue::Char("B#2221")));
+      parts.push_back(CmpCL(p, PartCol::kPBrand1, CompareOp::kLe,
+                            TypedValue::Char("B#2228")));
+      return BuildFlight2(db, config, And(std::move(parts)), "ASIA");
+    }
+    case 23:
+      return BuildFlight2(db, config,
+                          CharEq(p, PartCol::kPBrand1, "B#2239"), "EUROPE");
+    case 31:
+      return BuildFlight3(
+          db, config, CharEq(c, CustomerCol::kCRegion, "ASIA"),
+          CustomerCol::kCNation, CharEq(s, SupplierCol::kSRegion, "ASIA"),
+          SupplierCol::kSNation,
+          Int32Between(d, DateCol::kDYear, 1992, 1997));
+    case 32:
+      return BuildFlight3(
+          db, config, CharEq(c, CustomerCol::kCNation, "N13"),
+          CustomerCol::kCCity, CharEq(s, SupplierCol::kSNation, "N13"),
+          SupplierCol::kSCity,
+          Int32Between(d, DateCol::kDYear, 1992, 1997));
+    case 33: {
+      auto city_in = [](const Schema& schema, int col) {
+        std::vector<TypedValue> cities;
+        cities.push_back(TypedValue::Char("N13C1"));
+        cities.push_back(TypedValue::Char("N13C5"));
+        return std::make_unique<InList>(
+            Col(col, schema.column(col).type), std::move(cities));
+      };
+      return BuildFlight3(db, config, city_in(c, CustomerCol::kCCity),
+                          CustomerCol::kCCity,
+                          city_in(s, SupplierCol::kSCity),
+                          SupplierCol::kSCity,
+                          Int32Between(d, DateCol::kDYear, 1992, 1997));
+    }
+    case 34: {
+      auto city_in = [](const Schema& schema, int col) {
+        std::vector<TypedValue> cities;
+        cities.push_back(TypedValue::Char("N13C1"));
+        cities.push_back(TypedValue::Char("N13C5"));
+        return std::make_unique<InList>(
+            Col(col, schema.column(col).type), std::move(cities));
+      };
+      return BuildFlight3(db, config, city_in(c, CustomerCol::kCCity),
+                          CustomerCol::kCCity,
+                          city_in(s, SupplierCol::kSCity),
+                          SupplierCol::kSCity,
+                          CmpCL(d, DateCol::kDYearmonthnum, CompareOp::kEq,
+                                TypedValue::Int32(199712)));
+    }
+    case 41:
+      return BuildQ41(db, config);
+    case 42:
+      return BuildQ42Q43(db, config, /*q43=*/false);
+    case 43:
+      return BuildQ42Q43(db, config, /*q43=*/true);
+    default:
+      UOT_CHECK(false);
+      return nullptr;
+  }
+}
+
+}  // namespace uot

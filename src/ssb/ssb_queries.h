@@ -1,0 +1,24 @@
+#ifndef UOT_SSB_SSB_QUERIES_H_
+#define UOT_SSB_SSB_QUERIES_H_
+
+#include <memory>
+#include <vector>
+
+#include "plan/plan_builder.h"
+#include "ssb/ssb_generator.h"
+
+namespace uot {
+
+/// The 13 SSB queries, identified as flight*10 + index: 11, 12, 13, 21,
+/// 22, 23, 31, 32, 33, 34, 41, 42, 43.
+const std::vector<int>& SupportedSsbQueries();
+
+/// Builds the star-join plan for SSB query `query_id` (dimension hash
+/// tables probed by a single fact-table scan — the small-hash-table
+/// workload of the paper's Section VI-B).
+std::unique_ptr<QueryPlan> BuildSsbPlan(int query_id, const SsbDatabase& db,
+                                        const PlanBuilderConfig& config);
+
+}  // namespace uot
+
+#endif  // UOT_SSB_SSB_QUERIES_H_

@@ -1,0 +1,64 @@
+#include "ssb/ssb_schema.h"
+
+namespace uot {
+
+Schema SsbLineorderSchema() {
+  return Schema({
+      {"lo_orderkey", Type::Int64()},
+      {"lo_linenumber", Type::Int32()},
+      {"lo_custkey", Type::Int32()},
+      {"lo_partkey", Type::Int32()},
+      {"lo_suppkey", Type::Int32()},
+      {"lo_orderdate", Type::Int32()},
+      {"lo_quantity", Type::Int32()},
+      {"lo_extendedprice", Type::Double()},
+      {"lo_discount", Type::Int32()},
+      {"lo_revenue", Type::Double()},
+      {"lo_supplycost", Type::Double()},
+  });
+}
+
+Schema SsbCustomerSchema() {
+  return Schema({
+      {"c_custkey", Type::Int32()},
+      {"c_name", Type::Char(25)},
+      {"c_city", Type::Char(8)},
+      {"c_nation", Type::Char(8)},
+      {"c_region", Type::Char(12)},
+      {"c_mktsegment", Type::Char(10)},
+  });
+}
+
+Schema SsbSupplierSchema() {
+  return Schema({
+      {"s_suppkey", Type::Int32()},
+      {"s_name", Type::Char(25)},
+      {"s_city", Type::Char(8)},
+      {"s_nation", Type::Char(8)},
+      {"s_region", Type::Char(12)},
+  });
+}
+
+Schema SsbPartSchema() {
+  return Schema({
+      {"p_partkey", Type::Int32()},
+      {"p_name", Type::Char(22)},
+      {"p_mfgr", Type::Char(6)},
+      {"p_category", Type::Char(7)},
+      {"p_brand1", Type::Char(8)},  // "MFGR#2239" truncates to 8: use tags
+      {"p_color", Type::Char(11)},
+      {"p_size", Type::Int32()},
+  });
+}
+
+Schema SsbDateSchema() {
+  return Schema({
+      {"d_datekey", Type::Int32()},
+      {"d_year", Type::Int32()},
+      {"d_yearmonthnum", Type::Int32()},
+      {"d_month", Type::Int32()},
+      {"d_weeknuminyear", Type::Int32()},
+  });
+}
+
+}  // namespace uot

@@ -1,0 +1,77 @@
+#ifndef UOT_SSB_SSB_SCHEMA_H_
+#define UOT_SSB_SSB_SCHEMA_H_
+
+#include "types/schema.h"
+
+namespace uot {
+
+/// Star Schema Benchmark table schemas (O'Neil et al., the paper's [35]).
+///
+/// The paper invokes SSB in Section VI-B: its dimension hash tables are
+/// small, so the low-UoT strategy usually has the lower memory footprint —
+/// the opposite of TPC-H Q07. This module exists to validate that claim.
+///
+/// Fixed-width adaptation as for TPC-H (DESIGN.md substitution 5). City
+/// names are CHAR(8) (e.g. "UNITEDK3") so they can serve as group keys.
+Schema SsbLineorderSchema();
+Schema SsbCustomerSchema();
+Schema SsbSupplierSchema();
+Schema SsbPartSchema();
+Schema SsbDateSchema();
+
+namespace ssb {
+
+enum LineorderCol : int {
+  kLoOrderkey = 0,
+  kLoLinenumber,
+  kLoCustkey,
+  kLoPartkey,
+  kLoSuppkey,
+  kLoOrderdate,  // foreign key into date (d_datekey, yyyymmdd int32)
+  kLoQuantity,
+  kLoExtendedprice,
+  kLoDiscount,   // percent, 0..10 (int32, per the SSB spec)
+  kLoRevenue,
+  kLoSupplycost,
+};
+
+enum CustomerCol : int {
+  kCCustkey = 0,
+  kCName,
+  kCCity,
+  kCNation,
+  kCRegion,
+  kCMktsegment,
+};
+
+enum SupplierCol : int {
+  kSSuppkey = 0,
+  kSName,
+  kSCity,
+  kSNation,
+  kSRegion,
+};
+
+enum PartCol : int {
+  kPPartkey = 0,
+  kPName,
+  kPMfgr,
+  kPCategory,
+  kPBrand1,
+  kPColor,
+  kPSize,
+};
+
+enum DateCol : int {
+  kDDatekey = 0,  // yyyymmdd int32
+  kDYear,
+  kDYearmonthnum,  // yyyymm
+  kDMonth,
+  kDWeeknuminyear,
+};
+
+}  // namespace ssb
+
+}  // namespace uot
+
+#endif  // UOT_SSB_SSB_SCHEMA_H_

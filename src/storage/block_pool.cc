@@ -1,0 +1,46 @@
+#include "storage/block_pool.h"
+
+namespace uot {
+
+BlockPool::BlockPool(StorageManager* storage, const Schema* schema,
+                     Layout layout, size_t block_bytes,
+                     MemoryCategory category)
+    : storage_(storage),
+      schema_(schema),
+      layout_(layout),
+      block_bytes_(block_bytes),
+      category_(category) {
+  UOT_CHECK(storage_ != nullptr && schema_ != nullptr);
+}
+
+Block* BlockPool::Checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!pool_.empty()) {
+      Block* block = pool_.back();
+      pool_.pop_back();
+      return block;
+    }
+  }
+  return storage_->CreateBlock(schema_, layout_, block_bytes_, category_);
+}
+
+void BlockPool::Return(Block* block) {
+  UOT_DCHECK(!block->Full());
+  std::lock_guard<std::mutex> lock(mutex_);
+  pool_.push_back(block);
+}
+
+std::vector<Block*> BlockPool::DrainAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Block*> drained;
+  drained.swap(pool_);
+  return drained;
+}
+
+size_t BlockPool::PooledCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.size();
+}
+
+}  // namespace uot

@@ -1,0 +1,35 @@
+#include "storage/storage_manager.h"
+
+#include <algorithm>
+
+namespace uot {
+
+Block* StorageManager::CreateBlock(const Schema* schema, Layout layout,
+                                   size_t capacity_bytes,
+                                   MemoryCategory category) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto block =
+      std::make_unique<Block>(next_id_++, schema, layout, capacity_bytes);
+  Block* raw = block.get();
+  tracker_.Allocate(category, raw->allocated_bytes());
+  entries_.push_back(Entry{std::move(block), category});
+  return raw;
+}
+
+void StorageManager::DropBlock(Block* block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [block](const Entry& e) {
+                           return e.block.get() == block;
+                         });
+  UOT_CHECK(it != entries_.end());
+  tracker_.Release(it->category, block->allocated_bytes());
+  entries_.erase(it);
+}
+
+size_t StorageManager::num_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace uot

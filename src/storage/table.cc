@@ -1,0 +1,92 @@
+#include "storage/table.h"
+
+#include <cstring>
+
+namespace uot {
+
+Table::Table(std::string name, Schema schema, Layout layout,
+             size_t block_bytes, StorageManager* storage,
+             MemoryCategory category)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      layout_(layout),
+      block_bytes_(block_bytes),
+      storage_(storage),
+      category_(category) {
+  UOT_CHECK(storage_ != nullptr);
+  UOT_CHECK(block_bytes_ >= schema_.row_width());
+}
+
+Table::~Table() { DropBlocks(); }
+
+void Table::AppendRow(const std::byte* packed_row) {
+  if (blocks_.empty() || !blocks_.back()->AppendRow(packed_row)) {
+    Block* block =
+        storage_->CreateBlock(&schema_, layout_, block_bytes_, category_);
+    blocks_.push_back(block);
+    UOT_CHECK(block->AppendRow(packed_row));
+  }
+}
+
+void Table::AppendValues(const std::vector<TypedValue>& values) {
+  UOT_CHECK(static_cast<int>(values.size()) == schema_.num_columns());
+  std::vector<std::byte> row(schema_.row_width());
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    values[static_cast<size_t>(c)].CopyTo(schema_.column(c).type,
+                                          row.data() + schema_.offset(c));
+  }
+  AppendRow(row.data());
+}
+
+void Table::AddBlock(Block* block) {
+  UOT_DCHECK(block->schema() == schema_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  blocks_.push_back(block);
+}
+
+bool Table::ReleaseBlock(Block* block) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    if (*it == block) {
+      blocks_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Table::NumRows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t rows = 0;
+  for (const Block* b : blocks_) rows += b->num_rows();
+  return rows;
+}
+
+uint64_t Table::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t bytes = 0;
+  for (const Block* b : blocks_) bytes += b->allocated_bytes();
+  return bytes;
+}
+
+TypedValue Table::GetValue(uint64_t row, int col) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Block* b : blocks_) {
+    if (row < b->num_rows()) {
+      const ColumnAccess access = b->Column(col);
+      return TypedValue::Load(schema_.column(col).type,
+                              access.at(static_cast<uint32_t>(row)));
+    }
+    row -= b->num_rows();
+  }
+  UOT_CHECK(false);
+  return TypedValue();
+}
+
+void Table::DropBlocks() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Block* b : blocks_) storage_->DropBlock(b);
+  blocks_.clear();
+}
+
+}  // namespace uot

@@ -1,0 +1,68 @@
+#include "tpch/tpch_analysis.h"
+
+#include <cstdio>
+
+#include "model/memory_model.h"
+
+namespace uot {
+
+ReductionRow AnalyzeReduction(const TpchDatabase& db, int query,
+                              const std::string& table_name) {
+  const Table* table = db.table(table_name);
+  UOT_CHECK(table != nullptr);
+  SelectionSpec spec = TpchSelectionSpec(query, table_name);
+
+  ReductionRow row;
+  row.query = query;
+  for (const Block* block : table->blocks()) {
+    row.input_rows += block->num_rows();
+    row.selected_rows += spec.predicate->FilterAll(*block).size();
+  }
+  row.selectivity = MemoryModel::Selectivity(row.selected_rows,
+                                             row.input_rows);
+  row.projectivity = MemoryModel::Projectivity(
+      spec.projected_bytes, table->schema().row_width());
+  row.total = MemoryModel::TotalReduction(row.selectivity, row.projectivity);
+  return row;
+}
+
+std::vector<ReductionRow> AnalyzeLineitemReductions(const TpchDatabase& db) {
+  std::vector<ReductionRow> rows;
+  for (int q : TpchLineitemReductionQueries()) {
+    rows.push_back(AnalyzeReduction(db, q, "lineitem"));
+  }
+  return rows;
+}
+
+std::vector<ReductionRow> AnalyzeOrdersReductions(const TpchDatabase& db) {
+  std::vector<ReductionRow> rows;
+  for (int q : TpchOrdersReductionQueries()) {
+    rows.push_back(AnalyzeReduction(db, q, "orders"));
+  }
+  return rows;
+}
+
+std::string RenderReductionTable(const std::vector<ReductionRow>& rows,
+                                 const std::string& table_name) {
+  std::string out = "Query | Selectivity (%) | Projectivity (%) | Total (%)"
+                    "   [input table " + table_name + "]\n";
+  char line[160];
+  double sel_sum = 0, proj_sum = 0, total_sum = 0;
+  for (const ReductionRow& r : rows) {
+    std::snprintf(line, sizeof(line), "%02d    | %15.1f | %16.1f | %9.2f\n",
+                  r.query, 100.0 * r.selectivity, 100.0 * r.projectivity,
+                  100.0 * r.total);
+    out += line;
+    sel_sum += r.selectivity;
+    proj_sum += r.projectivity;
+    total_sum += r.total;
+  }
+  const double n = static_cast<double>(rows.size());
+  std::snprintf(line, sizeof(line), "Avg   | %15.1f | %16.1f | %9.2f\n",
+                100.0 * sel_sum / n, 100.0 * proj_sum / n,
+                100.0 * total_sum / n);
+  out += line;
+  return out;
+}
+
+}  // namespace uot

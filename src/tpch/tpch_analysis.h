@@ -1,0 +1,41 @@
+#ifndef UOT_TPCH_TPCH_ANALYSIS_H_
+#define UOT_TPCH_TPCH_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+
+namespace uot {
+
+/// One row of the paper's Tables III/IV: how much a query's selection on a
+/// big base table reduces the materialized intermediate, split into
+/// selectivity and projectivity (Section VI-A/VI-C).
+struct ReductionRow {
+  int query = 0;
+  uint64_t input_rows = 0;
+  uint64_t selected_rows = 0;
+  double selectivity = 0.0;   // fraction
+  double projectivity = 0.0;  // fraction
+  double total = 0.0;         // selectivity * projectivity
+};
+
+/// Evaluates the selection of `query` on `table_name` over the generated
+/// data and returns the reduction metrics.
+ReductionRow AnalyzeReduction(const TpchDatabase& db, int query,
+                              const std::string& table_name);
+
+/// Table III: queries with a selection+probe pipeline on lineitem.
+std::vector<ReductionRow> AnalyzeLineitemReductions(const TpchDatabase& db);
+
+/// Table IV: queries with a selection+probe pipeline on orders.
+std::vector<ReductionRow> AnalyzeOrdersReductions(const TpchDatabase& db);
+
+/// Renders rows in the paper's table format.
+std::string RenderReductionTable(const std::vector<ReductionRow>& rows,
+                                 const std::string& table_name);
+
+}  // namespace uot
+
+#endif  // UOT_TPCH_TPCH_ANALYSIS_H_

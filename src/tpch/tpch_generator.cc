@@ -1,0 +1,362 @@
+#include "tpch/tpch_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "types/date.h"
+#include "types/row_builder.h"
+
+namespace uot {
+namespace {
+
+using tpch::CustomerCol;
+using tpch::LineitemCol;
+using tpch::NationCol;
+using tpch::OrdersCol;
+using tpch::PartCol;
+using tpch::PartsuppCol;
+using tpch::RegionCol;
+using tpch::SupplierCol;
+
+struct NationDef {
+  const char* name;
+  int region;
+};
+
+// The 25 spec nations with their region keys (region order below).
+constexpr NationDef kNations[25] = {
+    {"ALGERIA", 0},      {"ARGENTINA", 1}, {"BRAZIL", 1},
+    {"CANADA", 1},       {"EGYPT", 4},     {"ETHIOPIA", 0},
+    {"FRANCE", 3},       {"GERMANY", 3},   {"INDIA", 2},
+    {"INDONESIA", 2},    {"IRAN", 4},      {"IRAQ", 4},
+    {"JAPAN", 2},        {"JORDAN", 4},    {"KENYA", 0},
+    {"MOROCCO", 0},      {"MOZAMBIQUE", 0}, {"PERU", 1},
+    {"CHINA", 2},        {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+    {"VIETNAM", 2},      {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+    {"UNITED STATES", 1},
+};
+
+constexpr const char* kRegions[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+
+constexpr const char* kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "MACHINERY", "HOUSEHOLD"};
+
+constexpr const char* kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECI", "5-LOW"};
+
+constexpr const char* kInstructs[4] = {"DELIVER IN PERSON", "COLLECT COD",
+                                       "NONE", "TAKE BACK RETURN"};
+
+constexpr const char* kModes[7] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                                   "TRUCK",   "MAIL", "FOB"};
+
+constexpr const char* kTypeSyl1[6] = {"STANDARD", "SMALL",   "MEDIUM",
+                                      "LARGE",    "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyl2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                      "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyl3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                      "COPPER"};
+
+constexpr const char* kContainerSyl1[5] = {"SM", "LG", "MED", "JUMBO",
+                                           "WRAP"};
+constexpr const char* kContainerSyl2[8] = {"CASE", "BOX", "BAG", "JAR",
+                                           "PKG",  "PACK", "CAN", "DRUM"};
+
+constexpr const char* kWords[16] = {
+    "carefully", "quickly",  "furiously", "slyly",   "blithely", "ideas",
+    "deposits",  "packages", "accounts",  "theodolites", "pinto",
+    "foxes",     "pending",  "ironic",    "express", "regular"};
+
+// Part-name vocabulary (spec 4.2.3: P_NAME is made of color words); the
+// Q9 '%green%' and Q20 'forest%' predicates select against these.
+constexpr const char* kColors[20] = {
+    "almond",  "antique", "aquamarine", "azure",   "beige",
+    "bisque",  "black",   "blanched",   "blue",    "blush",
+    "brown",   "burlywood", "chartreuse", "chocolate", "coral",
+    "cornsilk", "cream",  "forest",     "green",   "honeydew"};
+
+const int32_t kStartDate = MakeDate(1992, 1, 1);
+const int32_t kEndDate = MakeDate(1998, 8, 2);
+
+std::string RandomComment(Random* rng, int max_words) {
+  std::string out;
+  const int words = static_cast<int>(rng->Uniform(2, max_words));
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += kWords[rng->Uniform(0, 15)];
+  }
+  return out;
+}
+
+double PartRetailPrice(int32_t partkey) {
+  return 900.0 + static_cast<double>(partkey % 1000) / 10.0 +
+         static_cast<double>(partkey % 10);
+}
+
+}  // namespace
+
+int32_t TpchDatabase::CurrentDate() { return MakeDate(1995, 6, 17); }
+
+const Table* TpchDatabase::table(const std::string& name) const {
+  if (name == "lineitem") return lineitem_.get();
+  if (name == "orders") return orders_.get();
+  if (name == "customer") return customer_.get();
+  if (name == "part") return part_.get();
+  if (name == "supplier") return supplier_.get();
+  if (name == "partsupp") return partsupp_.get();
+  if (name == "nation") return nation_.get();
+  if (name == "region") return region_.get();
+  return nullptr;
+}
+
+void TpchDatabase::Generate(const TpchConfig& config) {
+  config_ = config;
+  const double sf = config.scale_factor;
+  UOT_CHECK(sf > 0);
+  Random rng(config.seed);
+
+  const int64_t num_supplier =
+      std::max<int64_t>(10, static_cast<int64_t>(10000 * sf));
+  const int64_t num_customer =
+      std::max<int64_t>(150, static_cast<int64_t>(150000 * sf));
+  const int64_t num_part =
+      std::max<int64_t>(200, static_cast<int64_t>(200000 * sf));
+  const int64_t num_orders =
+      std::max<int64_t>(1500, static_cast<int64_t>(1500000 * sf));
+
+  auto make_table = [&](const char* name, Schema schema) {
+    return std::make_unique<Table>(name, std::move(schema), config.layout,
+                                   config.block_bytes, storage_,
+                                   MemoryCategory::kBaseTable);
+  };
+
+  // ---- region ----
+  region_ = make_table("region", RegionSchema());
+  {
+    RowBuilder row(&region_->schema());
+    for (int r = 0; r < 5; ++r) {
+      row.SetInt32(RegionCol::kRRegionkey, r);
+      row.SetChar(RegionCol::kRName, kRegions[r]);
+      row.SetChar(RegionCol::kRComment, RandomComment(&rng, 8));
+      region_->AppendRow(row.data());
+    }
+  }
+
+  // ---- nation ----
+  nation_ = make_table("nation", NationSchema());
+  {
+    RowBuilder row(&nation_->schema());
+    for (int n = 0; n < 25; ++n) {
+      row.SetInt32(NationCol::kNNationkey, n);
+      row.SetChar(NationCol::kNName, kNations[n].name);
+      row.SetInt32(NationCol::kNRegionkey, kNations[n].region);
+      row.SetChar(NationCol::kNComment, RandomComment(&rng, 8));
+      nation_->AppendRow(row.data());
+    }
+  }
+
+  // ---- supplier ----
+  supplier_ = make_table("supplier", SupplierSchema());
+  {
+    RowBuilder row(&supplier_->schema());
+    char buf[32];
+    for (int64_t s = 1; s <= num_supplier; ++s) {
+      const int32_t nation = static_cast<int32_t>(rng.Uniform(0, 24));
+      row.SetInt32(SupplierCol::kSSuppkey, static_cast<int32_t>(s));
+      std::snprintf(buf, sizeof(buf), "Supplier#%09lld",
+                    static_cast<long long>(s));
+      row.SetChar(SupplierCol::kSName, buf);
+      row.SetChar(SupplierCol::kSAddress, rng.AlphaString(15));
+      row.SetInt32(SupplierCol::kSNationkey, nation);
+      std::snprintf(buf, sizeof(buf), "%d-%03d-%03d-%04d", 10 + nation,
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(1000, 9999)));
+      row.SetChar(SupplierCol::kSPhone, buf);
+      row.SetDouble(SupplierCol::kSAcctbal,
+                    static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0);
+      row.SetChar(SupplierCol::kSComment, RandomComment(&rng, 6));
+      supplier_->AppendRow(row.data());
+    }
+  }
+
+  // ---- customer ----
+  customer_ = make_table("customer", CustomerSchema());
+  {
+    RowBuilder row(&customer_->schema());
+    char buf[32];
+    for (int64_t c = 1; c <= num_customer; ++c) {
+      const int32_t nation = static_cast<int32_t>(rng.Uniform(0, 24));
+      row.SetInt32(CustomerCol::kCCustkey, static_cast<int32_t>(c));
+      std::snprintf(buf, sizeof(buf), "Customer#%09lld",
+                    static_cast<long long>(c));
+      row.SetChar(CustomerCol::kCName, buf);
+      row.SetChar(CustomerCol::kCAddress, rng.AlphaString(15));
+      row.SetInt32(CustomerCol::kCNationkey, nation);
+      // Phone country code is 10 + nationkey (spec 4.2.2.9), so Q22's
+      // country-code predicates map to nation keys.
+      std::snprintf(buf, sizeof(buf), "%d-%03d-%03d-%04d", 10 + nation,
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(100, 999)),
+                    static_cast<int>(rng.Uniform(1000, 9999)));
+      row.SetChar(CustomerCol::kCPhone, buf);
+      row.SetDouble(CustomerCol::kCAcctbal,
+                    static_cast<double>(rng.Uniform(-99999, 999999)) / 100.0);
+      row.SetChar(CustomerCol::kCMktsegment,
+                  kSegments[rng.Uniform(0, 4)]);
+      row.SetChar(CustomerCol::kCComment, RandomComment(&rng, 5));
+      customer_->AppendRow(row.data());
+    }
+  }
+
+  // ---- part ----
+  part_ = make_table("part", PartSchema());
+  {
+    RowBuilder row(&part_->schema());
+    char buf[64];
+    for (int64_t p = 1; p <= num_part; ++p) {
+      row.SetInt32(PartCol::kPPartkey, static_cast<int32_t>(p));
+      std::snprintf(buf, sizeof(buf), "%s %s %s",
+                    kColors[rng.Uniform(0, 19)], kColors[rng.Uniform(0, 19)],
+                    kColors[rng.Uniform(0, 19)]);
+      row.SetChar(PartCol::kPName, buf);
+      std::snprintf(buf, sizeof(buf), "Manufacturer#%d",
+                    static_cast<int>(rng.Uniform(1, 5)));
+      row.SetChar(PartCol::kPMfgr, buf);
+      std::snprintf(buf, sizeof(buf), "Brand#%d%d",
+                    static_cast<int>(rng.Uniform(1, 5)),
+                    static_cast<int>(rng.Uniform(1, 5)));
+      row.SetChar(PartCol::kPBrand, buf);
+      std::snprintf(buf, sizeof(buf), "%s %s %s",
+                    kTypeSyl1[rng.Uniform(0, 5)], kTypeSyl2[rng.Uniform(0, 4)],
+                    kTypeSyl3[rng.Uniform(0, 4)]);
+      row.SetChar(PartCol::kPType, buf);
+      row.SetInt32(PartCol::kPSize, static_cast<int32_t>(rng.Uniform(1, 50)));
+      std::snprintf(buf, sizeof(buf), "%s %s",
+                    kContainerSyl1[rng.Uniform(0, 4)],
+                    kContainerSyl2[rng.Uniform(0, 7)]);
+      row.SetChar(PartCol::kPContainer, buf);
+      row.SetDouble(PartCol::kPRetailprice,
+                    PartRetailPrice(static_cast<int32_t>(p)));
+      row.SetChar(PartCol::kPComment, RandomComment(&rng, 4));
+      part_->AppendRow(row.data());
+    }
+  }
+
+  // ---- partsupp ----
+  partsupp_ = make_table("partsupp", PartsuppSchema());
+  {
+    RowBuilder row(&partsupp_->schema());
+    for (int64_t p = 1; p <= num_part; ++p) {
+      for (int i = 0; i < 4; ++i) {
+        // The spec's supplier spread: deterministic, covers all suppliers.
+        const int64_t supp =
+            (p + i * ((num_supplier / 4) + ((p - 1) / num_supplier))) %
+                num_supplier +
+            1;
+        row.SetInt32(PartsuppCol::kPsPartkey, static_cast<int32_t>(p));
+        row.SetInt32(PartsuppCol::kPsSuppkey, static_cast<int32_t>(supp));
+        row.SetInt32(PartsuppCol::kPsAvailqty,
+                     static_cast<int32_t>(rng.Uniform(1, 9999)));
+        row.SetDouble(PartsuppCol::kPsSupplycost,
+                      static_cast<double>(rng.Uniform(100, 100000)) / 100.0);
+        row.SetChar(PartsuppCol::kPsComment, RandomComment(&rng, 5));
+        partsupp_->AppendRow(row.data());
+      }
+    }
+  }
+
+  // ---- orders + lineitem (generated together) ----
+  orders_ = make_table("orders", OrdersSchema());
+  lineitem_ = make_table("lineitem", LineitemSchema());
+  {
+    RowBuilder orow(&orders_->schema());
+    RowBuilder lrow(&lineitem_->schema());
+    char buf[32];
+    const int32_t current = CurrentDate();
+    for (int64_t o = 1; o <= num_orders; ++o) {
+      const int64_t orderkey = o * 4 - 3;  // sparse keys as in the spec
+      // Spec 4.2.3: O_CUSTKEY is never a multiple of 3, so a third of the
+      // customers have no orders (Q13's zero-order bucket, Q22's target).
+      int32_t custkey = static_cast<int32_t>(rng.Uniform(1, num_customer));
+      if (custkey % 3 == 0) {
+        custkey = custkey == num_customer ? 1 : custkey + 1;
+      }
+      const int32_t orderdate = static_cast<int32_t>(
+          rng.Uniform(kStartDate, kEndDate - 121));
+      const int lines = static_cast<int>(rng.Uniform(1, 7));
+      double total = 0.0;
+      int shipped_lines = 0;
+      for (int l = 1; l <= lines; ++l) {
+        const int32_t partkey =
+            static_cast<int32_t>(rng.Uniform(1, num_part));
+        const int64_t supp =
+            (partkey + (l % 4) * ((num_supplier / 4) +
+                                  ((partkey - 1) / num_supplier))) %
+                num_supplier +
+            1;
+        const double quantity = static_cast<double>(rng.Uniform(1, 50));
+        const double extprice = quantity * PartRetailPrice(partkey);
+        const double discount =
+            static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+        const double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+        const int32_t shipdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(1, 121));
+        const int32_t commitdate =
+            orderdate + static_cast<int32_t>(rng.Uniform(30, 90));
+        const int32_t receiptdate =
+            shipdate + static_cast<int32_t>(rng.Uniform(1, 30));
+        const bool shipped = shipdate <= current;
+        if (shipped) ++shipped_lines;
+
+        lrow.SetInt64(LineitemCol::kLOrderkey, orderkey);
+        lrow.SetInt32(LineitemCol::kLPartkey, partkey);
+        lrow.SetInt32(LineitemCol::kLSuppkey, static_cast<int32_t>(supp));
+        lrow.SetInt32(LineitemCol::kLLinenumber, l);
+        lrow.SetDouble(LineitemCol::kLQuantity, quantity);
+        lrow.SetDouble(LineitemCol::kLExtendedprice, extprice);
+        lrow.SetDouble(LineitemCol::kLDiscount, discount);
+        lrow.SetDouble(LineitemCol::kLTax, tax);
+        lrow.SetChar(LineitemCol::kLReturnflag,
+                     receiptdate <= current ? (rng.Bernoulli(0.5) ? "R" : "A")
+                                            : "N");
+        lrow.SetChar(LineitemCol::kLLinestatus, shipped ? "F" : "O");
+        lrow.SetDate(LineitemCol::kLShipdate, shipdate);
+        lrow.SetDate(LineitemCol::kLCommitdate, commitdate);
+        lrow.SetDate(LineitemCol::kLReceiptdate, receiptdate);
+        lrow.SetChar(LineitemCol::kLShipinstruct,
+                     kInstructs[rng.Uniform(0, 3)]);
+        lrow.SetChar(LineitemCol::kLShipmode, kModes[rng.Uniform(0, 6)]);
+        lrow.SetChar(LineitemCol::kLComment, RandomComment(&rng, 4));
+        lineitem_->AppendRow(lrow.data());
+
+        total += extprice * (1.0 + tax) * (1.0 - discount);
+      }
+
+      orow.SetInt64(OrdersCol::kOOrderkey, orderkey);
+      orow.SetInt32(OrdersCol::kOCustkey, custkey);
+      orow.SetChar(OrdersCol::kOOrderstatus,
+                   shipped_lines == lines ? "F"
+                                          : (shipped_lines == 0 ? "O" : "P"));
+      orow.SetDouble(OrdersCol::kOTotalprice, total);
+      orow.SetDate(OrdersCol::kOOrderdate, orderdate);
+      orow.SetChar(OrdersCol::kOOrderpriority,
+                   kPriorities[rng.Uniform(0, 4)]);
+      std::snprintf(buf, sizeof(buf), "Clerk#%09d",
+                    static_cast<int>(rng.Uniform(1, 1000)));
+      orow.SetChar(OrdersCol::kOClerk, buf);
+      orow.SetInt32(OrdersCol::kOShippriority, 0);
+      // ~2% of order comments contain the Q13 '%special%requests%' pattern.
+      std::string comment = RandomComment(&rng, 4);
+      if (rng.Bernoulli(0.02)) {
+        comment = "special " + comment + " requests";
+      }
+      orow.SetChar(OrdersCol::kOComment, comment);
+      orders_->AppendRow(orow.data());
+    }
+  }
+}
+
+}  // namespace uot

@@ -1,0 +1,66 @@
+#ifndef UOT_TPCH_TPCH_GENERATOR_H_
+#define UOT_TPCH_TPCH_GENERATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "tpch/tpch_schema.h"
+#include "util/random.h"
+
+namespace uot {
+
+/// Generation parameters for the built-in TPC-H data generator (the dbgen
+/// substitute; see DESIGN.md). Scale factor 1.0 corresponds to ~6M lineitem
+/// rows as in the spec; benches default to laptop scales (0.01 - 0.1).
+struct TpchConfig {
+  double scale_factor = 0.01;
+  Layout layout = Layout::kColumnStore;
+  size_t block_bytes = 1 << 20;
+  uint64_t seed = 42;
+};
+
+/// An in-memory TPC-H database: the eight base tables in the configured
+/// layout and block size.
+class TpchDatabase {
+ public:
+  explicit TpchDatabase(StorageManager* storage) : storage_(storage) {}
+  UOT_DISALLOW_COPY_AND_ASSIGN(TpchDatabase);
+
+  /// Generates all eight tables. Deterministic for a given config.
+  void Generate(const TpchConfig& config);
+
+  const TpchConfig& config() const { return config_; }
+  StorageManager* storage() const { return storage_; }
+
+  const Table& lineitem() const { return *lineitem_; }
+  const Table& orders() const { return *orders_; }
+  const Table& customer() const { return *customer_; }
+  const Table& part() const { return *part_; }
+  const Table& supplier() const { return *supplier_; }
+  const Table& partsupp() const { return *partsupp_; }
+  const Table& nation() const { return *nation_; }
+  const Table& region() const { return *region_; }
+
+  /// Lookup by lower-case table name; nullptr if unknown.
+  const Table* table(const std::string& name) const;
+
+  /// The "current date" constant used for return flags (spec: 1995-06-17).
+  static int32_t CurrentDate();
+
+ private:
+  StorageManager* const storage_;
+  TpchConfig config_;
+  std::unique_ptr<Table> lineitem_;
+  std::unique_ptr<Table> orders_;
+  std::unique_ptr<Table> customer_;
+  std::unique_ptr<Table> part_;
+  std::unique_ptr<Table> supplier_;
+  std::unique_ptr<Table> partsupp_;
+  std::unique_ptr<Table> nation_;
+  std::unique_ptr<Table> region_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_TPCH_TPCH_GENERATOR_H_

@@ -1,0 +1,1176 @@
+#include "tpch/tpch_queries.h"
+
+#include <type_traits>
+#include <utility>
+
+#include "operators/aggregate_operator.h"
+#include "operators/build_hash_operator.h"
+#include "operators/probe_hash_operator.h"
+#include "operators/select_operator.h"
+#include "operators/sort_operator.h"
+#include "types/date.h"
+
+namespace uot {
+namespace {
+
+using tpch::CustomerCol;
+using tpch::LineitemCol;
+using tpch::NationCol;
+using tpch::OrdersCol;
+using tpch::PartCol;
+using tpch::RegionCol;
+using tpch::SupplierCol;
+
+// ---- expression shorthands ----
+
+/// Builds a vector from move-only elements (initializer lists cannot move).
+/// Used for expression lists (std::unique_ptr<Scalar>) and AggSpec lists.
+template <typename T0, typename... Ts>
+auto MakeVec(T0 first, Ts... rest) {
+  using Elem =
+      std::conditional_t<std::is_same_v<std::decay_t<T0>, AggSpec>, AggSpec,
+                         std::unique_ptr<Scalar>>;
+  std::vector<Elem> v;
+  v.reserve(1 + sizeof...(rest));
+  v.push_back(std::move(first));
+  (v.push_back(std::move(rest)), ...);
+  return v;
+}
+
+/// Companion to MakeVec for predicate lists.
+template <typename... Ts>
+std::vector<std::unique_ptr<Predicate>> MakePreds(Ts... preds) {
+  std::vector<std::unique_ptr<Predicate>> v;
+  v.reserve(sizeof...(preds));
+  (v.push_back(std::move(preds)), ...);
+  return v;
+}
+
+std::unique_ptr<Scalar> C(const Schema& s, int col) {
+  return Col(col, s.column(col).type);
+}
+
+std::unique_ptr<Predicate> CmpCL(const Schema& s, int col, CompareOp op,
+                                 TypedValue v) {
+  return Cmp(op, C(s, col), Lit(std::move(v), s.column(col).type));
+}
+
+std::unique_ptr<Predicate> CharEq(const Schema& s, int col,
+                                  const std::string& v) {
+  return CmpCL(s, col, CompareOp::kEq, TypedValue::Char(v));
+}
+
+std::unique_ptr<Predicate> CharIn(const Schema& s, int col,
+                                  std::vector<std::string> vals) {
+  std::vector<TypedValue> values;
+  values.reserve(vals.size());
+  for (std::string& v : vals) values.push_back(TypedValue::Char(std::move(v)));
+  return std::make_unique<InList>(C(s, col), std::move(values));
+}
+
+std::unique_ptr<Predicate> Int32In(const Schema& s, int col,
+                                   std::vector<int32_t> vals) {
+  std::vector<TypedValue> values;
+  values.reserve(vals.size());
+  for (int32_t v : vals) values.push_back(TypedValue::Int32(v));
+  return std::make_unique<InList>(C(s, col), std::move(values));
+}
+
+std::unique_ptr<Predicate> DateIn(const Schema& s, int col, int32_t lo_incl,
+                                  int32_t hi_excl) {
+  std::vector<std::unique_ptr<Predicate>> parts;
+  parts.push_back(CmpCL(s, col, CompareOp::kGe, TypedValue::Date(lo_incl)));
+  parts.push_back(CmpCL(s, col, CompareOp::kLt, TypedValue::Date(hi_excl)));
+  return And(std::move(parts));
+}
+
+/// l_extendedprice * (1 - l_discount) — with the expression folded into the
+/// selection so only one 8-byte column is projected (Section VI-C's
+/// projectivity-lowering technique).
+std::unique_ptr<Scalar> Revenue(const Schema& lineitem) {
+  return Mul(C(lineitem, LineitemCol::kLExtendedprice),
+             Sub(LitDouble(1.0), C(lineitem, LineitemCol::kLDiscount)));
+}
+
+std::unique_ptr<Projection> Proj(std::vector<std::unique_ptr<Scalar>> exprs,
+                                 std::vector<std::string> names) {
+  return std::make_unique<Projection>(std::move(exprs), std::move(names));
+}
+
+AggSpec Agg(AggFn fn, std::unique_ptr<Scalar> expr, std::string name) {
+  return AggSpec{fn, std::move(expr), std::move(name)};
+}
+
+// ---- shared selection specs (plans + Tables III/IV analysis) ----
+
+std::unique_ptr<Predicate> LineitemSelectionPredicate(int query) {
+  const Schema s = LineitemSchema();
+  switch (query) {
+    case 3:
+      return CmpCL(s, LineitemCol::kLShipdate, CompareOp::kGt,
+                   TypedValue::Date(MakeDate(1995, 3, 15)));
+    case 7:
+      return DateIn(s, LineitemCol::kLShipdate, MakeDate(1995, 1, 1),
+                    MakeDate(1997, 1, 1));
+    case 10:
+      return CharEq(s, LineitemCol::kLReturnflag, "R");
+    case 19: {
+      std::vector<std::unique_ptr<Predicate>> parts;
+      parts.push_back(CharIn(s, LineitemCol::kLShipmode, {"AIR", "AIR REG"}));
+      parts.push_back(
+          CharEq(s, LineitemCol::kLShipinstruct, "DELIVER IN PERSON"));
+      parts.push_back(CmpCL(s, LineitemCol::kLQuantity, CompareOp::kGe,
+                            TypedValue::Double(1.0)));
+      parts.push_back(CmpCL(s, LineitemCol::kLQuantity, CompareOp::kLe,
+                            TypedValue::Double(30.0)));
+      return And(std::move(parts));
+    }
+    default:
+      UOT_CHECK(false);
+      return nullptr;
+  }
+}
+
+double LineitemSelectionProjectedBytes(int query) {
+  switch (query) {
+    case 3:
+      return 16;  // l_orderkey, revenue (folded expression)
+    case 7:
+      return 24;  // l_orderkey, l_suppkey, volume, l_year
+    case 10:
+      return 16;  // l_orderkey, revenue
+    case 19:
+      return 20;  // l_partkey, l_quantity, revenue
+    default:
+      UOT_CHECK(false);
+      return 0;
+  }
+}
+
+std::unique_ptr<Predicate> OrdersSelectionPredicate(int query) {
+  const Schema s = OrdersSchema();
+  switch (query) {
+    case 3:
+      return CmpCL(s, OrdersCol::kOOrderdate, CompareOp::kLt,
+                   TypedValue::Date(MakeDate(1995, 3, 15)));
+    case 4:
+      return DateIn(s, OrdersCol::kOOrderdate, MakeDate(1993, 7, 1),
+                    MakeDate(1993, 10, 1));
+    case 5:
+      return DateIn(s, OrdersCol::kOOrderdate, MakeDate(1994, 1, 1),
+                    MakeDate(1995, 1, 1));
+    case 8:
+      return DateIn(s, OrdersCol::kOOrderdate, MakeDate(1995, 1, 1),
+                    MakeDate(1997, 1, 1));
+    case 10:
+      return DateIn(s, OrdersCol::kOOrderdate, MakeDate(1993, 10, 1),
+                    MakeDate(1994, 1, 1));
+    case 21:
+      return CharEq(s, OrdersCol::kOOrderstatus, "F");
+    default:
+      UOT_CHECK(false);
+      return nullptr;
+  }
+}
+
+double OrdersSelectionProjectedBytes(int query) {
+  switch (query) {
+    case 3:
+    case 5:
+    case 10:
+      return 12;  // o_orderkey, o_custkey
+    case 4:
+      return 16;  // o_orderkey, priority prefix
+    case 8:
+      return 16;  // o_orderkey, o_custkey, o_year
+    case 21:
+      return 8;  // o_orderkey
+    default:
+      UOT_CHECK(false);
+      return 0;
+  }
+}
+
+// ---- per-query plans ----
+
+std::unique_ptr<QueryPlan> BuildQ1(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& l = db.lineitem().schema();
+  std::vector<AggSpec> aggs;
+  aggs.push_back(Agg(AggFn::kSum, C(l, LineitemCol::kLQuantity), "sum_qty"));
+  aggs.push_back(Agg(AggFn::kSum, C(l, LineitemCol::kLExtendedprice),
+                     "sum_base_price"));
+  aggs.push_back(Agg(AggFn::kSum, Revenue(l), "sum_disc_price"));
+  aggs.push_back(
+      Agg(AggFn::kSum,
+          Mul(Revenue(l), Add(LitDouble(1.0), C(l, LineitemCol::kLTax))),
+          "sum_charge"));
+  aggs.push_back(Agg(AggFn::kAvg, C(l, LineitemCol::kLQuantity), "avg_qty"));
+  aggs.push_back(
+      Agg(AggFn::kAvg, C(l, LineitemCol::kLExtendedprice), "avg_price"));
+  aggs.push_back(Agg(AggFn::kAvg, C(l, LineitemCol::kLDiscount), "avg_disc"));
+  aggs.push_back(Agg(AggFn::kCount, nullptr, "count_order"));
+  auto agg = b.Aggregate(
+      "agg(lineitem)", PlanBuilder::Base(db.lineitem()),
+      {LineitemCol::kLReturnflag, LineitemCol::kLLinestatus}, std::move(aggs),
+      CmpCL(l, LineitemCol::kLShipdate, CompareOp::kLe,
+            TypedValue::Date(MakeDate(1998, 12, 1) - 90)));
+  auto sorted = b.Sort("sort", agg, {{0, true}, {1, true}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ3(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& c = db.customer().schema();
+  const Schema& o = db.orders().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      CharEq(c, CustomerCol::kCMktsegment, "BUILDING"),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey)), {"c_custkey"}));
+  auto* ht_cust = b.Build("build(customer)", sel_cust, {0}, {});
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      OrdersSelectionPredicate(3),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey), C(o, OrdersCol::kOCustkey)),
+           {"o_orderkey", "o_custkey"}));
+  auto probe_cust =
+      b.Probe("probe(customer)", sel_ord, ht_cust, {1}, {0});
+  auto* ht_ord = b.Build("build(orders)", probe_cust, {0}, {});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      LineitemSelectionPredicate(3),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey), Revenue(l)),
+           {"l_orderkey", "revenue"}),
+      {{ht_ord, LineitemCol::kLOrderkey}});
+  auto probe_ord = b.Probe("probe(orders)", sel_li, ht_ord, {0}, {0, 1});
+  auto agg = b.Aggregate(
+      "agg", probe_ord, {0},
+      MakeVec(Agg(AggFn::kSum, Col(1, Type::Double()), "revenue")));
+  auto sorted = b.Sort("sort", agg, {{1, false}}, 10);
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ4(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& o = db.orders().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      Cmp(CompareOp::kLt, C(l, LineitemCol::kLCommitdate),
+          C(l, LineitemCol::kLReceiptdate)),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey)), {"l_orderkey"}));
+  auto* ht_li = b.Build("build(lineitem)", sel_li, {0}, {});
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      OrdersSelectionPredicate(4),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey),
+                   std::make_unique<Substring>(
+                       C(o, OrdersCol::kOOrderpriority), 0, 8)),
+           {"o_orderkey", "o_priority"}));
+  auto semi = b.Probe("probe(lineitem) semi", sel_ord, ht_li, {0}, {1},
+                      JoinKind::kLeftSemi);
+  auto agg = b.Aggregate("agg", semi, {0},
+                         MakeVec(Agg(AggFn::kCount, nullptr, "order_count")));
+  auto sorted = b.Sort("sort", agg, {{0, true}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ5(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& r = db.region().schema();
+  const Schema& n = db.nation().schema();
+  const Schema& c = db.customer().schema();
+  const Schema& o = db.orders().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_reg = b.Select(
+      "sel(region)", PlanBuilder::Base(db.region()),
+      CharEq(r, RegionCol::kRName, "ASIA"),
+      Proj(MakeVec(C(r, RegionCol::kRRegionkey)), {"r_regionkey"}));
+  auto* ht_reg = b.Build("build(region)", sel_reg, {0}, {});
+
+  auto sel_nat = b.Select(
+      "sel(nation)", PlanBuilder::Base(db.nation()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(n, NationCol::kNNationkey),
+                   C(n, NationCol::kNRegionkey)),
+           {"n_nationkey", "n_regionkey"}));
+  auto asia_nat = b.Probe("probe(region)", sel_nat, ht_reg, {1}, {0});
+  auto* ht_nat = b.Build("build(nation)", asia_nat, {0}, {});
+
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey),
+                   C(c, CustomerCol::kCNationkey)),
+           {"c_custkey", "c_nationkey"}));
+  auto asia_cust = b.Probe("probe(nation)", sel_cust, ht_nat, {1}, {0, 1});
+  auto* ht_cust = b.Build("build(customer)", asia_cust, {0}, {1});
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      OrdersSelectionPredicate(5),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey), C(o, OrdersCol::kOCustkey)),
+           {"o_orderkey", "o_custkey"}));
+  auto ord_nat = b.Probe("probe(customer)", sel_ord, ht_cust, {1}, {0});
+  auto* ht_ord = b.Build("build(orders)", ord_nat, {0}, {1});
+
+  auto* ht_sup = b.Build("build(supplier)", PlanBuilder::Base(db.supplier()),
+                         {SupplierCol::kSSuppkey},
+                         {SupplierCol::kSNationkey});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey),
+                   C(l, LineitemCol::kLSuppkey), Revenue(l)),
+           {"l_orderkey", "l_suppkey", "revenue"}),
+      {{ht_ord, LineitemCol::kLOrderkey}});
+  // -> [l_suppkey, revenue, c_nationkey]
+  auto li_ord = b.Probe("probe(orders)", sel_li, ht_ord, {0}, {1, 2});
+  // supplier nation must equal customer nation (the paper's LIP-style
+  // residual would prune here).
+  auto li_sup =
+      b.Probe("probe(supplier)", li_ord, ht_sup, {0}, {1, 2},
+              JoinKind::kInner,
+              {ResidualCondition{2, 0, CompareOp::kEq}});
+  auto agg = b.Aggregate(
+      "agg", li_sup, {1},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "revenue")));
+  auto sorted = b.Sort("sort", agg, {{1, false}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ6(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& l = db.lineitem().schema();
+  std::vector<std::unique_ptr<Predicate>> parts;
+  parts.push_back(DateIn(l, LineitemCol::kLShipdate, MakeDate(1994, 1, 1),
+                         MakeDate(1995, 1, 1)));
+  parts.push_back(CmpCL(l, LineitemCol::kLDiscount, CompareOp::kGe,
+                        TypedValue::Double(0.05)));
+  parts.push_back(CmpCL(l, LineitemCol::kLDiscount, CompareOp::kLe,
+                        TypedValue::Double(0.07)));
+  parts.push_back(CmpCL(l, LineitemCol::kLQuantity, CompareOp::kLt,
+                        TypedValue::Double(24.0)));
+  auto agg = b.Aggregate(
+      "agg(lineitem)", PlanBuilder::Base(db.lineitem()), {},
+      MakeVec(Agg(AggFn::kSum,
+                  Mul(C(l, LineitemCol::kLExtendedprice),
+                      C(l, LineitemCol::kLDiscount)),
+                  "revenue")),
+      And(std::move(parts)));
+  return b.Finish(agg);
+}
+
+std::unique_ptr<QueryPlan> BuildQ7(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& s = db.supplier().schema();
+  const Schema& c = db.customer().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      Int32In(s, SupplierCol::kSNationkey,
+              {tpch::kNationFrance, tpch::kNationGermany}),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey),
+                   C(s, SupplierCol::kSNationkey)),
+           {"s_suppkey", "s_nationkey"}));
+  auto* ht_sup = b.Build("build(supplier)", sel_sup, {0}, {1});
+
+  // The paper's Q7 anchor: the second hash table is built on the *entire*
+  // orders table (Section VI-C).
+  auto* ht_ord = b.Build("build(orders)", PlanBuilder::Base(db.orders()),
+                         {OrdersCol::kOOrderkey}, {OrdersCol::kOCustkey});
+
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      Int32In(c, CustomerCol::kCNationkey,
+              {tpch::kNationFrance, tpch::kNationGermany}),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey),
+                   C(c, CustomerCol::kCNationkey)),
+           {"c_custkey", "c_nationkey"}));
+  auto* ht_cust = b.Build("build(customer)", sel_cust, {0}, {1});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      LineitemSelectionPredicate(7),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey),
+                   C(l, LineitemCol::kLSuppkey), Revenue(l),
+                   std::make_unique<ExtractYear>(
+                       C(l, LineitemCol::kLShipdate))),
+           {"l_orderkey", "l_suppkey", "volume", "l_year"}),
+      {{ht_sup, LineitemCol::kLSuppkey}});
+  // -> [l_orderkey, volume, l_year, s_nationkey]
+  auto p1 = b.Probe("probe(supplier)", sel_li, ht_sup, {1}, {0, 2, 3});
+  // -> [volume, l_year, s_nationkey, o_custkey]
+  auto p2 = b.Probe("probe(orders)", p1, ht_ord, {0}, {1, 2, 3});
+  // Customer nation differs from supplier nation (both are in {FR, DE}).
+  // -> [volume, l_year, s_nationkey, c_nationkey]
+  auto p3 = b.Probe("probe(customer)", p2, ht_cust, {3}, {0, 1, 2},
+                    JoinKind::kInner,
+                    {ResidualCondition{2, 0, CompareOp::kNe}});
+  auto agg = b.Aggregate(
+      "agg", p3, {2, 1},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "revenue")));
+  auto sorted = b.Sort("sort", agg, {{0, true}, {1, true}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ8(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& p = db.part().schema();
+  const Schema& n = db.nation().schema();
+  const Schema& c = db.customer().schema();
+  const Schema& o = db.orders().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()),
+      CharEq(p, PartCol::kPType, "ECONOMY ANODIZED STEEL"),
+      Proj(MakeVec(C(p, PartCol::kPPartkey)), {"p_partkey"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {});
+
+  auto* ht_sup = b.Build("build(supplier)", PlanBuilder::Base(db.supplier()),
+                         {SupplierCol::kSSuppkey},
+                         {SupplierCol::kSNationkey});
+
+  auto sel_nat = b.Select(
+      "sel(nation)", PlanBuilder::Base(db.nation()),
+      CmpCL(n, NationCol::kNRegionkey, CompareOp::kEq,
+            TypedValue::Int32(tpch::kRegionAmerica)),
+      Proj(MakeVec(C(n, NationCol::kNNationkey)), {"n_nationkey"}));
+  auto* ht_nat = b.Build("build(nation)", sel_nat, {0}, {});
+
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey),
+                   C(c, CustomerCol::kCNationkey)),
+           {"c_custkey", "c_nationkey"}));
+  auto america_cust = b.Probe("probe(nation)", sel_cust, ht_nat, {1}, {0});
+  auto* ht_cust = b.Build("build(customer)", america_cust, {0}, {});
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      OrdersSelectionPredicate(8),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey), C(o, OrdersCol::kOCustkey),
+                   std::make_unique<ExtractYear>(
+                       C(o, OrdersCol::kOOrderdate))),
+           {"o_orderkey", "o_custkey", "o_year"}));
+  auto ord_am = b.Probe("probe(customer)", sel_ord, ht_cust, {1}, {0, 2});
+  auto* ht_ord = b.Build("build(orders)", ord_am, {0}, {1});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey),
+                   C(l, LineitemCol::kLPartkey),
+                   C(l, LineitemCol::kLSuppkey), Revenue(l)),
+           {"l_orderkey", "l_partkey", "l_suppkey", "volume"}),
+      {{ht_part, LineitemCol::kLPartkey},
+       {ht_ord, LineitemCol::kLOrderkey}});
+  // -> [l_orderkey, l_suppkey, volume]
+  auto p1 = b.Probe("probe(part)", sel_li, ht_part, {1}, {0, 2, 3});
+  // -> [l_suppkey, volume, o_year]
+  auto p2 = b.Probe("probe(orders)", p1, ht_ord, {0}, {1, 2});
+  // -> [volume, o_year, s_nationkey]
+  auto p3 = b.Probe("probe(supplier)", p2, ht_sup, {0}, {1, 2});
+  // mkt_share numerator and denominator (the reader divides; the engine
+  // has no cross-aggregate arithmetic).
+  const Schema& j = b.SchemaOf(p3);
+  auto brazil = std::make_unique<CaseWhen>(
+      CmpCL(j, 2, CompareOp::kEq, TypedValue::Int32(tpch::kNationBrazil)),
+      C(j, 0), LitDouble(0.0));
+  auto agg = b.Aggregate(
+      "agg", p3, {1},
+      MakeVec(Agg(AggFn::kSum, std::move(brazil), "brazil_volume"),
+              Agg(AggFn::kSum, Col(0, Type::Double()), "total_volume")));
+  auto sorted = b.Sort("sort", agg, {{0, true}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ10(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& o = db.orders().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      OrdersSelectionPredicate(10),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey), C(o, OrdersCol::kOCustkey)),
+           {"o_orderkey", "o_custkey"}));
+  auto* ht_ord = b.Build("build(orders)", sel_ord, {0}, {1});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      LineitemSelectionPredicate(10),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey), Revenue(l)),
+           {"l_orderkey", "revenue"}),
+      {{ht_ord, LineitemCol::kLOrderkey}});
+  // -> [revenue, o_custkey]
+  auto probe = b.Probe("probe(orders)", sel_li, ht_ord, {0}, {1});
+  auto agg = b.Aggregate(
+      "agg", probe, {1},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "revenue")));
+  auto sorted = b.Sort("sort", agg, {{1, false}}, 20);
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ13(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& o = db.orders().schema();
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      std::make_unique<Like>(C(o, OrdersCol::kOComment),
+                             "%special%requests%", /*negated=*/true),
+      Proj(MakeVec(C(o, OrdersCol::kOCustkey)), {"o_custkey"}));
+  auto per_cust = b.Aggregate(
+      "agg(per-customer)", sel_ord, {0},
+      MakeVec(Agg(AggFn::kCount, nullptr, "c_count")));
+  auto hist = b.Aggregate(
+      "agg(histogram)", per_cust, {1},
+      MakeVec(Agg(AggFn::kCount, nullptr, "custdist")));
+  auto sorted = b.Sort("sort", hist, {{1, false}, {0, false}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ14(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& p = db.part().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()),
+      std::make_unique<Like>(C(p, PartCol::kPType), "PROMO%",
+                             /*negated=*/false),
+      Proj(MakeVec(C(p, PartCol::kPPartkey)), {"p_partkey"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      DateIn(l, LineitemCol::kLShipdate, MakeDate(1995, 9, 1),
+             MakeDate(1995, 10, 1)),
+      Proj(MakeVec(C(l, LineitemCol::kLPartkey), Revenue(l)),
+           {"l_partkey", "revenue"}));
+  // No LIP here: the same select output also feeds the total-revenue
+  // aggregate, which must see unpruned rows.
+  // Two consumers of the same select output: promo-restricted revenue and
+  // total revenue.
+  auto promo = b.Probe("probe(part)", sel_li, ht_part, {0}, {1});
+  auto promo_sum = b.Aggregate(
+      "agg(promo)", promo, {},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "promo_revenue")));
+  b.Aggregate("agg(total)", sel_li, {},
+              MakeVec(Agg(AggFn::kSum, Col(1, Type::Double()),
+                          "total_revenue")));
+  return b.Finish(promo_sum);
+}
+
+std::unique_ptr<QueryPlan> BuildQ15(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      DateIn(l, LineitemCol::kLShipdate, MakeDate(1996, 1, 1),
+             MakeDate(1996, 4, 1)),
+      Proj(MakeVec(C(l, LineitemCol::kLSuppkey), Revenue(l)),
+           {"l_suppkey", "revenue"}));
+  auto agg = b.Aggregate(
+      "agg(revenue)", sel_li, {0},
+      MakeVec(Agg(AggFn::kSum, Col(1, Type::Double()), "total_revenue")));
+  auto sorted = b.Sort("sort", agg, {{1, false}}, 1);
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ19(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& p = db.part().schema();
+  const Schema& l = db.lineitem().schema();
+
+  // Union of the three part-side clauses; the joined intermediate is then
+  // filtered by the full cross-table OR condition.
+  auto part_clause = [&](const std::string& brand,
+                         std::vector<std::string> containers, int32_t size) {
+    std::vector<std::unique_ptr<Predicate>> parts;
+    parts.push_back(CharEq(p, PartCol::kPBrand, brand));
+    parts.push_back(CharIn(p, PartCol::kPContainer, std::move(containers)));
+    parts.push_back(CmpCL(p, PartCol::kPSize, CompareOp::kGe,
+                          TypedValue::Int32(1)));
+    parts.push_back(CmpCL(p, PartCol::kPSize, CompareOp::kLe,
+                          TypedValue::Int32(size)));
+    return And(std::move(parts));
+  };
+  std::vector<std::unique_ptr<Predicate>> union_parts;
+  union_parts.push_back(
+      part_clause("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 5));
+  union_parts.push_back(part_clause(
+      "Brand#23", {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10));
+  union_parts.push_back(
+      part_clause("Brand#34", {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 15));
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()), Or(std::move(union_parts)),
+      Proj(MakeVec(C(p, PartCol::kPPartkey), C(p, PartCol::kPBrand),
+                   C(p, PartCol::kPContainer), C(p, PartCol::kPSize)),
+           {"p_partkey", "p_brand", "p_container", "p_size"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {1, 2, 3});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      LineitemSelectionPredicate(19),
+      Proj(MakeVec(C(l, LineitemCol::kLPartkey),
+                   C(l, LineitemCol::kLQuantity), Revenue(l)),
+           {"l_partkey", "l_quantity", "revenue"}),
+      {{ht_part, LineitemCol::kLPartkey}});
+  // -> [l_quantity, revenue, p_brand, p_container, p_size]
+  auto joined = b.Probe("probe(part)", sel_li, ht_part, {0}, {1, 2});
+
+  const Schema& j = b.SchemaOf(joined);
+  auto joined_clause = [&](const std::string& brand, double qty_lo,
+                           double qty_hi) {
+    std::vector<std::unique_ptr<Predicate>> parts;
+    parts.push_back(CharEq(j, 2, brand));
+    parts.push_back(
+        CmpCL(j, 0, CompareOp::kGe, TypedValue::Double(qty_lo)));
+    parts.push_back(
+        CmpCL(j, 0, CompareOp::kLe, TypedValue::Double(qty_hi)));
+    return And(std::move(parts));
+  };
+  std::vector<std::unique_ptr<Predicate>> or_parts;
+  or_parts.push_back(joined_clause("Brand#12", 1, 11));
+  or_parts.push_back(joined_clause("Brand#23", 10, 20));
+  or_parts.push_back(joined_clause("Brand#34", 20, 30));
+  auto filtered =
+      b.Select("filter(joined)", joined, Or(std::move(or_parts)),
+               Proj(MakeVec(C(j, 1)), {"revenue"}));
+  auto agg = b.Aggregate(
+      "agg", filtered, {},
+      MakeVec(Agg(AggFn::kSum, Col(0, Type::Double()), "revenue")));
+  return b.Finish(agg);
+}
+
+std::unique_ptr<QueryPlan> BuildQ21(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& s = db.supplier().schema();
+  const Schema& o = db.orders().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      CmpCL(s, SupplierCol::kSNationkey, CompareOp::kEq,
+            TypedValue::Int32(tpch::kNationSaudiArabia)),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey)), {"s_suppkey"}));
+  auto* ht_sup = b.Build("build(supplier)", sel_sup, {0}, {});
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      OrdersSelectionPredicate(21),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey)), {"o_orderkey"}));
+  auto* ht_ord = b.Build("build(orders)", sel_ord, {0}, {});
+
+  // l2: any lineitem of the same order from a different supplier.
+  auto* ht_l2 = b.Build("build(lineitem-all)",
+                        PlanBuilder::Base(db.lineitem()),
+                        {LineitemCol::kLOrderkey}, {LineitemCol::kLSuppkey});
+
+  // Late lineitems feed both the l3 hash table and the probe chain.
+  auto late = b.Select(
+      "sel(lineitem-late)", PlanBuilder::Base(db.lineitem()),
+      Cmp(CompareOp::kGt, C(l, LineitemCol::kLReceiptdate),
+          C(l, LineitemCol::kLCommitdate)),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey),
+                   C(l, LineitemCol::kLSuppkey)),
+           {"l_orderkey", "l_suppkey"}));
+  auto* ht_l3 = b.Build("build(lineitem-late)", late, {0}, {1});
+
+  auto p1 = b.Probe("probe(supplier) semi", late, ht_sup, {1}, {0, 1},
+                    JoinKind::kLeftSemi);
+  auto p2 = b.Probe("probe(orders) semi", p1, ht_ord, {0}, {0, 1},
+                    JoinKind::kLeftSemi);
+  auto p3 = b.Probe("probe(lineitem-all) semi", p2, ht_l2, {0}, {0, 1},
+                    JoinKind::kLeftSemi,
+                    {ResidualCondition{1, 0, CompareOp::kNe}});
+  auto p4 = b.Probe("probe(lineitem-late) anti", p3, ht_l3, {0}, {1},
+                    JoinKind::kLeftAnti,
+                    {ResidualCondition{1, 0, CompareOp::kNe}});
+  auto agg = b.Aggregate(
+      "agg", p4, {0}, MakeVec(Agg(AggFn::kCount, nullptr, "numwait")));
+  auto sorted = b.Sort("sort", agg, {{1, false}, {0, true}}, 100);
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ22(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& c = db.customer().schema();
+
+  auto* ht_ord = b.Build("build(orders)", PlanBuilder::Base(db.orders()),
+                         {OrdersCol::kOCustkey}, {});
+
+  // Country codes 13, 31, 23, 29, 30, 18, 17 (phone prefix = nationkey+10).
+  std::vector<std::unique_ptr<Predicate>> prefixes;
+  for (const char* code : {"13", "31", "23", "29", "30", "18", "17"}) {
+    prefixes.push_back(std::make_unique<Like>(
+        C(c, CustomerCol::kCPhone), std::string(code) + "%",
+        /*negated=*/false));
+  }
+  std::vector<std::unique_ptr<Predicate>> sel_parts;
+  sel_parts.push_back(Or(std::move(prefixes)));
+  sel_parts.push_back(CmpCL(c, CustomerCol::kCAcctbal, CompareOp::kGt,
+                            TypedValue::Double(0.0)));
+  auto sel_cust = b.Select(
+      "sel(customer)", PlanBuilder::Base(db.customer()),
+      And(std::move(sel_parts)),
+      Proj(MakeVec(C(c, CustomerCol::kCCustkey),
+                   std::make_unique<Substring>(C(c, CustomerCol::kCPhone), 0,
+                                               2),
+                   C(c, CustomerCol::kCAcctbal)),
+           {"c_custkey", "cntrycode", "c_acctbal"}));
+  auto anti = b.Probe("probe(orders) anti", sel_cust, ht_ord, {0}, {1, 2},
+                      JoinKind::kLeftAnti);
+  auto agg = b.Aggregate(
+      "agg", anti, {0},
+      MakeVec(Agg(AggFn::kCount, nullptr, "numcust"),
+              Agg(AggFn::kSum, Col(1, Type::Double()), "totacctbal")));
+  auto sorted = b.Sort("sort", agg, {{0, true}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ2(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& p = db.part().schema();
+  const Schema& n = db.nation().schema();
+  const Schema& s = db.supplier().schema();
+  const Schema& ps = db.partsupp().schema();
+
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()),
+      And(MakePreds(CmpCL(p, PartCol::kPSize, CompareOp::kEq,
+                          TypedValue::Int32(15)),
+                    std::make_unique<Like>(C(p, PartCol::kPType), "%BRASS",
+                                           false))),
+      Proj(MakeVec(C(p, PartCol::kPPartkey)), {"p_partkey"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {});
+
+  auto sel_nat = b.Select(
+      "sel(nation)", PlanBuilder::Base(db.nation()),
+      CmpCL(n, NationCol::kNRegionkey, CompareOp::kEq,
+            TypedValue::Int32(tpch::kRegionEurope)),
+      Proj(MakeVec(C(n, NationCol::kNNationkey)), {"n_nationkey"}));
+  auto* ht_nat = b.Build("build(nation)", sel_nat, {0}, {});
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey),
+                   C(s, SupplierCol::kSNationkey)),
+           {"s_suppkey", "s_nationkey"}));
+  auto eu_sup = b.Probe("probe(nation) semi", sel_sup, ht_nat, {1}, {0},
+                        JoinKind::kLeftSemi);
+  auto* ht_sup = b.Build("build(supplier)", eu_sup, {0}, {});
+
+  // Eligible partsupp rows: European suppliers of BRASS parts.
+  auto sel_ps = b.Select(
+      "sel(partsupp)", PlanBuilder::Base(db.partsupp()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(ps, tpch::kPsPartkey), C(ps, tpch::kPsSuppkey),
+                   C(ps, tpch::kPsSupplycost)),
+           {"ps_partkey", "ps_suppkey", "ps_supplycost"}));
+  auto eu_ps = b.Probe("probe(supplier) semi", sel_ps, ht_sup, {1},
+                       {0, 1, 2}, JoinKind::kLeftSemi);
+  auto eligible = b.Probe("probe(part) semi", eu_ps, ht_part, {0},
+                          {0, 1, 2}, JoinKind::kLeftSemi);
+
+  // Min supply cost per part (the correlated subquery), joined back on
+  // cost equality.
+  auto min_cost = b.Aggregate(
+      "agg(min-cost)", eligible, {0},
+      MakeVec(Agg(AggFn::kMin, Col(2, Type::Double()), "min_cost")));
+  auto* ht_min = b.Build("build(min-cost)", min_cost, {0}, {1});
+  auto winners =
+      b.Probe("probe(min-cost)", eligible, ht_min, {0}, {0, 1, 2},
+              JoinKind::kLeftSemi,
+              {ResidualCondition{2, 0, CompareOp::kEq}});
+  auto sorted = b.Sort("sort", winners, {{2, true}, {0, true}, {1, true}},
+                       100);
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ9(const TpchDatabase& db,
+                                   const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& p = db.part().schema();
+  const Schema& o = db.orders().schema();
+  const Schema& l = db.lineitem().schema();
+  const Schema& ps = db.partsupp().schema();
+
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()),
+      std::make_unique<Like>(C(p, PartCol::kPName), "%green%", false),
+      Proj(MakeVec(C(p, PartCol::kPPartkey)), {"p_partkey"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {});
+
+  auto* ht_sup = b.Build("build(supplier)", PlanBuilder::Base(db.supplier()),
+                         {SupplierCol::kSSuppkey},
+                         {SupplierCol::kSNationkey});
+
+  auto* ht_ps = b.Build("build(partsupp)", PlanBuilder::Base(db.partsupp()),
+                        {tpch::kPsPartkey, tpch::kPsSuppkey},
+                        {tpch::kPsSupplycost});
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey),
+                   std::make_unique<ExtractYear>(
+                       C(o, OrdersCol::kOOrderdate))),
+           {"o_orderkey", "o_year"}));
+  auto* ht_ord = b.Build("build(orders)", sel_ord, {0}, {1});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey),
+                   C(l, LineitemCol::kLPartkey),
+                   C(l, LineitemCol::kLSuppkey),
+                   C(l, LineitemCol::kLQuantity), Revenue(l)),
+           {"l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+            "revenue"}),
+      {{ht_part, LineitemCol::kLPartkey}});
+  (void)ps;
+  // -> [l_orderkey, l_partkey, l_suppkey, l_quantity, revenue]
+  auto p1 = b.Probe("probe(part) semi", sel_li, ht_part, {1},
+                    {0, 1, 2, 3, 4}, JoinKind::kLeftSemi);
+  // -> [l_orderkey, l_suppkey, l_quantity, revenue, ps_supplycost]
+  auto q1 = b.Probe("probe(partsupp)", p1, ht_ps, {1, 2}, {0, 2, 3, 4});
+  // -> [l_orderkey, l_quantity, revenue, ps_supplycost, s_nationkey]
+  auto q2 = b.Probe("probe(supplier)", q1, ht_sup, {1}, {0, 2, 3, 4});
+  // -> [l_quantity, revenue, ps_supplycost, s_nationkey, o_year]
+  auto q3 = b.Probe("probe(orders)", q2, ht_ord, {0}, {1, 2, 3, 4});
+
+  // profit = revenue - ps_supplycost * l_quantity
+  const Schema& j = b.SchemaOf(q3);
+  auto profit = b.Select(
+      "compute(profit)", q3, std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(j, 3), C(j, 4),
+                   Sub(C(j, 1), Mul(C(j, 2), C(j, 0)))),
+           {"s_nationkey", "o_year", "profit"}));
+  auto agg = b.Aggregate(
+      "agg", profit, {0, 1},
+      MakeVec(Agg(AggFn::kSum, Col(2, Type::Double()), "sum_profit")));
+  auto sorted = b.Sort("sort", agg, {{0, true}, {1, false}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ11(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& s = db.supplier().schema();
+  const Schema& ps = db.partsupp().schema();
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      CmpCL(s, SupplierCol::kSNationkey, CompareOp::kEq,
+            TypedValue::Int32(tpch::kNationGermany)),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey)), {"s_suppkey"}));
+  auto* ht_sup = b.Build("build(supplier)", sel_sup, {0}, {});
+
+  auto sel_ps = b.Select(
+      "sel(partsupp)", PlanBuilder::Base(db.partsupp()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(ps, tpch::kPsPartkey), C(ps, tpch::kPsSuppkey),
+                   Mul(C(ps, tpch::kPsSupplycost),
+                       C(ps, tpch::kPsAvailqty))),
+           {"ps_partkey", "ps_suppkey", "value"}));
+  auto german = b.Probe("probe(supplier) semi", sel_ps, ht_sup, {1}, {0, 2},
+                        JoinKind::kLeftSemi);
+  auto agg = b.Aggregate(
+      "agg", german, {0},
+      MakeVec(Agg(AggFn::kSum, Col(1, Type::Double()), "value")));
+  auto sorted = b.Sort("sort", agg, {{1, false}}, 20);
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ12(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& l = db.lineitem().schema();
+
+  auto* ht_ord = b.Build("build(orders)", PlanBuilder::Base(db.orders()),
+                         {OrdersCol::kOOrderkey},
+                         {OrdersCol::kOOrderpriority});
+
+  std::vector<std::unique_ptr<Predicate>> parts;
+  parts.push_back(CharIn(l, LineitemCol::kLShipmode, {"MAIL", "SHIP"}));
+  parts.push_back(Cmp(CompareOp::kLt, C(l, LineitemCol::kLCommitdate),
+                      C(l, LineitemCol::kLReceiptdate)));
+  parts.push_back(Cmp(CompareOp::kLt, C(l, LineitemCol::kLShipdate),
+                      C(l, LineitemCol::kLCommitdate)));
+  parts.push_back(DateIn(l, LineitemCol::kLReceiptdate,
+                         MakeDate(1994, 1, 1), MakeDate(1995, 1, 1)));
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      And(std::move(parts)),
+      Proj(MakeVec(C(l, LineitemCol::kLOrderkey),
+                   std::make_unique<Substring>(
+                       C(l, LineitemCol::kLShipmode), 0, 8)),
+           {"l_orderkey", "l_shipmode"}));
+  // -> [l_shipmode, o_orderpriority]
+  auto joined = b.Probe("probe(orders)", sel_li, ht_ord, {0}, {1});
+  const Schema& j = b.SchemaOf(joined);
+  // The spec's CASE pivot: urgent priorities vs the rest, per ship mode.
+  auto high = std::make_unique<CaseWhen>(
+      CharIn(j, 1, {"1-URGENT", "2-HIGH"}), LitDouble(1.0), LitDouble(0.0));
+  auto low = std::make_unique<CaseWhen>(
+      CharIn(j, 1, {"1-URGENT", "2-HIGH"}), LitDouble(0.0), LitDouble(1.0));
+  auto agg = b.Aggregate(
+      "agg", joined, {0},
+      MakeVec(Agg(AggFn::kSum, std::move(high), "high_line_count"),
+              Agg(AggFn::kSum, std::move(low), "low_line_count")));
+  auto sorted = b.Sort("sort", agg, {{0, true}});
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ17(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& p = db.part().schema();
+  const Schema& l = db.lineitem().schema();
+
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()),
+      And(MakePreds(CharEq(p, PartCol::kPBrand, "Brand#23"),
+                    CharEq(p, PartCol::kPContainer, "MED BOX"))),
+      Proj(MakeVec(C(p, PartCol::kPPartkey)), {"p_partkey"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {});
+
+  // Per-part average quantity (the correlated aggregate).
+  auto avg_qty = b.Aggregate(
+      "agg(avg-qty)", PlanBuilder::Base(db.lineitem()),
+      {LineitemCol::kLPartkey},
+      MakeVec(Agg(AggFn::kAvg, C(l, LineitemCol::kLQuantity), "avg_qty")));
+  auto* ht_avg = b.Build("build(avg-qty)", avg_qty, {0}, {1});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(l, LineitemCol::kLPartkey),
+                   C(l, LineitemCol::kLQuantity),
+                   C(l, LineitemCol::kLExtendedprice)),
+           {"l_partkey", "l_quantity", "l_extendedprice"}),
+      {{ht_part, LineitemCol::kLPartkey}});
+  auto of_part = b.Probe("probe(part) semi", sel_li, ht_part, {0},
+                         {0, 1, 2}, JoinKind::kLeftSemi);
+  // l_quantity < 0.2 * avg(l_quantity) — the scaled residual.
+  auto small = b.Probe(
+      "probe(avg-qty) semi", of_part, ht_avg, {0}, {2}, JoinKind::kLeftSemi,
+      {ResidualCondition{1, 0, CompareOp::kLt, 0.2}});
+  const Schema& sm = b.SchemaOf(small);
+  auto agg = b.Aggregate(
+      "agg", small, {},
+      MakeVec(Agg(AggFn::kSum, Div(C(sm, 0), LitDouble(7.0)),
+                  "avg_yearly")));
+  return b.Finish(agg);
+}
+
+std::unique_ptr<QueryPlan> BuildQ18(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& l = db.lineitem().schema();
+  const Schema& o = db.orders().schema();
+
+  auto qty = b.Aggregate(
+      "agg(order-qty)", PlanBuilder::Base(db.lineitem()),
+      {LineitemCol::kLOrderkey},
+      MakeVec(Agg(AggFn::kSum, C(l, LineitemCol::kLQuantity), "sum_qty")));
+  const Schema& q = b.SchemaOf(qty);
+  auto big = b.Select(
+      "filter(sum_qty>300)", qty,
+      CmpCL(q, 1, CompareOp::kGt, TypedValue::Double(300.0)),
+      Proj(MakeVec(C(q, 0), C(q, 1)), {"l_orderkey", "sum_qty"}));
+  auto* ht_big = b.Build("build(big-orders)", big, {0}, {1});
+
+  auto sel_ord = b.Select(
+      "sel(orders)", PlanBuilder::Base(db.orders()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(o, OrdersCol::kOOrderkey), C(o, OrdersCol::kOCustkey),
+                   C(o, OrdersCol::kOTotalprice),
+                   C(o, OrdersCol::kOOrderdate)),
+           {"o_orderkey", "o_custkey", "o_totalprice", "o_orderdate"}));
+  auto joined = b.Probe("probe(big-orders)", sel_ord, ht_big, {0},
+                        {0, 1, 2, 3});
+  auto sorted = b.Sort("sort", joined, {{2, false}, {3, true}}, 100);
+  return b.Finish(sorted);
+}
+
+std::unique_ptr<QueryPlan> BuildQ20(const TpchDatabase& db,
+                                    const TpchPlanConfig& config) {
+  PlanBuilder b(db.storage(), config);
+  const Schema& p = db.part().schema();
+  const Schema& s = db.supplier().schema();
+  const Schema& l = db.lineitem().schema();
+  const Schema& ps = db.partsupp().schema();
+
+  auto sel_part = b.Select(
+      "sel(part)", PlanBuilder::Base(db.part()),
+      std::make_unique<Like>(C(p, PartCol::kPName), "forest%", false),
+      Proj(MakeVec(C(p, PartCol::kPPartkey)), {"p_partkey"}));
+  auto* ht_part = b.Build("build(part)", sel_part, {0}, {});
+
+  auto sel_li = b.Select(
+      "sel(lineitem)", PlanBuilder::Base(db.lineitem()),
+      DateIn(l, LineitemCol::kLShipdate, MakeDate(1994, 1, 1),
+             MakeDate(1995, 1, 1)),
+      Proj(MakeVec(C(l, LineitemCol::kLPartkey),
+                   C(l, LineitemCol::kLSuppkey),
+                   C(l, LineitemCol::kLQuantity)),
+           {"l_partkey", "l_suppkey", "l_quantity"}));
+  auto shipped = b.Aggregate(
+      "agg(shipped-qty)", sel_li, {0, 1},
+      MakeVec(Agg(AggFn::kSum, Col(2, Type::Double()), "sum_qty")));
+  auto* ht_shipped = b.Build("build(shipped-qty)", shipped, {0, 1}, {2});
+
+  auto sel_ps = b.Select(
+      "sel(partsupp)", PlanBuilder::Base(db.partsupp()),
+      std::make_unique<TruePredicate>(),
+      Proj(MakeVec(C(ps, tpch::kPsPartkey), C(ps, tpch::kPsSuppkey),
+                   C(ps, tpch::kPsAvailqty)),
+           {"ps_partkey", "ps_suppkey", "ps_availqty"}));
+  auto forest_ps = b.Probe("probe(part) semi", sel_ps, ht_part, {0},
+                           {0, 1, 2}, JoinKind::kLeftSemi);
+  // ps_availqty > 0.5 * sum(l_quantity) — the scaled residual.
+  auto excess = b.Probe(
+      "probe(shipped-qty) semi", forest_ps, ht_shipped, {0, 1}, {1},
+      JoinKind::kLeftSemi, {ResidualCondition{2, 0, CompareOp::kGt, 0.5}});
+  auto* ht_excess = b.Build("build(excess-suppliers)", excess, {0}, {});
+
+  auto sel_sup = b.Select(
+      "sel(supplier)", PlanBuilder::Base(db.supplier()),
+      CmpCL(s, SupplierCol::kSNationkey, CompareOp::kEq,
+            TypedValue::Int32(tpch::kNationCanada)),
+      Proj(MakeVec(C(s, SupplierCol::kSSuppkey),
+                   C(s, SupplierCol::kSName)),
+           {"s_suppkey", "s_name"}));
+  auto result = b.Probe("probe(excess-suppliers) semi", sel_sup, ht_excess,
+                        {0}, {0, 1}, JoinKind::kLeftSemi);
+  auto sorted = b.Sort("sort", result, {{0, true}});
+  return b.Finish(sorted);
+}
+
+}  // namespace
+
+const std::vector<int>& SupportedTpchQueries() {
+  // Everything except Q16 (it needs 3-column grouping plus a DISTINCT
+  // aggregate; see DESIGN.md).
+  static const std::vector<int>* kQueries = new std::vector<int>{
+      1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 17, 18, 19, 20,
+      21, 22};
+  return *kQueries;
+}
+
+bool IsTpchQuerySupported(int query) {
+  for (int q : SupportedTpchQueries()) {
+    if (q == query) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<QueryPlan> BuildTpchPlan(int query, const TpchDatabase& db,
+                                         const TpchPlanConfig& config) {
+  switch (query) {
+    case 1:
+      return BuildQ1(db, config);
+    case 2:
+      return BuildQ2(db, config);
+    case 3:
+      return BuildQ3(db, config);
+    case 4:
+      return BuildQ4(db, config);
+    case 5:
+      return BuildQ5(db, config);
+    case 6:
+      return BuildQ6(db, config);
+    case 7:
+      return BuildQ7(db, config);
+    case 8:
+      return BuildQ8(db, config);
+    case 9:
+      return BuildQ9(db, config);
+    case 10:
+      return BuildQ10(db, config);
+    case 11:
+      return BuildQ11(db, config);
+    case 12:
+      return BuildQ12(db, config);
+    case 13:
+      return BuildQ13(db, config);
+    case 14:
+      return BuildQ14(db, config);
+    case 15:
+      return BuildQ15(db, config);
+    case 17:
+      return BuildQ17(db, config);
+    case 18:
+      return BuildQ18(db, config);
+    case 19:
+      return BuildQ19(db, config);
+    case 20:
+      return BuildQ20(db, config);
+    case 21:
+      return BuildQ21(db, config);
+    case 22:
+      return BuildQ22(db, config);
+    default:
+      UOT_CHECK(false);
+      return nullptr;
+  }
+}
+
+const std::vector<int>& TpchLineitemReductionQueries() {
+  static const std::vector<int>* kQueries = new std::vector<int>{3, 7, 10, 19};
+  return *kQueries;
+}
+
+const std::vector<int>& TpchOrdersReductionQueries() {
+  static const std::vector<int>* kQueries =
+      new std::vector<int>{3, 4, 5, 8, 10, 21};
+  return *kQueries;
+}
+
+SelectionSpec TpchSelectionSpec(int query, const std::string& table_name) {
+  SelectionSpec spec;
+  if (table_name == "lineitem") {
+    spec.predicate = LineitemSelectionPredicate(query);
+    spec.projected_bytes = LineitemSelectionProjectedBytes(query);
+  } else if (table_name == "orders") {
+    spec.predicate = OrdersSelectionPredicate(query);
+    spec.projected_bytes = OrdersSelectionProjectedBytes(query);
+  } else {
+    UOT_CHECK(false);
+  }
+  return spec;
+}
+
+}  // namespace uot

@@ -1,0 +1,52 @@
+#ifndef UOT_TPCH_TPCH_QUERIES_H_
+#define UOT_TPCH_TPCH_QUERIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "plan/plan_builder.h"
+#include "plan/query_plan.h"
+#include "tpch/tpch_generator.h"
+
+namespace uot {
+
+/// Plan-construction knobs shared by all TPC-H plans (see
+/// plan/plan_builder.h for the fields, including `use_lip`).
+using TpchPlanConfig = PlanBuilderConfig;
+
+/// The queries this reproduction implements: every query the paper names in
+/// Fig. 3 callouts and Tables III/IV (see DESIGN.md for the simplifications
+/// applied to each).
+const std::vector<int>& SupportedTpchQueries();
+
+/// True if `query` is in SupportedTpchQueries().
+bool IsTpchQuerySupported(int query);
+
+/// Builds the physical plan for TPC-H query `query` (left-deep hash joins
+/// with selections pushed down, the shape Quickstep's optimizer produces).
+/// CHECK-fails on unsupported query numbers.
+std::unique_ptr<QueryPlan> BuildTpchPlan(int query, const TpchDatabase& db,
+                                         const TpchPlanConfig& config);
+
+/// The selection each query applies to `table_name` ("lineitem"/"orders"),
+/// as used by the Section VI memory analysis (Tables III and IV).
+struct SelectionSpec {
+  std::unique_ptr<Predicate> predicate;
+  /// Bytes per tuple the selection's projection keeps (expression folding
+  /// counted as one 8-byte column, per Section VI-C).
+  double projected_bytes = 0;
+};
+
+/// Queries with a selection + probe pipeline on lineitem (Table III).
+const std::vector<int>& TpchLineitemReductionQueries();
+/// Queries with a selection + probe pipeline on orders (Table IV).
+const std::vector<int>& TpchOrdersReductionQueries();
+
+/// CHECK-fails if the (query, table) pair is not part of the analysis.
+SelectionSpec TpchSelectionSpec(int query, const std::string& table_name);
+
+}  // namespace uot
+
+#endif  // UOT_TPCH_TPCH_QUERIES_H_

@@ -1,0 +1,106 @@
+#include "tpch/tpch_schema.h"
+
+namespace uot {
+
+Schema LineitemSchema() {
+  return Schema({
+      {"l_orderkey", Type::Int64()},
+      {"l_partkey", Type::Int32()},
+      {"l_suppkey", Type::Int32()},
+      {"l_linenumber", Type::Int32()},
+      {"l_quantity", Type::Double()},
+      {"l_extendedprice", Type::Double()},
+      {"l_discount", Type::Double()},
+      {"l_tax", Type::Double()},
+      {"l_returnflag", Type::Char(1)},
+      {"l_linestatus", Type::Char(1)},
+      {"l_shipdate", Type::Date()},
+      {"l_commitdate", Type::Date()},
+      {"l_receiptdate", Type::Date()},
+      {"l_shipinstruct", Type::Char(25)},
+      {"l_shipmode", Type::Char(10)},
+      {"l_comment", Type::Char(44)},
+  });
+}
+
+Schema OrdersSchema() {
+  return Schema({
+      {"o_orderkey", Type::Int64()},
+      {"o_custkey", Type::Int32()},
+      {"o_orderstatus", Type::Char(1)},
+      {"o_totalprice", Type::Double()},
+      {"o_orderdate", Type::Date()},
+      {"o_orderpriority", Type::Char(15)},
+      {"o_clerk", Type::Char(15)},
+      {"o_shippriority", Type::Int32()},
+      {"o_comment", Type::Char(49)},
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      {"c_custkey", Type::Int32()},
+      {"c_name", Type::Char(25)},
+      {"c_address", Type::Char(25)},
+      {"c_nationkey", Type::Int32()},
+      {"c_phone", Type::Char(15)},
+      {"c_acctbal", Type::Double()},
+      {"c_mktsegment", Type::Char(10)},
+      {"c_comment", Type::Char(30)},
+  });
+}
+
+Schema PartSchema() {
+  return Schema({
+      {"p_partkey", Type::Int32()},
+      {"p_name", Type::Char(35)},
+      {"p_mfgr", Type::Char(25)},
+      {"p_brand", Type::Char(10)},
+      {"p_type", Type::Char(25)},
+      {"p_size", Type::Int32()},
+      {"p_container", Type::Char(10)},
+      {"p_retailprice", Type::Double()},
+      {"p_comment", Type::Char(23)},
+  });
+}
+
+Schema SupplierSchema() {
+  return Schema({
+      {"s_suppkey", Type::Int32()},
+      {"s_name", Type::Char(25)},
+      {"s_address", Type::Char(25)},
+      {"s_nationkey", Type::Int32()},
+      {"s_phone", Type::Char(15)},
+      {"s_acctbal", Type::Double()},
+      {"s_comment", Type::Char(40)},
+  });
+}
+
+Schema PartsuppSchema() {
+  return Schema({
+      {"ps_partkey", Type::Int32()},
+      {"ps_suppkey", Type::Int32()},
+      {"ps_availqty", Type::Int32()},
+      {"ps_supplycost", Type::Double()},
+      {"ps_comment", Type::Char(40)},
+  });
+}
+
+Schema NationSchema() {
+  return Schema({
+      {"n_nationkey", Type::Int32()},
+      {"n_name", Type::Char(25)},
+      {"n_regionkey", Type::Int32()},
+      {"n_comment", Type::Char(55)},
+  });
+}
+
+Schema RegionSchema() {
+  return Schema({
+      {"r_regionkey", Type::Int32()},
+      {"r_name", Type::Char(25)},
+      {"r_comment", Type::Char(55)},
+  });
+}
+
+}  // namespace uot

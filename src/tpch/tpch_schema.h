@@ -1,0 +1,127 @@
+#ifndef UOT_TPCH_TPCH_SCHEMA_H_
+#define UOT_TPCH_TPCH_SCHEMA_H_
+
+#include <string>
+
+#include "types/schema.h"
+
+namespace uot {
+
+/// TPC-H table schemas (fixed-width adaptation; see DESIGN.md: DECIMAL ->
+/// DOUBLE, VARCHAR -> CHAR(n) sized near the spec's average lengths).
+///
+/// Column order matches the TPC-H specification, so plan builders can refer
+/// to columns via the named index constants below.
+Schema LineitemSchema();
+Schema OrdersSchema();
+Schema CustomerSchema();
+Schema PartSchema();
+Schema SupplierSchema();
+Schema PartsuppSchema();
+Schema NationSchema();
+Schema RegionSchema();
+
+// Column indices (schema order mirrors the spec).
+namespace tpch {
+
+enum LineitemCol : int {
+  kLOrderkey = 0,
+  kLPartkey,
+  kLSuppkey,
+  kLLinenumber,
+  kLQuantity,
+  kLExtendedprice,
+  kLDiscount,
+  kLTax,
+  kLReturnflag,
+  kLLinestatus,
+  kLShipdate,
+  kLCommitdate,
+  kLReceiptdate,
+  kLShipinstruct,
+  kLShipmode,
+  kLComment,
+};
+
+enum OrdersCol : int {
+  kOOrderkey = 0,
+  kOCustkey,
+  kOOrderstatus,
+  kOTotalprice,
+  kOOrderdate,
+  kOOrderpriority,
+  kOClerk,
+  kOShippriority,
+  kOComment,
+};
+
+enum CustomerCol : int {
+  kCCustkey = 0,
+  kCName,
+  kCAddress,
+  kCNationkey,
+  kCPhone,
+  kCAcctbal,
+  kCMktsegment,
+  kCComment,
+};
+
+enum PartCol : int {
+  kPPartkey = 0,
+  kPName,
+  kPMfgr,
+  kPBrand,
+  kPType,
+  kPSize,
+  kPContainer,
+  kPRetailprice,
+  kPComment,
+};
+
+enum SupplierCol : int {
+  kSSuppkey = 0,
+  kSName,
+  kSAddress,
+  kSNationkey,
+  kSPhone,
+  kSAcctbal,
+  kSComment,
+};
+
+enum PartsuppCol : int {
+  kPsPartkey = 0,
+  kPsSuppkey,
+  kPsAvailqty,
+  kPsSupplycost,
+  kPsComment,
+};
+
+enum NationCol : int {
+  kNNationkey = 0,
+  kNName,
+  kNRegionkey,
+  kNComment,
+};
+
+enum RegionCol : int {
+  kRRegionkey = 0,
+  kRName,
+  kRComment,
+};
+
+/// Standard TPC-H nation keys used by the query plans.
+inline constexpr int32_t kNationFrance = 6;
+inline constexpr int32_t kNationGermany = 7;
+inline constexpr int32_t kNationBrazil = 2;
+inline constexpr int32_t kNationSaudiArabia = 20;
+inline constexpr int32_t kNationCanada = 3;
+/// Region keys.
+inline constexpr int32_t kRegionAmerica = 1;
+inline constexpr int32_t kRegionAsia = 2;
+inline constexpr int32_t kRegionEurope = 3;
+
+}  // namespace tpch
+
+}  // namespace uot
+
+#endif  // UOT_TPCH_TPCH_SCHEMA_H_

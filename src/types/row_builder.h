@@ -1,0 +1,52 @@
+#ifndef UOT_TYPES_ROW_BUILDER_H_
+#define UOT_TYPES_ROW_BUILDER_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "util/macros.h"
+
+namespace uot {
+
+/// Assembles packed rows column by column (loader/generator path).
+class RowBuilder {
+ public:
+  explicit RowBuilder(const Schema* schema)
+      : schema_(schema), row_(schema->row_width()) {}
+
+  void SetInt32(int col, int32_t v) {
+    UOT_DCHECK(schema_->column(col).type.width() == 4);
+    std::memcpy(row_.data() + schema_->offset(col), &v, 4);
+  }
+  void SetInt64(int col, int64_t v) {
+    UOT_DCHECK(schema_->column(col).type.id() == TypeId::kInt64);
+    std::memcpy(row_.data() + schema_->offset(col), &v, 8);
+  }
+  void SetDouble(int col, double v) {
+    UOT_DCHECK(schema_->column(col).type.id() == TypeId::kDouble);
+    std::memcpy(row_.data() + schema_->offset(col), &v, 8);
+  }
+  void SetDate(int col, int32_t days) { SetInt32(col, days); }
+  void SetChar(int col, const std::string& v) {
+    const Type& type = schema_->column(col).type;
+    UOT_DCHECK(type.id() == TypeId::kChar);
+    char* out = reinterpret_cast<char*>(row_.data() + schema_->offset(col));
+    const size_t n =
+        v.size() < type.width() ? v.size() : static_cast<size_t>(type.width());
+    std::memcpy(out, v.data(), n);
+    std::memset(out + n, ' ', type.width() - n);
+  }
+
+  /// The packed row (valid until the next Set* call mutates it).
+  const std::byte* data() const { return row_.data(); }
+
+ private:
+  const Schema* const schema_;
+  std::vector<std::byte> row_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_TYPES_ROW_BUILDER_H_

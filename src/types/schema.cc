@@ -1,0 +1,42 @@
+#include "types/schema.h"
+
+namespace uot {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t offset = 0;
+  for (const Column& col : columns_) {
+    offsets_.push_back(offset);
+    offset += col.type.width();
+  }
+  row_width_ = offset;
+  UOT_CHECK(row_width_ > 0 || columns_.empty());
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type != other.columns_[i].type) return false;
+    if (columns_[i].name != other.columns_[i].name) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < num_columns(); ++i) {
+    if (i > 0) out += ", ";
+    out += column(i).name + " " + column(i).type.ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace uot

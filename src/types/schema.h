@@ -1,0 +1,65 @@
+#ifndef UOT_TYPES_SCHEMA_H_
+#define UOT_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+#include "util/macros.h"
+
+namespace uot {
+
+/// A named, typed column in a schema.
+struct Column {
+  std::string name;
+  Type type;
+};
+
+/// An ordered list of columns plus the derived packed row layout.
+///
+/// The packed layout (no padding) is the canonical tuple wire format: the
+/// row store stores tuples in exactly this layout, the column store stores
+/// each column's packed values contiguously, and operators exchange tuples
+/// in this layout. All loads/stores go through memcpy so packing is safe.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+  Schema(std::initializer_list<Column> columns)
+      : Schema(std::vector<Column>(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const {
+    UOT_DCHECK(i >= 0 && i < num_columns());
+    return columns_[static_cast<size_t>(i)];
+  }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Byte offset of column `i` within a packed row.
+  uint32_t offset(int i) const {
+    UOT_DCHECK(i >= 0 && i < num_columns());
+    return offsets_[static_cast<size_t>(i)];
+  }
+
+  /// Total packed row width in bytes.
+  uint32_t row_width() const { return row_width_; }
+
+  /// Index of the column named `name`; -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_width_ = 0;
+};
+
+}  // namespace uot
+
+#endif  // UOT_TYPES_SCHEMA_H_

@@ -1,0 +1,21 @@
+#include "types/type.h"
+
+namespace uot {
+
+std::string Type::ToString() const {
+  switch (id_) {
+    case TypeId::kInt32:
+      return "INT32";
+    case TypeId::kInt64:
+      return "INT64";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kDate:
+      return "DATE";
+    case TypeId::kChar:
+      return "CHAR(" + std::to_string(width_) + ")";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace uot

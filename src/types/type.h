@@ -1,0 +1,70 @@
+#ifndef UOT_TYPES_TYPE_H_
+#define UOT_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/macros.h"
+
+namespace uot {
+
+/// Column type tags.
+///
+/// All types are fixed-width: the engine follows Quickstep's design where
+/// row-store tuples are fixed width (variable-length data would live in a
+/// separate region; the paper's workloads only need fixed-width columns, with
+/// DECIMAL mapped to double and VARCHAR mapped to CHAR(n) — see DESIGN.md).
+enum class TypeId : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kDouble = 2,
+  kDate = 3,  // int32 days since 1970-01-01
+  kChar = 4,  // fixed-width byte string, space padded
+};
+
+/// A concrete column type: a tag plus a byte width (width is only
+/// configurable for kChar).
+class Type {
+ public:
+  static Type Int32() { return Type(TypeId::kInt32, 4); }
+  static Type Int64() { return Type(TypeId::kInt64, 8); }
+  static Type Double() { return Type(TypeId::kDouble, 8); }
+  static Type Date() { return Type(TypeId::kDate, 4); }
+  static Type Char(uint16_t width) {
+    UOT_CHECK(width > 0);
+    return Type(TypeId::kChar, width);
+  }
+
+  TypeId id() const { return id_; }
+  uint16_t width() const { return width_; }
+
+  bool IsNumeric() const {
+    return id_ == TypeId::kInt32 || id_ == TypeId::kInt64 ||
+           id_ == TypeId::kDouble || id_ == TypeId::kDate;
+  }
+
+  /// True if values of this type are stored as an integral machine word
+  /// (and hence usable as a join/grouping key).
+  bool IsIntegral() const {
+    return id_ == TypeId::kInt32 || id_ == TypeId::kInt64 ||
+           id_ == TypeId::kDate;
+  }
+
+  bool operator==(const Type& other) const {
+    return id_ == other.id_ && width_ == other.width_;
+  }
+  bool operator!=(const Type& other) const { return !(*this == other); }
+
+  /// e.g. "INT32", "CHAR(10)".
+  std::string ToString() const;
+
+ private:
+  Type(TypeId id, uint16_t width) : id_(id), width_(width) {}
+
+  TypeId id_;
+  uint16_t width_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_TYPES_TYPE_H_

@@ -1,0 +1,164 @@
+#include "types/typed_value.h"
+
+#include <algorithm>
+
+#include "types/date.h"
+
+namespace uot {
+
+TypedValue TypedValue::Int32(int32_t v) {
+  TypedValue t;
+  t.type_id_ = TypeId::kInt32;
+  t.value_.i64 = v;
+  return t;
+}
+
+TypedValue TypedValue::Int64(int64_t v) {
+  TypedValue t;
+  t.type_id_ = TypeId::kInt64;
+  t.value_.i64 = v;
+  return t;
+}
+
+TypedValue TypedValue::Double(double v) {
+  TypedValue t;
+  t.type_id_ = TypeId::kDouble;
+  t.value_.f64 = v;
+  return t;
+}
+
+TypedValue TypedValue::Date(int32_t days) {
+  TypedValue t;
+  t.type_id_ = TypeId::kDate;
+  t.value_.i64 = days;
+  return t;
+}
+
+TypedValue TypedValue::Char(std::string v) {
+  TypedValue t;
+  t.type_id_ = TypeId::kChar;
+  t.str_ = std::move(v);
+  return t;
+}
+
+double TypedValue::ToDouble() const {
+  switch (type_id_) {
+    case TypeId::kDouble:
+      return value_.f64;
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      return static_cast<double>(value_.i64);
+    case TypeId::kChar:
+      UOT_CHECK(false);
+  }
+  return 0.0;
+}
+
+int64_t TypedValue::ToInt64() const {
+  UOT_DCHECK(type_id_ != TypeId::kChar && type_id_ != TypeId::kDouble);
+  return value_.i64;
+}
+
+void TypedValue::CopyTo(const Type& type, void* dest) const {
+  UOT_DCHECK(type.id() == type_id_);
+  switch (type_id_) {
+    case TypeId::kInt32:
+    case TypeId::kDate: {
+      const int32_t v = static_cast<int32_t>(value_.i64);
+      std::memcpy(dest, &v, 4);
+      return;
+    }
+    case TypeId::kInt64:
+      std::memcpy(dest, &value_.i64, 8);
+      return;
+    case TypeId::kDouble:
+      std::memcpy(dest, &value_.f64, 8);
+      return;
+    case TypeId::kChar: {
+      char* out = static_cast<char*>(dest);
+      const size_t n =
+          std::min<size_t>(str_.size(), static_cast<size_t>(type.width()));
+      std::memcpy(out, str_.data(), n);
+      std::memset(out + n, ' ', type.width() - n);
+      return;
+    }
+  }
+}
+
+TypedValue TypedValue::Load(const Type& type, const void* src) {
+  switch (type.id()) {
+    case TypeId::kInt32: {
+      int32_t v;
+      std::memcpy(&v, src, 4);
+      return Int32(v);
+    }
+    case TypeId::kDate: {
+      int32_t v;
+      std::memcpy(&v, src, 4);
+      return Date(v);
+    }
+    case TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, src, 8);
+      return Int64(v);
+    }
+    case TypeId::kDouble: {
+      double v;
+      std::memcpy(&v, src, 8);
+      return Double(v);
+    }
+    case TypeId::kChar: {
+      const char* s = static_cast<const char*>(src);
+      size_t len = type.width();
+      while (len > 0 && s[len - 1] == ' ') --len;  // strip padding
+      return Char(std::string(s, len));
+    }
+  }
+  UOT_CHECK(false);
+  return TypedValue();
+}
+
+bool TypedValue::operator==(const TypedValue& other) const {
+  if (type_id_ != other.type_id_) return false;
+  switch (type_id_) {
+    case TypeId::kChar:
+      return str_ == other.str_;
+    case TypeId::kDouble:
+      return value_.f64 == other.value_.f64;
+    default:
+      return value_.i64 == other.value_.i64;
+  }
+}
+
+bool TypedValue::operator<(const TypedValue& other) const {
+  UOT_DCHECK(type_id_ == other.type_id_);
+  switch (type_id_) {
+    case TypeId::kChar:
+      return str_ < other.str_;
+    case TypeId::kDouble:
+      return value_.f64 < other.value_.f64;
+    default:
+      return value_.i64 < other.value_.i64;
+  }
+}
+
+std::string TypedValue::ToString() const {
+  switch (type_id_) {
+    case TypeId::kInt32:
+    case TypeId::kInt64:
+      return std::to_string(value_.i64);
+    case TypeId::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.4f", value_.f64);
+      return buf;
+    }
+    case TypeId::kDate:
+      return DateToString(static_cast<int32_t>(value_.i64));
+    case TypeId::kChar:
+      return str_;
+  }
+  return "?";
+}
+
+}  // namespace uot

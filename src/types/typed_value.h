@@ -1,0 +1,78 @@
+#ifndef UOT_TYPES_TYPED_VALUE_H_
+#define UOT_TYPES_TYPED_VALUE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "types/type.h"
+#include "util/macros.h"
+
+namespace uot {
+
+/// A single boxed value, used outside hot loops: literals in expressions,
+/// aggregate results, test assertions and result rendering.
+///
+/// Hot-path evaluation works directly on packed block storage; TypedValue is
+/// the boundary representation.
+class TypedValue {
+ public:
+  TypedValue() : type_id_(TypeId::kInt32) { value_.i64 = 0; }
+
+  static TypedValue Int32(int32_t v);
+  static TypedValue Int64(int64_t v);
+  static TypedValue Double(double v);
+  static TypedValue Date(int32_t days);
+  static TypedValue Char(std::string v);
+
+  TypeId type_id() const { return type_id_; }
+
+  int32_t AsInt32() const {
+    UOT_DCHECK(type_id_ == TypeId::kInt32 || type_id_ == TypeId::kDate);
+    return static_cast<int32_t>(value_.i64);
+  }
+  int64_t AsInt64() const {
+    UOT_DCHECK(type_id_ == TypeId::kInt64);
+    return value_.i64;
+  }
+  double AsDouble() const {
+    UOT_DCHECK(type_id_ == TypeId::kDouble);
+    return value_.f64;
+  }
+  const std::string& AsChar() const {
+    UOT_DCHECK(type_id_ == TypeId::kChar);
+    return str_;
+  }
+
+  /// Numeric value widened to double (valid for all numeric type ids).
+  double ToDouble() const;
+
+  /// Integral value widened to int64 (valid for integral type ids).
+  int64_t ToInt64() const;
+
+  /// Writes the packed representation (`type.width()` bytes) to `dest`.
+  /// Char values are space padded / truncated to the column width.
+  void CopyTo(const Type& type, void* dest) const;
+
+  /// Reads a packed value of `type` from `src`.
+  static TypedValue Load(const Type& type, const void* src);
+
+  bool operator==(const TypedValue& other) const;
+  bool operator!=(const TypedValue& other) const { return !(*this == other); }
+  /// Ordering across same-typed values (numeric or lexicographic).
+  bool operator<(const TypedValue& other) const;
+
+  std::string ToString() const;
+
+ private:
+  TypeId type_id_;
+  union {
+    int64_t i64;
+    double f64;
+  } value_;
+  std::string str_;  // only for kChar
+};
+
+}  // namespace uot
+
+#endif  // UOT_TYPES_TYPED_VALUE_H_

@@ -1,0 +1,32 @@
+#ifndef UOT_UTIL_MACROS_H_
+#define UOT_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `condition` is false. Always enabled: the
+/// library does not use exceptions (failures in release builds must not be
+/// silently ignored in a query engine).
+#define UOT_CHECK(condition)                                              \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      ::std::fprintf(stderr, "UOT_CHECK failed at %s:%d: %s\n", __FILE__, \
+                     __LINE__, #condition);                               \
+      ::std::abort();                                                     \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define UOT_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define UOT_DCHECK(condition) UOT_CHECK(condition)
+#endif
+
+#define UOT_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // UOT_UTIL_MACROS_H_

@@ -1,0 +1,3 @@
+#include "util/memory_tracker.h"
+
+// Header-only implementation; this file anchors the translation unit.

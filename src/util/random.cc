@@ -1,0 +1,74 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace uot {
+namespace {
+
+// splitmix64: expands a single seed into well-distributed state words.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t state = seed;
+  s0_ = SplitMix64(&state);
+  s1_ = SplitMix64(&state);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift state must be non-zero
+}
+
+uint64_t Random::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+int64_t Random::Uniform(int64_t lo, int64_t hi) {
+  UOT_DCHECK(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Random::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::string Random::AlphaString(int length) {
+  std::string s(static_cast<size_t>(length), 'a');
+  for (int i = 0; i < length; ++i) {
+    s[static_cast<size_t>(i)] = static_cast<char>('a' + (Next() % 26));
+  }
+  return s;
+}
+
+int64_t Random::Zipf(int64_t n, double theta) {
+  UOT_DCHECK(n >= 1);
+  if (theta <= 0.0) return Uniform(1, n);
+  // Classic CDF-inversion approximation (Gray et al.): adequate for data
+  // generation, not for statistical tests.
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zetan = (std::pow(static_cast<double>(n), 1.0 - theta) - 1.0) /
+                           (1.0 - theta) +
+                       1.0;
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 1;
+  const double x =
+      std::pow(uz * (1.0 - theta) - (1.0 - theta) + 1.0, alpha);
+  int64_t v = static_cast<int64_t>(x);
+  if (v < 1) v = 1;
+  if (v > n) v = n;
+  return v;
+}
+
+}  // namespace uot

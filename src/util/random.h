@@ -1,0 +1,46 @@
+#ifndef UOT_UTIL_RANDOM_H_
+#define UOT_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/macros.h"
+
+namespace uot {
+
+/// A fast, seedable xorshift128+ pseudo-random generator.
+///
+/// Used by the TPC-H generator and tests; deterministic for a given seed so
+/// experiments are reproducible across runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Random lowercase alphabetic string of exactly `length` characters.
+  std::string AlphaString(int length);
+
+  /// Zipf-distributed value in [1, n] with skew `theta` (0 = uniform-ish).
+  /// Uses the rejection-inversion-free approximate method adequate for
+  /// workload generation.
+  int64_t Zipf(int64_t n, double theta);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_UTIL_RANDOM_H_

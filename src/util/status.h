@@ -1,0 +1,73 @@
+#ifndef UOT_UTIL_STATUS_H_
+#define UOT_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace uot {
+
+/// Error codes for recoverable failures surfaced by the public API.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight status object (the library does not use exceptions).
+///
+/// Functions that can fail for reasons a caller should handle return a
+/// `Status`; programming errors are reported via `UOT_CHECK` instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad block size".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define UOT_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::uot::Status _status = (expr);            \
+    if (!_status.ok()) return _status;         \
+  } while (false)
+
+}  // namespace uot
+
+#endif  // UOT_UTIL_STATUS_H_

@@ -1,0 +1,86 @@
+#ifndef UOT_UTIL_THREAD_SAFE_QUEUE_H_
+#define UOT_UTIL_THREAD_SAFE_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/macros.h"
+
+namespace uot {
+
+/// A blocking multi-producer/multi-consumer FIFO queue.
+///
+/// Used for work-order dispatch (scheduler -> workers) and for execution
+/// events (workers -> scheduler). `Close()` wakes all blocked consumers;
+/// after close, `Pop()` drains remaining items and then returns nullopt.
+template <typename T>
+class ThreadSafeQueue {
+ public:
+  ThreadSafeQueue() = default;
+  UOT_DISALLOW_COPY_AND_ASSIGN(ThreadSafeQueue);
+
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      UOT_DCHECK(!closed_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Enqueues at the front: used for high-priority items (consumer work
+  /// orders overtake queued leaf work so pipelines drain eagerly).
+  void PushFront(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      UOT_DCHECK(!closed_);
+      items_.push_front(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace uot
+
+#endif  // UOT_UTIL_THREAD_SAFE_QUEUE_H_

@@ -1,0 +1,37 @@
+#ifndef UOT_UTIL_TIMER_H_
+#define UOT_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace uot {
+
+/// Returns a monotonic timestamp in nanoseconds.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A simple wall-clock stopwatch over the monotonic clock.
+class Timer {
+ public:
+  Timer() : start_ns_(NowNanos()) {}
+
+  void Restart() { start_ns_ = NowNanos(); }
+
+  int64_t ElapsedNanos() const { return NowNanos() - start_ns_; }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  int64_t start_ns_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_UTIL_TIMER_H_

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "exec/query_executor.h"
+#include "scheduler/uot_policy.h"
+#include "operators/select_operator.h"
+#include "test_util.h"
+
+namespace uot {
+namespace {
+
+using testing::MakeKvTable;
+
+TEST(UotPolicyTest, DefaultsToOneBlock) {
+  UotPolicy policy;
+  EXPECT_FALSE(policy.IsWholeTable());
+  EXPECT_EQ(policy.blocks_per_transfer(), 1u);
+}
+
+TEST(UotPolicyTest, ZeroClampsToOne) {
+  UotPolicy policy(0);
+  EXPECT_EQ(policy.blocks_per_transfer(), 1u);
+}
+
+TEST(UotPolicyTest, WholeTableSentinel) {
+  EXPECT_TRUE(UotPolicy::HighUot().IsWholeTable());
+  EXPECT_FALSE(UotPolicy::LowUot(1000000).IsWholeTable());
+}
+
+TEST(UotPolicyTest, ToStringFormats) {
+  EXPECT_EQ(UotPolicy::LowUot(1).ToString(), "UoT=1-block(s)");
+  EXPECT_EQ(UotPolicy::LowUot(8).ToString(), "UoT=8-block(s)");
+  EXPECT_EQ(UotPolicy::HighUot().ToString(), "UoT=whole-table");
+}
+
+TEST(RenderTableTest, HeaderRowsAndTruncation) {
+  StorageManager storage;
+  auto table = MakeKvTable(&storage, "t", 30, 5);
+  const std::string out = RenderTable(*table, 3);
+  EXPECT_NE(out.find("k | v"), std::string::npos);
+  EXPECT_NE(out.find("(30 rows total)"), std::string::npos);
+  // Exactly 3 data lines plus header plus ellipsis.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(RenderTableTest, FullTableHasNoEllipsis) {
+  StorageManager storage;
+  auto table = MakeKvTable(&storage, "t", 2, 5);
+  const std::string out = RenderTable(*table, 10);
+  EXPECT_EQ(out.find("rows total"), std::string::npos);
+}
+
+TEST(CanonicalRowsTest, SortsRows) {
+  StorageManager storage;
+  Schema s({{"x", Type::Int32()}});
+  Table table("t", s, Layout::kRowStore, 4096, &storage,
+              MemoryCategory::kBaseTable);
+  for (int v : {3, 1, 2}) table.AppendValues({TypedValue::Int32(v)});
+  EXPECT_EQ(CanonicalRows(table), "1\n2\n3\n");
+}
+
+TEST(CanonicalRowsTest, RoundsDoublesToSevenSignificantDigits) {
+  StorageManager storage;
+  Schema s({{"x", Type::Double()}});
+  Table table("t", s, Layout::kRowStore, 4096, &storage,
+              MemoryCategory::kBaseTable);
+  table.AppendValues({TypedValue::Double(72607618.934)});
+  Table table2("t2", s, Layout::kRowStore, 4096, &storage,
+               MemoryCategory::kBaseTable);
+  table2.AppendValues({TypedValue::Double(72607618.938)});
+  // Values differing only past the 7th significant digit canonicalize
+  // identically (aggregation merge order must not affect comparisons).
+  EXPECT_EQ(CanonicalRows(table), CanonicalRows(table2));
+}
+
+TEST(CanonicalRowsTest, EmptyTableIsEmptyString) {
+  StorageManager storage;
+  auto table = MakeKvTable(&storage, "t", 0, 5);
+  EXPECT_EQ(CanonicalRows(*table), "");
+}
+
+TEST(ExecutorTest, PlanWithOnlyLeafOperator) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 100, 10);
+  QueryPlan plan(&storage);
+  auto proj = Projection::Identity(input->schema(), {0});
+  Table* out = plan.CreateTempTable("out", proj->output_schema(),
+                                    Layout::kRowStore, 4096);
+  InsertDestination* dest = plan.CreateDestination(out);
+  auto select = std::make_unique<SelectOperator>(
+      "select", std::make_unique<TruePredicate>(), std::move(proj), dest);
+  select->AttachBaseTable(input.get());
+  const int op = plan.AddOperator(std::move(select));
+  plan.RegisterOutput(op, dest);
+  plan.SetResultTable(out);
+
+  ExecConfig config;
+  config.num_workers = 1;
+  const ExecutionStats stats = QueryExecutor::Execute(&plan, config);
+  EXPECT_EQ(out->NumRows(), 100u);
+  EXPECT_EQ(stats.operators.size(), 1u);
+  EXPECT_EQ(stats.edge_transfers.size(), 0u);
+  // No records for nonexistent op: AverageDop of an op with no work.
+  EXPECT_DOUBLE_EQ(stats.AverageDop(0), stats.AverageDop(0));
+  EXPECT_GT(stats.AverageDop(0), 0.0);
+}
+
+TEST(ExecutorTest, RepeatedExecutionOfFreshPlansIsStable) {
+  StorageManager storage;
+  auto probe = MakeKvTable(&storage, "p", 500, 25);
+  std::string first;
+  for (int i = 0; i < 3; ++i) {
+    QueryPlan plan(&storage);
+    auto proj = Projection::Identity(probe->schema(), {0, 1});
+    Table* out = plan.CreateTempTable("out", proj->output_schema(),
+                                      Layout::kRowStore, 512);
+    InsertDestination* dest = plan.CreateDestination(out);
+    auto select = std::make_unique<SelectOperator>(
+        "select",
+        Cmp(CompareOp::kLt, Col(1, Type::Double()), LitDouble(100.0)),
+        std::move(proj), dest);
+    select->AttachBaseTable(probe.get());
+    const int op = plan.AddOperator(std::move(select));
+    plan.RegisterOutput(op, dest);
+    plan.SetResultTable(out);
+    ExecConfig config;
+    config.num_workers = 2;
+    QueryExecutor::Execute(&plan, config);
+    const std::string rows = CanonicalRows(*out);
+    if (first.empty()) {
+      first = rows;
+    } else {
+      EXPECT_EQ(rows, first);
+    }
+  }
+  EXPECT_FALSE(first.empty());
+}
+
+}  // namespace
+}  // namespace uot

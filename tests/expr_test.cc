@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "expr/expression.h"
+#include "expr/predicate.h"
+#include "expr/projection.h"
+#include "storage/insert_destination.h"
+#include "storage/storage_manager.h"
+#include "types/date.h"
+#include "types/row_builder.h"
+
+namespace uot {
+namespace {
+
+// A block of (id INT32, price DOUBLE, day DATE, name CHAR(8)).
+class ExprTest : public ::testing::TestWithParam<Layout> {
+ protected:
+  ExprTest()
+      : schema_({{"id", Type::Int32()},
+                 {"price", Type::Double()},
+                 {"day", Type::Date()},
+                 {"name", Type::Char(8)}}),
+        block_(1, &schema_, GetParam(), 4096) {
+    RowBuilder row(&schema_);
+    const char* names[] = {"alpha", "beta", "gamma", "delta", "epsilon"};
+    for (int i = 0; i < 20; ++i) {
+      row.SetInt32(0, i);
+      row.SetDouble(1, 10.0 * i);
+      row.SetDate(2, MakeDate(1995, 1, 1) + i);
+      row.SetChar(3, names[i % 5]);
+      block_.AppendRow(row.data());
+    }
+  }
+
+  std::vector<double> EvalDoubles(const Scalar& s) {
+    std::vector<uint32_t> rows(block_.num_rows());
+    for (uint32_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    std::vector<double> out(rows.size());
+    EvalAsDouble(s, block_, rows.data(), static_cast<uint32_t>(rows.size()),
+                 out.data());
+    return out;
+  }
+
+  Schema schema_;
+  Block block_;
+};
+
+TEST_P(ExprTest, ColumnRefGathersValues) {
+  auto col = Col(0, Type::Int32());
+  const auto vals = EvalDoubles(*col);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_DOUBLE_EQ(vals[i], static_cast<double>(i));
+  }
+}
+
+TEST_P(ExprTest, ColumnRefSubsetOfRows) {
+  auto col = Col(1, Type::Double());
+  uint32_t rows[] = {3, 7, 19};
+  double out[3];
+  col->Eval(block_, rows, 3, reinterpret_cast<std::byte*>(out));
+  EXPECT_DOUBLE_EQ(out[0], 30.0);
+  EXPECT_DOUBLE_EQ(out[1], 70.0);
+  EXPECT_DOUBLE_EQ(out[2], 190.0);
+}
+
+TEST_P(ExprTest, LiteralBroadcasts) {
+  auto lit = LitDouble(4.5);
+  const auto vals = EvalDoubles(*lit);
+  for (double v : vals) EXPECT_DOUBLE_EQ(v, 4.5);
+}
+
+TEST_P(ExprTest, ArithmeticRevenueExpression) {
+  // price * (1 - 0.1)
+  auto expr = Mul(Col(1, Type::Double()),
+                  Sub(LitDouble(1.0), LitDouble(0.1)));
+  const auto vals = EvalDoubles(*expr);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    EXPECT_NEAR(vals[i], 10.0 * i * 0.9, 1e-9);
+  }
+}
+
+TEST_P(ExprTest, ArithmeticAllOps) {
+  auto add = EvalDoubles(*Add(Col(0, Type::Int32()), LitDouble(1.0)));
+  auto div = EvalDoubles(*Div(Col(1, Type::Double()), LitDouble(2.0)));
+  EXPECT_DOUBLE_EQ(add[4], 5.0);
+  EXPECT_DOUBLE_EQ(div[4], 20.0);
+}
+
+TEST_P(ExprTest, ExtractYearFromDate) {
+  auto year = std::make_unique<ExtractYear>(Col(2, Type::Date()));
+  EXPECT_EQ(year->result_type(), Type::Int32());
+  const auto vals = EvalDoubles(*year);
+  EXPECT_DOUBLE_EQ(vals[0], 1995.0);
+  EXPECT_DOUBLE_EQ(vals[19], 1995.0);
+}
+
+TEST_P(ExprTest, SubstringSlicesChars) {
+  auto sub = std::make_unique<Substring>(Col(3, Type::Char(8)), 0, 2);
+  EXPECT_EQ(sub->result_type(), Type::Char(2));
+  uint32_t rows[] = {0, 1};
+  std::byte out[4];
+  sub->Eval(block_, rows, 2, out);
+  EXPECT_EQ(std::memcmp(out, "al", 2), 0);
+  EXPECT_EQ(std::memcmp(out + 2, "be", 2), 0);
+}
+
+TEST_P(ExprTest, FilterShrinksExistingSelection) {
+  auto pred = Cmp(CompareOp::kLt, Col(0, Type::Int32()),
+                  Lit(TypedValue::Int32(10), Type::Int32()));
+  std::vector<uint32_t> sel = {2, 8, 9, 15, 19};
+  pred->Filter(block_, &sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{2, 8, 9}));
+}
+
+TEST_P(ExprTest, ComparisonOperatorsNumeric) {
+  struct Case {
+    CompareOp op;
+    size_t expected;
+  };
+  for (const Case& c : {Case{CompareOp::kLt, 5}, Case{CompareOp::kLe, 6},
+                        Case{CompareOp::kGt, 14}, Case{CompareOp::kGe, 15},
+                        Case{CompareOp::kEq, 1}, Case{CompareOp::kNe, 19}}) {
+    auto pred = Cmp(c.op, Col(0, Type::Int32()),
+                    Lit(TypedValue::Int32(5), Type::Int32()));
+    EXPECT_EQ(pred->FilterAll(block_).size(), c.expected)
+        << "op " << static_cast<int>(c.op);
+  }
+}
+
+TEST_P(ExprTest, ComparisonOnDates) {
+  auto pred = Cmp(CompareOp::kGe, Col(2, Type::Date()),
+                  Lit(TypedValue::Date(MakeDate(1995, 1, 11)), Type::Date()));
+  EXPECT_EQ(pred->FilterAll(block_).size(), 10u);
+}
+
+TEST_P(ExprTest, ComparisonOnChars) {
+  auto pred = Cmp(CompareOp::kEq, Col(3, Type::Char(8)),
+                  Lit(TypedValue::Char("beta"), Type::Char(8)));
+  const auto sel = pred->FilterAll(block_);
+  ASSERT_EQ(sel.size(), 4u);
+  EXPECT_EQ(sel[0], 1u);
+  EXPECT_EQ(sel[1], 6u);
+}
+
+TEST_P(ExprTest, ColumnVsColumnComparison) {
+  // id*10 == price is true everywhere; id > price/10 nowhere.
+  auto eq = Cmp(CompareOp::kEq,
+                Mul(Col(0, Type::Int32()), LitDouble(10.0)),
+                Col(1, Type::Double()));
+  EXPECT_EQ(eq->FilterAll(block_).size(), 20u);
+}
+
+TEST_P(ExprTest, ConjunctionShortCircuitsToIntersection) {
+  std::vector<std::unique_ptr<Predicate>> parts;
+  parts.push_back(Cmp(CompareOp::kGe, Col(0, Type::Int32()),
+                      Lit(TypedValue::Int32(5), Type::Int32())));
+  parts.push_back(Cmp(CompareOp::kLt, Col(0, Type::Int32()),
+                      Lit(TypedValue::Int32(15), Type::Int32())));
+  auto pred = And(std::move(parts));
+  const auto sel = pred->FilterAll(block_);
+  ASSERT_EQ(sel.size(), 10u);
+  EXPECT_EQ(sel.front(), 5u);
+  EXPECT_EQ(sel.back(), 14u);
+}
+
+TEST_P(ExprTest, DisjunctionUnionsSorted) {
+  std::vector<std::unique_ptr<Predicate>> parts;
+  parts.push_back(Cmp(CompareOp::kLt, Col(0, Type::Int32()),
+                      Lit(TypedValue::Int32(3), Type::Int32())));
+  parts.push_back(Cmp(CompareOp::kGe, Col(0, Type::Int32()),
+                      Lit(TypedValue::Int32(18), Type::Int32())));
+  // Overlapping clause to test dedup.
+  parts.push_back(Cmp(CompareOp::kLt, Col(0, Type::Int32()),
+                      Lit(TypedValue::Int32(2), Type::Int32())));
+  auto pred = Or(std::move(parts));
+  const auto sel = pred->FilterAll(block_);
+  ASSERT_EQ(sel.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[4], 19u);
+}
+
+TEST_P(ExprTest, NegationComplements) {
+  auto pred = Not(Cmp(CompareOp::kLt, Col(0, Type::Int32()),
+                      Lit(TypedValue::Int32(5), Type::Int32())));
+  const auto sel = pred->FilterAll(block_);
+  ASSERT_EQ(sel.size(), 15u);
+  EXPECT_EQ(sel.front(), 5u);
+}
+
+TEST_P(ExprTest, InListOnChars) {
+  auto pred = std::make_unique<InList>(
+      Col(3, Type::Char(8)),
+      std::vector<TypedValue>{TypedValue::Char("alpha"),
+                              TypedValue::Char("gamma")});
+  EXPECT_EQ(pred->FilterAll(block_).size(), 8u);
+}
+
+TEST_P(ExprTest, InListOnInts) {
+  auto pred = std::make_unique<InList>(
+      Col(0, Type::Int32()),
+      std::vector<TypedValue>{TypedValue::Int32(2), TypedValue::Int32(4),
+                              TypedValue::Int32(100)});
+  EXPECT_EQ(pred->FilterAll(block_).size(), 2u);
+}
+
+TEST_P(ExprTest, BetweenColHelper) {
+  auto pred = BetweenCol(0, Type::Int32(), TypedValue::Int32(3),
+                         TypedValue::Int32(6));
+  EXPECT_EQ(pred->FilterAll(block_).size(), 4u);
+}
+
+TEST_P(ExprTest, TruePredicateKeepsAll) {
+  TruePredicate pred;
+  EXPECT_EQ(pred.FilterAll(block_).size(), block_.num_rows());
+}
+
+TEST_P(ExprTest, LikePrefix) {
+  auto pred = std::make_unique<Like>(Col(3, Type::Char(8)), "ga%", false);
+  EXPECT_EQ(pred->FilterAll(block_).size(), 4u);  // gamma at 2,7,12,17
+}
+
+TEST_P(ExprTest, NotLikeInverts) {
+  auto pred = std::make_unique<Like>(Col(3, Type::Char(8)), "ga%", true);
+  EXPECT_EQ(pred->FilterAll(block_).size(), 16u);
+}
+
+TEST(LikeMatcherTest, PatternSemantics) {
+  auto like = [](const std::string& pattern, const std::string& text) {
+    Like l(Col(0, Type::Char(32)), pattern, false);
+    return l.Matches(text.c_str(), text.size());
+  };
+  EXPECT_TRUE(like("PROMO%", "PROMO BRUSHED TIN"));
+  EXPECT_FALSE(like("PROMO%", "STANDARD PROMO TIN"));
+  EXPECT_TRUE(like("%special%requests%", "special handling requests"));
+  EXPECT_TRUE(like("%special%requests%", "xx special yy requests zz"));
+  EXPECT_FALSE(like("%special%requests%", "requests then special"));
+  EXPECT_TRUE(like("%TIN", "BRUSHED TIN"));
+  EXPECT_FALSE(like("%TIN", "TIN PLATED"));
+  EXPECT_TRUE(like("%%", "anything"));
+  EXPECT_TRUE(like("abc", "abc"));
+  EXPECT_FALSE(like("abc", "abcd"));
+  // Trailing-space padding is ignored.
+  EXPECT_TRUE(like("%TIN", "BRUSHED TIN      "));
+}
+
+TEST_P(ExprTest, ProjectionMaterializesExpressions) {
+  StorageManager storage;
+  std::vector<std::unique_ptr<Scalar>> exprs;
+  exprs.push_back(Col(0, Type::Int32()));
+  exprs.push_back(Mul(Col(1, Type::Double()), LitDouble(2.0)));
+  Projection proj(std::move(exprs), {"id", "double_price"});
+  EXPECT_EQ(proj.output_schema().ToString(),
+            "(id INT32, double_price DOUBLE)");
+
+  Table out("out", proj.output_schema(), Layout::kRowStore, 4096, &storage,
+            MemoryCategory::kTemporaryTable);
+  InsertDestination dest(&storage, &out, nullptr);
+  {
+    InsertDestination::Writer writer(&dest);
+    std::vector<uint32_t> rows = {1, 3, 5};
+    proj.MaterializeInto(block_, rows, &writer);
+  }
+  dest.Flush();
+  ASSERT_EQ(out.NumRows(), 3u);
+  EXPECT_EQ(out.GetValue(0, 0).AsInt32(), 1);
+  EXPECT_DOUBLE_EQ(out.GetValue(1, 1).AsDouble(), 60.0);
+  EXPECT_DOUBLE_EQ(out.GetValue(2, 1).AsDouble(), 100.0);
+}
+
+TEST_P(ExprTest, IdentityProjectionPreservesNames) {
+  auto proj = Projection::Identity(schema_, {3, 0});
+  EXPECT_EQ(proj->output_schema().column(0).name, "name");
+  EXPECT_EQ(proj->output_schema().column(1).name, "id");
+  EXPECT_EQ(proj->output_schema().row_width(), 12u);
+}
+
+TEST_P(ExprTest, CaseWhenBlendsBranches) {
+  // CASE WHEN id < 10 THEN price ELSE -1 END
+  auto expr = std::make_unique<CaseWhen>(
+      Cmp(CompareOp::kLt, Col(0, Type::Int32()),
+          Lit(TypedValue::Int32(10), Type::Int32())),
+      Col(1, Type::Double()), LitDouble(-1.0));
+  const auto vals = EvalDoubles(*expr);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (i < 10) {
+      EXPECT_DOUBLE_EQ(vals[i], 10.0 * i);
+    } else {
+      EXPECT_DOUBLE_EQ(vals[i], -1.0);
+    }
+  }
+}
+
+TEST_P(ExprTest, CaseWhenAllOrNothing) {
+  auto all = std::make_unique<CaseWhen>(std::make_unique<TruePredicate>(),
+                                        LitDouble(1.0), LitDouble(0.0));
+  for (double v : EvalDoubles(*all)) EXPECT_DOUBLE_EQ(v, 1.0);
+  auto none = std::make_unique<CaseWhen>(
+      Cmp(CompareOp::kGt, Col(0, Type::Int32()),
+          Lit(TypedValue::Int32(1000), Type::Int32())),
+      LitDouble(1.0), LitDouble(0.0));
+  for (double v : EvalDoubles(*none)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST_P(ExprTest, CaseWhenOnRowSubset) {
+  auto expr = std::make_unique<CaseWhen>(
+      Cmp(CompareOp::kEq, Col(3, Type::Char(8)),
+          Lit(TypedValue::Char("beta"), Type::Char(8))),
+      LitDouble(100.0), Col(0, Type::Int32()));
+  uint32_t rows[] = {1, 2, 6, 7};  // beta at 1 and 6
+  double out[4];
+  expr->Eval(block_, rows, 4, reinterpret_cast<std::byte*>(out));
+  EXPECT_DOUBLE_EQ(out[0], 100.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 100.0);
+  EXPECT_DOUBLE_EQ(out[3], 7.0);
+}
+
+TEST_P(ExprTest, ToStringRendersTree) {
+  auto pred = Cmp(CompareOp::kGe, Col(1, Type::Double()), LitDouble(3.5));
+  EXPECT_EQ(pred->ToString(), "($1 >= 3.5000)");
+  auto like = std::make_unique<Like>(Col(3, Type::Char(8)), "a%b", false);
+  EXPECT_EQ(like->ToString(), "$3 LIKE 'a%b'");
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, ExprTest,
+                         ::testing::Values(Layout::kRowStore,
+                                           Layout::kColumnStore),
+                         [](const auto& info) {
+                           return info.param == Layout::kRowStore
+                                      ? "RowStore"
+                                      : "ColumnStore";
+                         });
+
+}  // namespace
+}  // namespace uot

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+
+#include "join/hash_table.h"
+#include "model/memory_model.h"
+#include "util/memory_tracker.h"
+
+namespace uot {
+namespace {
+
+Schema PayloadSchema() {
+  return Schema({{"v", Type::Int32()}});
+}
+
+void InsertKv(JoinHashTable* ht, int64_t key, int32_t value) {
+  uint64_t k[2] = {static_cast<uint64_t>(key), 0};
+  std::byte payload[4];
+  std::memcpy(payload, &value, 4);
+  ht->Insert(k, payload);
+}
+
+std::vector<int32_t> ProbeAll(const JoinHashTable& ht, int64_t key) {
+  uint64_t k[2] = {static_cast<uint64_t>(key), 0};
+  std::vector<int32_t> out;
+  ht.Probe(k, [&out](const std::byte* payload) {
+    int32_t v;
+    std::memcpy(&v, payload, 4);
+    out.push_back(v);
+  });
+  return out;
+}
+
+TEST(JoinHashTableTest, InsertAndProbe) {
+  MemoryTracker tracker;
+  JoinHashTable ht(PayloadSchema(), 1, 0.75, &tracker);
+  ht.Reserve(100);
+  for (int i = 0; i < 100; ++i) InsertKv(&ht, i, i * 10);
+  EXPECT_EQ(ht.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    const auto vals = ProbeAll(ht, i);
+    ASSERT_EQ(vals.size(), 1u) << "key " << i;
+    EXPECT_EQ(vals[0], i * 10);
+  }
+  EXPECT_TRUE(ProbeAll(ht, 1000).empty());
+}
+
+TEST(JoinHashTableTest, DuplicateKeysMultimap) {
+  MemoryTracker tracker;
+  JoinHashTable ht(PayloadSchema(), 1, 0.5, &tracker);
+  ht.Reserve(30);
+  for (int i = 0; i < 10; ++i) InsertKv(&ht, 7, i);
+  for (int i = 0; i < 10; ++i) InsertKv(&ht, 8, 100 + i);
+  const auto vals = ProbeAll(ht, 7);
+  EXPECT_EQ(vals.size(), 10u);
+  EXPECT_EQ(std::set<int32_t>(vals.begin(), vals.end()).size(), 10u);
+  EXPECT_EQ(ProbeAll(ht, 8).size(), 10u);
+}
+
+TEST(JoinHashTableTest, NegativeAndLargeKeys) {
+  MemoryTracker tracker;
+  JoinHashTable ht(PayloadSchema(), 1, 0.75, &tracker);
+  ht.Reserve(4);
+  InsertKv(&ht, -5, 1);
+  InsertKv(&ht, 1LL << 40, 2);
+  InsertKv(&ht, 0, 3);
+  EXPECT_EQ(ProbeAll(ht, -5).at(0), 1);
+  EXPECT_EQ(ProbeAll(ht, 1LL << 40).at(0), 2);
+  EXPECT_EQ(ProbeAll(ht, 0).at(0), 3);
+  EXPECT_TRUE(ProbeAll(ht, 5).empty());
+}
+
+TEST(JoinHashTableTest, CompositeKeys) {
+  MemoryTracker tracker;
+  JoinHashTable ht(PayloadSchema(), 2, 0.75, &tracker);
+  ht.Reserve(10);
+  std::byte payload[4];
+  const int32_t v1 = 1, v2 = 2;
+  uint64_t k1[2] = {10, 20};
+  uint64_t k2[2] = {20, 10};  // swapped words must be a distinct key
+  std::memcpy(payload, &v1, 4);
+  ht.Insert(k1, payload);
+  std::memcpy(payload, &v2, 4);
+  ht.Insert(k2, payload);
+
+  int32_t got = 0;
+  ht.Probe(k1, [&](const std::byte* p) { std::memcpy(&got, p, 4); });
+  EXPECT_EQ(got, 1);
+  ht.Probe(k2, [&](const std::byte* p) { std::memcpy(&got, p, 4); });
+  EXPECT_EQ(got, 2);
+}
+
+TEST(JoinHashTableTest, EmptyPayload) {
+  MemoryTracker tracker;
+  JoinHashTable ht(Schema(std::vector<Column>{}), 1, 0.75, &tracker);
+  ht.Reserve(10);
+  uint64_t k[2] = {3, 0};
+  ht.Insert(k, nullptr);
+  int hits = 0;
+  ht.Probe(k, [&hits](const std::byte*) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(JoinHashTableTest, SlotSizingMatchesModel) {
+  MemoryTracker tracker;
+  const double f = 0.5;
+  JoinHashTable ht(PayloadSchema(), 1, f, &tracker);
+  ht.Reserve(1000);
+  // Slots >= entries / load factor, rounded to a power of two.
+  EXPECT_GE(ht.num_slots(), static_cast<uint64_t>(1000 / f));
+  EXPECT_EQ(ht.num_slots() & (ht.num_slots() - 1), 0u);
+  // The Section VI-B model: footprint ~ entries * (c / f). Allow the
+  // power-of-two rounding factor of <= 2x plus tag storage.
+  const double model = MemoryModel::HashTableBytes(
+      1000.0 * 12, 12.0, static_cast<double>(ht.slot_bytes()), f);
+  EXPECT_GE(static_cast<double>(ht.allocated_bytes()), model * 0.9);
+  EXPECT_LE(static_cast<double>(ht.allocated_bytes()), model * 2.5);
+}
+
+TEST(JoinHashTableTest, MemoryAccountingLifecycle) {
+  MemoryTracker tracker;
+  {
+    JoinHashTable ht(PayloadSchema(), 1, 0.75, &tracker);
+    EXPECT_EQ(tracker.Current(MemoryCategory::kHashTable), 0);
+    ht.Reserve(100);
+    EXPECT_EQ(tracker.Current(MemoryCategory::kHashTable),
+              static_cast<int64_t>(ht.allocated_bytes()));
+  }
+  EXPECT_EQ(tracker.Current(MemoryCategory::kHashTable), 0);
+}
+
+TEST(JoinHashTableTest, ConcurrentBuildFindsAllEntries) {
+  MemoryTracker tracker;
+  JoinHashTable ht(PayloadSchema(), 1, 0.75, &tracker);
+  constexpr int kThreads = 4, kPerThread = 2000;
+  ht.Reserve(kThreads * kPerThread);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ht, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        InsertKv(&ht, t * kPerThread + i, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ht.size(), static_cast<uint64_t>(kThreads * kPerThread));
+  for (int key : {0, 1999, 2000, 4500, 7999}) {
+    EXPECT_EQ(ProbeAll(ht, key).size(), 1u) << "key " << key;
+  }
+}
+
+TEST(JoinHashTableTest, HashKeyMixesWords) {
+  uint64_t a[2] = {1, 0};
+  uint64_t b[2] = {2, 0};
+  uint64_t c[2] = {1, 1};
+  EXPECT_NE(HashJoinKey(a, 1), HashJoinKey(b, 1));
+  EXPECT_NE(HashJoinKey(a, 2), HashJoinKey(c, 2));
+}
+
+}  // namespace
+}  // namespace uot

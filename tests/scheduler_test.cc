@@ -1,0 +1,382 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "exec/query_executor.h"
+#include "operators/aggregate_operator.h"
+#include "operators/build_hash_operator.h"
+#include "operators/probe_hash_operator.h"
+#include "operators/select_operator.h"
+#include "test_util.h"
+
+namespace uot {
+namespace {
+
+using testing::MakeKvTable;
+
+/// Builds the paper's canonical select -> probe plan over synthetic data:
+///   sel(probe_table: v >= threshold) -> probe(build(build_table))
+/// Result: (k, v, payload_v).
+struct SelectProbePlan {
+  std::unique_ptr<QueryPlan> plan;
+  int select_op = -1;
+  int build_op = -1;
+  int probe_op = -1;
+};
+
+SelectProbePlan MakeSelectProbePlan(StorageManager* storage,
+                                    const Table& probe_table,
+                                    const Table& build_table,
+                                    double threshold,
+                                    size_t temp_block_bytes) {
+  SelectProbePlan out;
+  out.plan = std::make_unique<QueryPlan>(storage);
+  QueryPlan* plan = out.plan.get();
+
+  auto build = std::make_unique<BuildHashOperator>(
+      "build", std::vector<int>{0}, std::vector<int>{1}, 0.75,
+      &storage->tracker());
+  BuildHashOperator* build_raw = build.get();
+  build_raw->InitHashTable(build_table.schema());
+  build_raw->AttachBaseTable(&build_table);
+  out.build_op = plan->AddOperator(std::move(build));
+
+  auto proj = Projection::Identity(probe_table.schema(), {0, 1});
+  Schema sel_schema = proj->output_schema();
+  Table* sel_out = plan->CreateTempTable("sel.out", sel_schema,
+                                         Layout::kRowStore,
+                                         temp_block_bytes);
+  InsertDestination* sel_dest = plan->CreateDestination(sel_out);
+  auto select = std::make_unique<SelectOperator>(
+      "select",
+      Cmp(CompareOp::kGe, Col(1, Type::Double()), LitDouble(threshold)),
+      std::move(proj), sel_dest);
+  select->AttachBaseTable(&probe_table);
+  out.select_op = plan->AddOperator(std::move(select));
+  plan->RegisterOutput(out.select_op, sel_dest);
+
+  Schema probe_schema = ProbeHashOperator::OutputSchema(
+      sel_schema, {0, 1}, build_table.schema(), {1}, JoinKind::kInner);
+  Table* probe_out = plan->CreateTempTable("probe.out", probe_schema,
+                                           Layout::kRowStore,
+                                           temp_block_bytes);
+  InsertDestination* probe_dest = plan->CreateDestination(probe_out);
+  auto probe = std::make_unique<ProbeHashOperator>(
+      "probe", build_raw, std::vector<int>{0}, std::vector<int>{0, 1},
+      JoinKind::kInner, std::vector<ResidualCondition>{}, probe_dest);
+  out.probe_op = plan->AddOperator(std::move(probe));
+  plan->RegisterOutput(out.probe_op, probe_dest);
+
+  plan->AddStreamingEdge(out.select_op, out.probe_op);
+  plan->AddBlockingEdge(out.build_op, out.probe_op);
+  plan->SetResultTable(probe_out);
+  return out;
+}
+
+struct SchedulerParam {
+  uint64_t uot_blocks;  // 0 = whole table
+  int workers;
+  size_t block_bytes;
+};
+
+class SchedulerParamTest : public ::testing::TestWithParam<SchedulerParam> {};
+
+TEST_P(SchedulerParamTest, SelectProbeResultInvariantAcrossConfigs) {
+  const SchedulerParam p = GetParam();
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 5000, 50,
+                                 Layout::kColumnStore, 4096);
+  auto build_table = MakeKvTable(&storage, "build", 50, 50,
+                                 Layout::kColumnStore, 4096);
+
+  auto reference = MakeSelectProbePlan(&storage, *probe_table, *build_table,
+                                       1000.0, 1 << 20);
+  ExecConfig ref_config;
+  ref_config.num_workers = 1;
+  ref_config.uot = UotPolicy::HighUot();
+  QueryExecutor::Execute(reference.plan.get(), ref_config);
+  const std::string expected =
+      CanonicalRows(*reference.plan->result_table());
+  EXPECT_FALSE(expected.empty());
+
+  auto tested = MakeSelectProbePlan(&storage, *probe_table, *build_table,
+                                    1000.0, p.block_bytes);
+  ExecConfig config;
+  config.num_workers = p.workers;
+  config.uot = p.uot_blocks == 0 ? UotPolicy::HighUot()
+                                 : UotPolicy::LowUot(p.uot_blocks);
+  ExecutionStats stats = QueryExecutor::Execute(tested.plan.get(), config);
+  EXPECT_EQ(CanonicalRows(*tested.plan->result_table()), expected);
+  EXPECT_GT(stats.records.size(), 0u);
+  EXPECT_GT(stats.QueryMillis(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SchedulerParamTest,
+    ::testing::Values(SchedulerParam{1, 1, 512},
+                      SchedulerParam{1, 4, 512},
+                      SchedulerParam{2, 2, 1024},
+                      SchedulerParam{4, 4, 4096},
+                      SchedulerParam{0, 1, 512},
+                      SchedulerParam{0, 4, 4096},
+                      SchedulerParam{1, 8, 16384},
+                      SchedulerParam{0, 8, 16384}),
+    [](const auto& info) {
+      return "uot" + std::to_string(info.param.uot_blocks) + "_w" +
+             std::to_string(info.param.workers) + "_b" +
+             std::to_string(info.param.block_bytes);
+    });
+
+TEST(SchedulerTest, ProbeNeverStartsBeforeBuildFinishes) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 2000, 20,
+                                 Layout::kRowStore, 2048);
+  auto build_table = MakeKvTable(&storage, "build", 500, 20,
+                                 Layout::kRowStore, 2048);
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                1024);
+  ExecConfig config;
+  config.num_workers = 4;
+  config.uot = UotPolicy::LowUot(1);
+  ExecutionStats stats = QueryExecutor::Execute(sp.plan.get(), config);
+
+  int64_t build_last_end = 0;
+  int64_t probe_first_start = INT64_MAX;
+  for (const WorkOrderRecord& r : stats.records) {
+    if (r.op == sp.build_op) build_last_end = std::max(build_last_end, r.end_ns);
+    if (r.op == sp.probe_op) {
+      probe_first_start = std::min(probe_first_start, r.start_ns);
+    }
+  }
+  ASSERT_GT(build_last_end, 0);
+  ASSERT_LT(probe_first_start, INT64_MAX);
+  EXPECT_GE(probe_first_start, build_last_end);
+}
+
+TEST(SchedulerTest, LowUotTransfersPerBlockHighUotOnce) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 4000, 10,
+                                 Layout::kRowStore, 2048);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 2048);
+
+  auto low = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                 1024);
+  ExecConfig low_config;
+  low_config.num_workers = 2;
+  low_config.uot = UotPolicy::LowUot(1);
+  ExecutionStats low_stats = QueryExecutor::Execute(low.plan.get(),
+                                                    low_config);
+
+  auto high = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                  1024);
+  ExecConfig high_config;
+  high_config.num_workers = 2;
+  high_config.uot = UotPolicy::HighUot();
+  ExecutionStats high_stats = QueryExecutor::Execute(high.plan.get(),
+                                                     high_config);
+
+  ASSERT_EQ(low_stats.edge_transfers.size(), 1u);
+  ASSERT_EQ(high_stats.edge_transfers.size(), 1u);
+  // With the whole-table UoT there is exactly one transfer; with a
+  // one-block UoT there are roughly as many transfers as select outputs.
+  EXPECT_EQ(high_stats.edge_transfers[0], 1u);
+  EXPECT_GT(low_stats.edge_transfers[0], 10u);
+  // Both produce the same number of probe work orders in total.
+  EXPECT_EQ(low_stats.operators[static_cast<size_t>(low.probe_op)]
+                .num_work_orders,
+            high_stats.operators[static_cast<size_t>(high.probe_op)]
+                .num_work_orders);
+}
+
+TEST(SchedulerTest, UotGroupsBlocksPerTransfer) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 4000, 10,
+                                 Layout::kRowStore, 2048);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 2048);
+  auto one = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                 1024);
+  ExecConfig config;
+  config.num_workers = 1;
+  config.uot = UotPolicy::LowUot(1);
+  const uint64_t transfers_k1 =
+      QueryExecutor::Execute(one.plan.get(), config).edge_transfers[0];
+
+  auto four = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                  1024);
+  config.uot = UotPolicy::LowUot(4);
+  const uint64_t transfers_k4 =
+      QueryExecutor::Execute(four.plan.get(), config).edge_transfers[0];
+  EXPECT_LT(transfers_k4, transfers_k1);
+  EXPECT_GE(transfers_k4, transfers_k1 / 4);
+}
+
+TEST(SchedulerTest, ConcurrencyCapRespected) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 8000, 10,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 1024);
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                1024);
+  ExecConfig config;
+  config.num_workers = 8;
+  config.uot = UotPolicy::LowUot(1);
+  config.max_concurrent_per_op = 2;
+  ExecutionStats stats = QueryExecutor::Execute(sp.plan.get(), config);
+
+  // Sweep each operator's records for maximum overlap.
+  for (int op = 0; op < 3; ++op) {
+    std::vector<std::pair<int64_t, int>> events;
+    for (const WorkOrderRecord& r : stats.records) {
+      if (r.op != op) continue;
+      events.emplace_back(r.start_ns, +1);
+      events.emplace_back(r.end_ns, -1);
+    }
+    std::sort(events.begin(), events.end());
+    int running = 0, peak = 0;
+    for (const auto& [ts, delta] : events) {
+      running += delta;
+      peak = std::max(peak, running);
+    }
+    EXPECT_LE(peak, 2) << "operator " << op;
+  }
+}
+
+TEST(SchedulerTest, MemoryBudgetStillCompletesAndBoundsPeak) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 20000, 10,
+                                 Layout::kRowStore, 2048);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 2048);
+
+  ExecConfig config;
+  config.num_workers = 4;
+  config.uot = UotPolicy::LowUot(1);
+
+  std::string expected;
+  int64_t free_peak = 0;
+  size_t free_records = 0;
+  {
+    auto unbounded = MakeSelectProbePlan(&storage, *probe_table,
+                                         *build_table, 0.0, 2048);
+    ExecutionStats free_stats =
+        QueryExecutor::Execute(unbounded.plan.get(), config);
+    expected = CanonicalRows(*unbounded.plan->result_table());
+    free_peak = free_stats.PeakTemporaryBytes();
+    free_records = free_stats.records.size();
+  }  // plan destruction drops its temp tables before the bounded run
+
+  auto bounded = MakeSelectProbePlan(&storage, *probe_table, *build_table,
+                                     0.0, 2048);
+  // Budget barely above the base tables: producer admission throttles.
+  config.memory_budget_bytes = storage.tracker().TotalCurrent() + 16 * 1024;
+  ExecutionStats bounded_stats =
+      QueryExecutor::Execute(bounded.plan.get(), config);
+
+  EXPECT_EQ(CanonicalRows(*bounded.plan->result_table()), expected);
+  EXPECT_LE(bounded_stats.PeakTemporaryBytes(), free_peak + 64 * 1024);
+  EXPECT_EQ(bounded_stats.records.size(), free_records);
+}
+
+TEST(SchedulerTest, StatsAggregatesAreConsistent) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 3000, 10,
+                                 Layout::kRowStore, 2048);
+  auto build_table = MakeKvTable(&storage, "build", 100, 10,
+                                 Layout::kRowStore, 2048);
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                2048);
+  ExecConfig config;
+  config.num_workers = 4;
+  ExecutionStats stats = QueryExecutor::Execute(sp.plan.get(), config);
+
+  uint64_t total_records = 0;
+  for (const OperatorStats& os : stats.operators) {
+    total_records += os.num_work_orders;
+    if (os.num_work_orders > 0) {
+      EXPECT_GE(os.total_task_ns, 0);
+      EXPECT_GE(os.last_end_ns, os.first_start_ns);
+      EXPECT_GT(os.avg_task_ms(), 0.0);
+    }
+  }
+  EXPECT_EQ(total_records, stats.records.size());
+  for (int op = 0; op < 3; ++op) {
+    const double dop = stats.AverageDop(op);
+    EXPECT_GE(dop, 0.0);
+    EXPECT_LE(dop, 4.5);
+  }
+  EXPECT_GT(stats.PeakTemporaryBytes(), 0);
+  EXPECT_GT(stats.PeakHashTableBytes(), 0);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(SchedulerTest, EmptyProducerStillCompletesConsumers) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 100, 10,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 1024);
+  // Threshold filters out every probe row.
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 1e12,
+                                1024);
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+  ExecutionStats stats = QueryExecutor::Execute(sp.plan.get(), config);
+  EXPECT_EQ(sp.plan->result_table()->NumRows(), 0u);
+  EXPECT_EQ(stats.operators[static_cast<size_t>(sp.probe_op)].num_work_orders,
+            0u);
+}
+
+TEST(SchedulerTest, DiamondPlanFeedsTwoConsumers) {
+  // One select output streams to two aggregate consumers (TPC-H Q14 shape).
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 2000, 10, Layout::kRowStore, 2048);
+  QueryPlan plan(&storage);
+
+  auto proj = Projection::Identity(input->schema(), {0, 1});
+  Schema sel_schema = proj->output_schema();
+  Table* sel_out =
+      plan.CreateTempTable("sel.out", sel_schema, Layout::kRowStore, 1024);
+  InsertDestination* sel_dest = plan.CreateDestination(sel_out);
+  auto select = std::make_unique<SelectOperator>(
+      "select", std::make_unique<TruePredicate>(), std::move(proj), sel_dest);
+  select->AttachBaseTable(input.get());
+  const int select_op = plan.AddOperator(std::move(select));
+  plan.RegisterOutput(select_op, sel_dest);
+
+  std::vector<Table*> agg_outs;
+  for (int i = 0; i < 2; ++i) {
+    std::vector<AggSpec> aggs;
+    aggs.push_back({AggFn::kSum, Col(1, Type::Double()), "sum"});
+    Schema agg_schema =
+        AggregateOperator::OutputSchema(sel_schema, {}, aggs);
+    Table* agg_out = plan.CreateTempTable("agg" + std::to_string(i),
+                                          agg_schema, Layout::kRowStore,
+                                          1024);
+    InsertDestination* agg_dest = plan.CreateDestination(agg_out);
+    auto agg = std::make_unique<AggregateOperator>(
+        "agg" + std::to_string(i), sel_schema, std::vector<int>{},
+        std::move(aggs), nullptr, agg_dest);
+    const int agg_op = plan.AddOperator(std::move(agg));
+    plan.RegisterOutput(agg_op, agg_dest);
+    plan.AddStreamingEdge(select_op, agg_op);
+    agg_outs.push_back(agg_out);
+  }
+  plan.SetResultTable(agg_outs[0]);
+
+  ExecConfig config;
+  config.num_workers = 3;
+  config.uot = UotPolicy::LowUot(1);
+  QueryExecutor::Execute(&plan, config);
+  ASSERT_EQ(agg_outs[0]->NumRows(), 1u);
+  ASSERT_EQ(agg_outs[1]->NumRows(), 1u);
+  const double expected = 2000.0 * 1999.0 / 2.0;
+  EXPECT_DOUBLE_EQ(agg_outs[0]->GetValue(0, 0).AsDouble(), expected);
+  EXPECT_DOUBLE_EQ(agg_outs[1]->GetValue(0, 0).AsDouble(), expected);
+}
+
+}  // namespace
+}  // namespace uot

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "simcache/access_streams.h"
+#include "simcache/cache_simulator.h"
+#include "util/random.h"
+
+namespace uot {
+namespace {
+
+CacheSimConfig SmallConfig(bool prefetch) {
+  CacheSimConfig config;
+  config.l1 = {4 * 1024, 4, 1.0};
+  config.l2 = {32 * 1024, 8, 4.0};
+  config.l3 = {256 * 1024, 8, 12.0};
+  config.prefetch_enabled = prefetch;
+  return config;
+}
+
+TEST(CacheSimulatorTest, ColdMissThenHit) {
+  CacheSimulator sim(SmallConfig(false));
+  const double first = sim.Access(0x1000, 0);
+  EXPECT_DOUBLE_EQ(first, sim.config().memory_latency_ns);
+  const double second = sim.Access(0x1000, 0);
+  EXPECT_DOUBLE_EQ(second, sim.config().l1.hit_latency_ns);
+  EXPECT_EQ(sim.stats().accesses, 2u);
+  EXPECT_EQ(sim.stats().memory_accesses, 1u);
+  EXPECT_EQ(sim.stats().l1_hits, 1u);
+}
+
+TEST(CacheSimulatorTest, SameLineDifferentOffsetHits) {
+  CacheSimulator sim(SmallConfig(false));
+  sim.Access(0x1000, 0);
+  EXPECT_DOUBLE_EQ(sim.Access(0x1030, 0), sim.config().l1.hit_latency_ns);
+}
+
+TEST(CacheSimulatorTest, LruEvictionWithinSet) {
+  CacheSimConfig config = SmallConfig(false);
+  config.l1 = {256, 2, 1.0};  // 4 lines: 2 sets x 2 ways; set = line % 2
+  CacheSimulator sim(config);
+  auto l1_hits = [&sim] { return sim.stats().l1_hits; };
+  sim.Access(0 * 64, 0);  // line 0 -> set 0
+  sim.Access(2 * 64, 0);  // line 2 -> set 0 (set now {0, 2})
+  sim.Access(0 * 64, 0);  // hit; line 0 becomes MRU
+  EXPECT_EQ(l1_hits(), 1u);
+  sim.Access(4 * 64, 0);  // line 4 -> set 0 evicts LRU line 2
+  sim.Access(0 * 64, 0);  // line 0 still resident -> L1 hit
+  EXPECT_EQ(l1_hits(), 2u);
+  const auto hits_before = l1_hits();
+  sim.Access(2 * 64, 0);  // line 2 was evicted -> not an L1 hit
+  EXPECT_EQ(l1_hits(), hits_before);
+}
+
+TEST(CacheSimulatorTest, WorkingSetLargerThanL3GoesToMemory) {
+  CacheSimulator sim(SmallConfig(false));
+  const uint64_t lines = 3 * 256 * 1024 / 64;  // 3x the L3
+  // Two passes; the second pass still misses everywhere (LRU streaming).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (uint64_t l = 0; l < lines; ++l) sim.Access(l * 64, 0);
+  }
+  EXPECT_GT(sim.stats().MissRatioL3(), 0.9);
+}
+
+TEST(CacheSimulatorTest, PrefetcherTurnsSequentialMissesIntoHits) {
+  const uint64_t bytes = 512 * 1024;
+  CacheSimulator off(SmallConfig(false));
+  CacheSimulator on(SmallConfig(true));
+  for (uint64_t addr = 0; addr < bytes; addr += 64) {
+    off.Access(addr, 0);
+    on.Access(addr, 0);
+  }
+  EXPECT_GT(on.stats().prefetches_issued, 0u);
+  EXPECT_GT(on.stats().prefetch_hits, on.stats().accesses / 2);
+  EXPECT_LT(on.stats().total_ns, 0.5 * off.stats().total_ns);
+}
+
+TEST(CacheSimulatorTest, PrefetcherDetectsLargeStrides) {
+  // Row-store single-attribute scan: stride = tuple width (e.g. 100B+),
+  // the case the paper highlights for row stores.
+  CacheSimulator off(SmallConfig(false));
+  CacheSimulator on(SmallConfig(true));
+  for (uint64_t i = 0; i < 4000; ++i) {
+    off.Access(i * 144, 0);
+    on.Access(i * 144, 0);
+  }
+  EXPECT_LT(on.stats().total_ns, off.stats().total_ns);
+}
+
+TEST(CacheSimulatorTest, PrefetcherDoesNotHelpRandomAccess) {
+  Random rng(3);
+  CacheSimConfig config = SmallConfig(true);
+  CacheSimulator on(config);
+  config.prefetch_enabled = false;
+  CacheSimulator off(config);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t addr =
+        static_cast<uint64_t>(rng.Uniform(0, (1 << 24) - 1)) & ~63ULL;
+    on.Access(addr, 0);
+  }
+  Random rng2(3);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t addr =
+        static_cast<uint64_t>(rng2.Uniform(0, (1 << 24) - 1)) & ~63ULL;
+    off.Access(addr, 0);
+  }
+  // No stable stride: prefetching gains nothing (and may pollute).
+  EXPECT_GE(on.stats().total_ns, 0.95 * off.stats().total_ns);
+}
+
+TEST(CacheSimulatorTest, StreamsTrackedIndependently) {
+  // Two interleaved sequential streams would confuse a single-stream
+  // detector; per-stream tracking keeps both prefetchable.
+  CacheSimulator sim(SmallConfig(true));
+  for (uint64_t i = 0; i < 2000; ++i) {
+    sim.Access(i * 64, 0);
+    sim.Access((1 << 26) + i * 64, 1);
+  }
+  EXPECT_GT(sim.stats().prefetch_hits, sim.stats().accesses / 3);
+}
+
+TEST(CacheSimulatorTest, ResetStatsClearsCounters) {
+  CacheSimulator sim(SmallConfig(true));
+  sim.Access(0, 0);
+  sim.ResetStats();
+  EXPECT_EQ(sim.stats().accesses, 0u);
+  EXPECT_DOUBLE_EQ(sim.stats().total_ns, 0.0);
+}
+
+// ---- operator access-stream traces (the Table VI substitute) ----
+
+TaskTraceConfig TraceConfig(uint64_t block_bytes) {
+  TaskTraceConfig config;
+  config.block_bytes = block_bytes;
+  config.tuple_bytes = 100;
+  config.attr_bytes = 8;
+  config.hash_table_bytes = 8 * 1024 * 1024;
+  return config;
+}
+
+TEST(AccessStreamsTest, SelectBenefitsFromPrefetching) {
+  Random rng1(7), rng2(7);
+  CacheSimConfig config;  // full-size Haswell caches
+  config.prefetch_enabled = true;
+  CacheSimulator on(config);
+  config.prefetch_enabled = false;
+  CacheSimulator off(config);
+  const double t_on = SimulateSelectTask(&on, TraceConfig(128 * 1024), &rng1,
+                                         0.3);
+  const double t_off = SimulateSelectTask(&off, TraceConfig(128 * 1024),
+                                          &rng2, 0.3);
+  EXPECT_LT(t_on, t_off);
+}
+
+TEST(AccessStreamsTest, TaskTimeGrowsWithBlockSize) {
+  Random rng(7);
+  CacheSimulator sim{CacheSimConfig{}};
+  const double t_small =
+      SimulateSelectTask(&sim, TraceConfig(128 * 1024), &rng, 0.3);
+  const double t_large =
+      SimulateSelectTask(&sim, TraceConfig(2 * 1024 * 1024), &rng, 0.3);
+  EXPECT_GT(t_large, 5.0 * t_small);
+}
+
+TEST(AccessStreamsTest, ProbeTouchesHashTableRandomly) {
+  Random rng(9);
+  CacheSimConfig config;
+  config.prefetch_enabled = false;
+  CacheSimulator sim(config);
+  TaskTraceConfig trace = TraceConfig(128 * 1024);
+  trace.hash_table_bytes = 256 * 1024 * 1024;  // far beyond L3
+  const double t = SimulateProbeTask(&sim, trace, &rng, 0.5);
+  EXPECT_GT(t, 0.0);
+  // Most hash accesses must go to memory.
+  EXPECT_GT(sim.stats().memory_accesses, sim.stats().accesses / 4);
+}
+
+TEST(AccessStreamsTest, TableSixShape) {
+  // The Table VI signal: prefetching speeds up the sequential select but
+  // slows down build and probe (adjacent-line fetches on random hash
+  // traffic are pure overhead).
+  auto run = [](const char* op, bool prefetch) {
+    CacheSimConfig config;  // full Haswell geometry
+    config.prefetch_enabled = prefetch;
+    CacheSimulator sim(config);
+    Random rng(42);
+    TaskTraceConfig trace;
+    trace.block_bytes = 512 * 1024;
+    trace.tuple_bytes = 145;
+    trace.attr_bytes = 8;
+    trace.hash_table_bytes = 64ULL * 1024 * 1024;
+    if (op[0] == 's') return SimulateSelectTask(&sim, trace, &rng, 0.3);
+    if (op[0] == 'b') return SimulateBuildTask(&sim, trace, &rng);
+    return SimulateProbeTask(&sim, trace, &rng, 0.5);
+  };
+  EXPECT_LT(run("select", true), 0.8 * run("select", false));
+  EXPECT_GT(run("build", true), run("build", false));
+  EXPECT_GT(run("probe", true), run("probe", false));
+}
+
+TEST(AccessStreamsTest, BuildAndProbeProduceWork) {
+  Random rng(11);
+  CacheSimulator sim{CacheSimConfig{}};
+  EXPECT_GT(SimulateBuildTask(&sim, TraceConfig(128 * 1024), &rng), 0.0);
+  EXPECT_GT(SimulateProbeTask(&sim, TraceConfig(128 * 1024), &rng, 1.0),
+            0.0);
+}
+
+}  // namespace
+}  // namespace uot

@@ -1,0 +1,93 @@
+#ifndef UOT_TESTS_TEST_UTIL_H_
+#define UOT_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/query_executor.h"
+#include "storage/storage_manager.h"
+#include "storage/table.h"
+#include "types/row_builder.h"
+
+namespace uot {
+namespace testing {
+
+/// Compares two CanonicalRows() strings field by field, allowing a relative
+/// tolerance on numeric fields: parallel aggregation sums are only
+/// reproducible up to floating-point merge order, so exact string equality
+/// is the wrong comparator for results containing SUM/AVG columns.
+inline ::testing::AssertionResult CanonicalRowsNear(
+    const std::string& actual, const std::string& expected,
+    double rel_tol = 1e-6) {
+  std::istringstream sa(actual), se(expected);
+  std::string la, le;
+  int line_no = 0;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(sa, la));
+    const bool ge = static_cast<bool>(std::getline(se, le));
+    if (!ga && !ge) return ::testing::AssertionSuccess();
+    ++line_no;
+    if (ga != ge) {
+      return ::testing::AssertionFailure()
+             << "row counts differ at line " << line_no;
+    }
+    std::istringstream fa(la), fe(le);
+    std::string va, ve;
+    int field = 0;
+    while (true) {
+      const bool ha = static_cast<bool>(std::getline(fa, va, ','));
+      const bool he = static_cast<bool>(std::getline(fe, ve, ','));
+      if (!ha && !he) break;
+      ++field;
+      if (ha != he) {
+        return ::testing::AssertionFailure()
+               << "field counts differ at line " << line_no;
+      }
+      if (va == ve) continue;
+      char* enda = nullptr;
+      char* ende = nullptr;
+      const double da = std::strtod(va.c_str(), &enda);
+      const double de = std::strtod(ve.c_str(), &ende);
+      const bool numeric = enda == va.c_str() + va.size() &&
+                           ende == ve.c_str() + ve.size() && !va.empty() &&
+                           !ve.empty();
+      if (!numeric ||
+          std::abs(da - de) >
+              rel_tol * std::max({1.0, std::abs(da), std::abs(de)})) {
+        return ::testing::AssertionFailure()
+               << "line " << line_no << " field " << field << ": '" << va
+               << "' vs '" << ve << "'";
+      }
+    }
+  }
+}
+
+/// Builds a two-column (k INT32, v DOUBLE) table with `rows` rows where
+/// k = i % modulo and v = i.
+inline std::unique_ptr<Table> MakeKvTable(StorageManager* storage,
+                                          const std::string& name,
+                                          uint64_t rows, int32_t modulo,
+                                          Layout layout = Layout::kRowStore,
+                                          size_t block_bytes = 4096) {
+  Schema schema({{"k", Type::Int32()}, {"v", Type::Double()}});
+  auto table = std::make_unique<Table>(name, schema, layout, block_bytes,
+                                       storage, MemoryCategory::kBaseTable);
+  RowBuilder row(&table->schema());
+  for (uint64_t i = 0; i < rows; ++i) {
+    row.SetInt32(0, static_cast<int32_t>(i % modulo));
+    row.SetDouble(1, static_cast<double>(i));
+    table->AppendRow(row.data());
+  }
+  return table;
+}
+
+}  // namespace testing
+}  // namespace uot
+
+#endif  // UOT_TESTS_TEST_UTIL_H_

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "types/date.h"
+#include "types/row_builder.h"
+#include "types/schema.h"
+#include "types/type.h"
+#include "types/typed_value.h"
+
+namespace uot {
+namespace {
+
+TEST(TypeTest, WidthsAndIds) {
+  EXPECT_EQ(Type::Int32().width(), 4);
+  EXPECT_EQ(Type::Int64().width(), 8);
+  EXPECT_EQ(Type::Double().width(), 8);
+  EXPECT_EQ(Type::Date().width(), 4);
+  EXPECT_EQ(Type::Char(17).width(), 17);
+  EXPECT_EQ(Type::Char(17).id(), TypeId::kChar);
+}
+
+TEST(TypeTest, Predicates) {
+  EXPECT_TRUE(Type::Int32().IsNumeric());
+  EXPECT_TRUE(Type::Date().IsNumeric());
+  EXPECT_TRUE(Type::Double().IsNumeric());
+  EXPECT_FALSE(Type::Char(4).IsNumeric());
+  EXPECT_TRUE(Type::Int64().IsIntegral());
+  EXPECT_FALSE(Type::Double().IsIntegral());
+}
+
+TEST(TypeTest, EqualityAndToString) {
+  EXPECT_EQ(Type::Char(8), Type::Char(8));
+  EXPECT_NE(Type::Char(8), Type::Char(9));
+  EXPECT_NE(Type::Int32(), Type::Date());
+  EXPECT_EQ(Type::Char(10).ToString(), "CHAR(10)");
+  EXPECT_EQ(Type::Double().ToString(), "DOUBLE");
+}
+
+TEST(DateTest, RoundTrip) {
+  for (int y : {1970, 1992, 1995, 1998, 2000, 2024}) {
+    for (int m : {1, 2, 6, 12}) {
+      for (int d : {1, 15, 28}) {
+        const int32_t days = MakeDate(y, m, d);
+        int yy, mm, dd;
+        CivilFromDays(days, &yy, &mm, &dd);
+        EXPECT_EQ(yy, y);
+        EXPECT_EQ(mm, m);
+        EXPECT_EQ(dd, d);
+      }
+    }
+  }
+}
+
+TEST(DateTest, EpochAndOrdering) {
+  EXPECT_EQ(MakeDate(1970, 1, 1), 0);
+  EXPECT_EQ(MakeDate(1970, 1, 2), 1);
+  EXPECT_LT(MakeDate(1994, 12, 31), MakeDate(1995, 1, 1));
+  EXPECT_EQ(MakeDate(1995, 3, 15) - MakeDate(1995, 3, 14), 1);
+}
+
+TEST(DateTest, AddMonthsClampsDay) {
+  EXPECT_EQ(AddMonths(MakeDate(1995, 1, 31), 1), MakeDate(1995, 2, 28));
+  EXPECT_EQ(AddMonths(MakeDate(1996, 1, 31), 1), MakeDate(1996, 2, 29));
+  EXPECT_EQ(AddMonths(MakeDate(1993, 7, 1), 3), MakeDate(1993, 10, 1));
+  EXPECT_EQ(AddYears(MakeDate(1994, 1, 1), 1), MakeDate(1995, 1, 1));
+}
+
+TEST(DateTest, ToStringFormat) {
+  EXPECT_EQ(DateToString(MakeDate(1998, 12, 1)), "1998-12-01");
+  EXPECT_EQ(DateToString(MakeDate(1992, 1, 5)), "1992-01-05");
+}
+
+TEST(TypedValueTest, AccessorsAndToString) {
+  EXPECT_EQ(TypedValue::Int32(42).AsInt32(), 42);
+  EXPECT_EQ(TypedValue::Int64(1LL << 40).AsInt64(), 1LL << 40);
+  EXPECT_DOUBLE_EQ(TypedValue::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(TypedValue::Char("abc").AsChar(), "abc");
+  EXPECT_EQ(TypedValue::Int32(-7).ToString(), "-7");
+  EXPECT_EQ(TypedValue::Date(MakeDate(1995, 6, 17)).ToString(), "1995-06-17");
+}
+
+TEST(TypedValueTest, WideningConversions) {
+  EXPECT_DOUBLE_EQ(TypedValue::Int32(3).ToDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(TypedValue::Int64(-9).ToDouble(), -9.0);
+  EXPECT_EQ(TypedValue::Int32(5).ToInt64(), 5);
+  EXPECT_EQ(TypedValue::Date(100).ToInt64(), 100);
+}
+
+TEST(TypedValueTest, PackedRoundTripNumeric) {
+  std::byte buf[8];
+  TypedValue::Int32(-12345).CopyTo(Type::Int32(), buf);
+  EXPECT_EQ(TypedValue::Load(Type::Int32(), buf).AsInt32(), -12345);
+  TypedValue::Int64(1LL << 50).CopyTo(Type::Int64(), buf);
+  EXPECT_EQ(TypedValue::Load(Type::Int64(), buf).AsInt64(), 1LL << 50);
+  TypedValue::Double(3.25).CopyTo(Type::Double(), buf);
+  EXPECT_DOUBLE_EQ(TypedValue::Load(Type::Double(), buf).AsDouble(), 3.25);
+}
+
+TEST(TypedValueTest, PackedCharPadsAndStrips) {
+  std::byte buf[10];
+  TypedValue::Char("abc").CopyTo(Type::Char(10), buf);
+  // Padded with spaces.
+  EXPECT_EQ(static_cast<char>(buf[3]), ' ');
+  EXPECT_EQ(static_cast<char>(buf[9]), ' ');
+  const TypedValue loaded = TypedValue::Load(Type::Char(10), buf);
+  EXPECT_EQ(loaded.AsChar(), "abc");  // padding stripped
+}
+
+TEST(TypedValueTest, PackedCharTruncates) {
+  std::byte buf[4];
+  TypedValue::Char("abcdefgh").CopyTo(Type::Char(4), buf);
+  EXPECT_EQ(TypedValue::Load(Type::Char(4), buf).AsChar(), "abcd");
+}
+
+TEST(TypedValueTest, ComparisonOperators) {
+  EXPECT_EQ(TypedValue::Int32(4), TypedValue::Int32(4));
+  EXPECT_NE(TypedValue::Int32(4), TypedValue::Int32(5));
+  EXPECT_NE(TypedValue::Int32(4), TypedValue::Int64(4));  // different types
+  EXPECT_LT(TypedValue::Double(1.0), TypedValue::Double(2.0));
+  EXPECT_LT(TypedValue::Char("abc"), TypedValue::Char("abd"));
+}
+
+TEST(SchemaTest, OffsetsArePacked) {
+  Schema s({{"a", Type::Int64()},
+            {"b", Type::Int32()},
+            {"c", Type::Char(5)},
+            {"d", Type::Double()}});
+  EXPECT_EQ(s.num_columns(), 4);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 12u);
+  EXPECT_EQ(s.offset(3), 17u);
+  EXPECT_EQ(s.row_width(), 25u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s({{"x", Type::Int32()}, {"y", Type::Double()}});
+  EXPECT_EQ(s.ColumnIndex("x"), 0);
+  EXPECT_EQ(s.ColumnIndex("y"), 1);
+  EXPECT_EQ(s.ColumnIndex("z"), -1);
+}
+
+TEST(SchemaTest, EqualityIncludesNamesAndTypes) {
+  Schema a({{"x", Type::Int32()}});
+  Schema b({{"x", Type::Int32()}});
+  Schema c({{"y", Type::Int32()}});
+  Schema d({{"x", Type::Int64()}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(SchemaTest, ToStringRendersColumns) {
+  Schema s({{"k", Type::Int32()}, {"name", Type::Char(3)}});
+  EXPECT_EQ(s.ToString(), "(k INT32, name CHAR(3))");
+}
+
+TEST(RowBuilderTest, BuildsPackedRows) {
+  Schema s({{"a", Type::Int32()},
+            {"b", Type::Double()},
+            {"c", Type::Char(6)},
+            {"d", Type::Date()}});
+  RowBuilder row(&s);
+  row.SetInt32(0, 77);
+  row.SetDouble(1, -1.5);
+  row.SetChar(2, "hi");
+  row.SetDate(3, MakeDate(1994, 1, 1));
+  EXPECT_EQ(TypedValue::Load(s.column(0).type, row.data() + s.offset(0))
+                .AsInt32(),
+            77);
+  EXPECT_DOUBLE_EQ(
+      TypedValue::Load(s.column(1).type, row.data() + s.offset(1)).AsDouble(),
+      -1.5);
+  EXPECT_EQ(TypedValue::Load(s.column(2).type, row.data() + s.offset(2))
+                .AsChar(),
+            "hi");
+  EXPECT_EQ(TypedValue::Load(s.column(3).type, row.data() + s.offset(3))
+                .AsInt32(),
+            MakeDate(1994, 1, 1));
+}
+
+}  // namespace
+}  // namespace uot
