@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lip.dir/bench_ablation_lip.cc.o"
+  "CMakeFiles/bench_ablation_lip.dir/bench_ablation_lip.cc.o.d"
+  "bench_ablation_lip"
+  "bench_ablation_lip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_join.dir/bench_micro_join.cc.o"
+  "CMakeFiles/bench_micro_join.dir/bench_micro_join.cc.o.d"
+  "bench_micro_join"
+  "bench_micro_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

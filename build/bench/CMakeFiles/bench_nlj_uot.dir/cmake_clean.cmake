@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nlj_uot.dir/bench_nlj_uot.cc.o"
+  "CMakeFiles/bench_nlj_uot.dir/bench_nlj_uot.cc.o.d"
+  "bench_nlj_uot"
+  "bench_nlj_uot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nlj_uot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

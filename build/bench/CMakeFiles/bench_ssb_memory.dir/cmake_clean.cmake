@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssb_memory.dir/bench_ssb_memory.cc.o"
+  "CMakeFiles/bench_ssb_memory.dir/bench_ssb_memory.cc.o.d"
+  "bench_ssb_memory"
+  "bench_ssb_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssb_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_orders_reduction.
+# This may be replaced when dependencies are built.

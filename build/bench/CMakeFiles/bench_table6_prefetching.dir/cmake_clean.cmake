@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_prefetching.dir/bench_table6_prefetching.cc.o"
+  "CMakeFiles/bench_table6_prefetching.dir/bench_table6_prefetching.cc.o.d"
+  "bench_table6_prefetching"
+  "bench_table6_prefetching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_prefetching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

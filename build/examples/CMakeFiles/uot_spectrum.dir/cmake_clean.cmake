@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uot_spectrum.dir/uot_spectrum.cpp.o"
+  "CMakeFiles/uot_spectrum.dir/uot_spectrum.cpp.o.d"
+  "uot_spectrum"
+  "uot_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uot_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for uot_spectrum.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/materializing_engine.cc" "src/CMakeFiles/uot.dir/baseline/materializing_engine.cc.o" "gcc" "src/CMakeFiles/uot.dir/baseline/materializing_engine.cc.o.d"
+  "/root/repo/src/exec/query_executor.cc" "src/CMakeFiles/uot.dir/exec/query_executor.cc.o" "gcc" "src/CMakeFiles/uot.dir/exec/query_executor.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/uot.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/uot.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/predicate.cc" "src/CMakeFiles/uot.dir/expr/predicate.cc.o" "gcc" "src/CMakeFiles/uot.dir/expr/predicate.cc.o.d"
+  "/root/repo/src/expr/projection.cc" "src/CMakeFiles/uot.dir/expr/projection.cc.o" "gcc" "src/CMakeFiles/uot.dir/expr/projection.cc.o.d"
+  "/root/repo/src/join/hash_table.cc" "src/CMakeFiles/uot.dir/join/hash_table.cc.o" "gcc" "src/CMakeFiles/uot.dir/join/hash_table.cc.o.d"
+  "/root/repo/src/join/lip_filter.cc" "src/CMakeFiles/uot.dir/join/lip_filter.cc.o" "gcc" "src/CMakeFiles/uot.dir/join/lip_filter.cc.o.d"
+  "/root/repo/src/model/cost_model.cc" "src/CMakeFiles/uot.dir/model/cost_model.cc.o" "gcc" "src/CMakeFiles/uot.dir/model/cost_model.cc.o.d"
+  "/root/repo/src/model/memory_model.cc" "src/CMakeFiles/uot.dir/model/memory_model.cc.o" "gcc" "src/CMakeFiles/uot.dir/model/memory_model.cc.o.d"
+  "/root/repo/src/operators/aggregate_operator.cc" "src/CMakeFiles/uot.dir/operators/aggregate_operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/aggregate_operator.cc.o.d"
+  "/root/repo/src/operators/build_hash_operator.cc" "src/CMakeFiles/uot.dir/operators/build_hash_operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/build_hash_operator.cc.o.d"
+  "/root/repo/src/operators/nested_loops_join_operator.cc" "src/CMakeFiles/uot.dir/operators/nested_loops_join_operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/nested_loops_join_operator.cc.o.d"
+  "/root/repo/src/operators/operator.cc" "src/CMakeFiles/uot.dir/operators/operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/operator.cc.o.d"
+  "/root/repo/src/operators/probe_hash_operator.cc" "src/CMakeFiles/uot.dir/operators/probe_hash_operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/probe_hash_operator.cc.o.d"
+  "/root/repo/src/operators/select_operator.cc" "src/CMakeFiles/uot.dir/operators/select_operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/select_operator.cc.o.d"
+  "/root/repo/src/operators/sort_merge_join_operator.cc" "src/CMakeFiles/uot.dir/operators/sort_merge_join_operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/sort_merge_join_operator.cc.o.d"
+  "/root/repo/src/operators/sort_operator.cc" "src/CMakeFiles/uot.dir/operators/sort_operator.cc.o" "gcc" "src/CMakeFiles/uot.dir/operators/sort_operator.cc.o.d"
+  "/root/repo/src/plan/query_plan.cc" "src/CMakeFiles/uot.dir/plan/query_plan.cc.o" "gcc" "src/CMakeFiles/uot.dir/plan/query_plan.cc.o.d"
+  "/root/repo/src/scheduler/execution_stats.cc" "src/CMakeFiles/uot.dir/scheduler/execution_stats.cc.o" "gcc" "src/CMakeFiles/uot.dir/scheduler/execution_stats.cc.o.d"
+  "/root/repo/src/scheduler/scheduler.cc" "src/CMakeFiles/uot.dir/scheduler/scheduler.cc.o" "gcc" "src/CMakeFiles/uot.dir/scheduler/scheduler.cc.o.d"
+  "/root/repo/src/scheduler/uot_policy.cc" "src/CMakeFiles/uot.dir/scheduler/uot_policy.cc.o" "gcc" "src/CMakeFiles/uot.dir/scheduler/uot_policy.cc.o.d"
+  "/root/repo/src/simcache/access_streams.cc" "src/CMakeFiles/uot.dir/simcache/access_streams.cc.o" "gcc" "src/CMakeFiles/uot.dir/simcache/access_streams.cc.o.d"
+  "/root/repo/src/simcache/cache_simulator.cc" "src/CMakeFiles/uot.dir/simcache/cache_simulator.cc.o" "gcc" "src/CMakeFiles/uot.dir/simcache/cache_simulator.cc.o.d"
+  "/root/repo/src/simsched/des_scheduler.cc" "src/CMakeFiles/uot.dir/simsched/des_scheduler.cc.o" "gcc" "src/CMakeFiles/uot.dir/simsched/des_scheduler.cc.o.d"
+  "/root/repo/src/ssb/ssb_generator.cc" "src/CMakeFiles/uot.dir/ssb/ssb_generator.cc.o" "gcc" "src/CMakeFiles/uot.dir/ssb/ssb_generator.cc.o.d"
+  "/root/repo/src/ssb/ssb_queries.cc" "src/CMakeFiles/uot.dir/ssb/ssb_queries.cc.o" "gcc" "src/CMakeFiles/uot.dir/ssb/ssb_queries.cc.o.d"
+  "/root/repo/src/ssb/ssb_schema.cc" "src/CMakeFiles/uot.dir/ssb/ssb_schema.cc.o" "gcc" "src/CMakeFiles/uot.dir/ssb/ssb_schema.cc.o.d"
+  "/root/repo/src/storage/block.cc" "src/CMakeFiles/uot.dir/storage/block.cc.o" "gcc" "src/CMakeFiles/uot.dir/storage/block.cc.o.d"
+  "/root/repo/src/storage/block_pool.cc" "src/CMakeFiles/uot.dir/storage/block_pool.cc.o" "gcc" "src/CMakeFiles/uot.dir/storage/block_pool.cc.o.d"
+  "/root/repo/src/storage/insert_destination.cc" "src/CMakeFiles/uot.dir/storage/insert_destination.cc.o" "gcc" "src/CMakeFiles/uot.dir/storage/insert_destination.cc.o.d"
+  "/root/repo/src/storage/storage_manager.cc" "src/CMakeFiles/uot.dir/storage/storage_manager.cc.o" "gcc" "src/CMakeFiles/uot.dir/storage/storage_manager.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/uot.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/uot.dir/storage/table.cc.o.d"
+  "/root/repo/src/tpch/tpch_analysis.cc" "src/CMakeFiles/uot.dir/tpch/tpch_analysis.cc.o" "gcc" "src/CMakeFiles/uot.dir/tpch/tpch_analysis.cc.o.d"
+  "/root/repo/src/tpch/tpch_generator.cc" "src/CMakeFiles/uot.dir/tpch/tpch_generator.cc.o" "gcc" "src/CMakeFiles/uot.dir/tpch/tpch_generator.cc.o.d"
+  "/root/repo/src/tpch/tpch_queries.cc" "src/CMakeFiles/uot.dir/tpch/tpch_queries.cc.o" "gcc" "src/CMakeFiles/uot.dir/tpch/tpch_queries.cc.o.d"
+  "/root/repo/src/tpch/tpch_schema.cc" "src/CMakeFiles/uot.dir/tpch/tpch_schema.cc.o" "gcc" "src/CMakeFiles/uot.dir/tpch/tpch_schema.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/uot.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/uot.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/CMakeFiles/uot.dir/types/type.cc.o" "gcc" "src/CMakeFiles/uot.dir/types/type.cc.o.d"
+  "/root/repo/src/types/typed_value.cc" "src/CMakeFiles/uot.dir/types/typed_value.cc.o" "gcc" "src/CMakeFiles/uot.dir/types/typed_value.cc.o.d"
+  "/root/repo/src/util/memory_tracker.cc" "src/CMakeFiles/uot.dir/util/memory_tracker.cc.o" "gcc" "src/CMakeFiles/uot.dir/util/memory_tracker.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/uot.dir/util/random.cc.o" "gcc" "src/CMakeFiles/uot.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/uot.dir/util/status.cc.o" "gcc" "src/CMakeFiles/uot.dir/util/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lip_filter_test.dir/lip_filter_test.cc.o"
+  "CMakeFiles/lip_filter_test.dir/lip_filter_test.cc.o.d"
+  "lip_filter_test"
+  "lip_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lip_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcache_test.dir/simcache_test.cc.o"
+  "CMakeFiles/simcache_test.dir/simcache_test.cc.o.d"
+  "simcache_test"
+  "simcache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
