@@ -2,6 +2,12 @@
 // footprint of the two extreme UoT strategies on the TPC-H Q07 leaf join
 // cascade — low UoT must keep all probe-side hash tables live, high UoT
 // materializes the selection output instead.
+//
+// Peaks are read from the observability layer's memory gauges
+// ("memory.<category>.bytes", sampled on every tracked allocate/release)
+// rather than from raw ExecutionStats; set UOT_OBS_DIR to also dump each
+// run's Perfetto trace (whose memory counter tracks show the footprint
+// timeline) and metrics CSV.
 
 #include <cstdio>
 
@@ -26,12 +32,13 @@ int main() {
     ExecConfig exec;
     exec.num_workers = Threads();
     exec.uot = whole_table ? UotPolicy::HighUot() : UotPolicy::LowUot(1);
-    QueryTiming t = TimeQuery(7, fixture.db(), plan_config, exec, 1);
+    ObservedRun run = RunObserved(7, fixture.db(), plan_config, exec);
     std::printf("%-22s peak hash tables: %8.2f MB   peak intermediates: "
                 "%8.2f MB\n",
                 exec.uot.ToString().c_str(),
-                static_cast<double>(t.stats.PeakHashTableBytes()) / 1e6,
-                static_cast<double>(t.stats.PeakTemporaryBytes()) / 1e6);
+                static_cast<double>(run.PeakBytes("hash_table")) / 1e6,
+                static_cast<double>(run.PeakBytes("temporary_table")) / 1e6);
+    MaybeExportObs(run, whole_table ? "table2_high_uot" : "table2_low_uot");
   }
 
   // Model predictions (Section VI-B): hash table on the whole orders table

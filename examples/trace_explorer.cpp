@@ -1,0 +1,99 @@
+// Runs one TPC-H query with the observability layer enabled and writes a
+// Chrome/Perfetto trace plus metrics exports:
+//
+//   UOT_SF=0.01 UOT_QUERY=7 ./build/examples/trace_explorer [out_prefix]
+//
+// produces `<out_prefix>.trace.json` (open it at https://ui.perfetto.dev
+// or chrome://tracing — work-order spans per worker, UoT transfer instants,
+// queue-depth and per-category memory counter tracks), plus
+// `<out_prefix>.metrics.csv` and `<out_prefix>.metrics.json`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exec/query_executor.h"
+#include "obs/metrics.h"
+#include "obs/trace_json.h"
+#include "obs/trace_session.h"
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+
+using namespace uot;
+
+int main(int argc, char** argv) {
+  const char* sf_env = std::getenv("UOT_SF");
+  const double sf = sf_env != nullptr ? std::atof(sf_env) : 0.01;
+  const char* query_env = std::getenv("UOT_QUERY");
+  const int query = query_env != nullptr ? std::atoi(query_env) : 7;
+  const std::string prefix =
+      argc > 1 ? argv[1] : ("q" + std::to_string(query));
+
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig config;
+  config.scale_factor = sf;
+  config.layout = Layout::kColumnStore;
+  config.block_bytes = 256 * 1024;
+  db.Generate(config);
+
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = 64 * 1024;
+  auto plan = BuildTpchPlan(query, db, plan_config);
+
+  obs::TraceSession trace;
+  obs::MetricsRegistry metrics;
+  ExecConfig exec;
+  exec.num_workers = 4;
+  exec.uot = UotPolicy::LowUot(1);
+  exec.trace = &trace;
+  exec.metrics = &metrics;
+
+  std::printf("Running TPC-H Q%d at SF %.3f with tracing enabled...\n",
+              query, sf);
+  const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+  std::printf("%s\n", stats.ToString().c_str());
+
+  const std::string trace_path = prefix + ".trace.json";
+  Status status = trace.WriteChromeJson(trace_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "trace export failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  // Self-check: the file we just wrote must be a valid trace_event JSON
+  // document with time-ordered events.
+  obs::ChromeTraceSummary summary;
+  status = obs::ParseChromeTraceJson(trace.ToChromeJson(), &summary);
+  if (!status.ok() || !summary.timestamps_monotonic) {
+    std::fprintf(stderr, "exported trace failed validation: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  status = metrics.WriteCsv(prefix + ".metrics.csv");
+  if (status.ok()) status = metrics.WriteJson(prefix + ".metrics.json");
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Trace: %s (%zu events: %zu spans, %zu instants, %zu counter "
+              "samples; %.3f ms covered)\n",
+              trace_path.c_str(), summary.num_events, summary.num_complete,
+              summary.num_instant, summary.num_counter,
+              (summary.last_ts_us - summary.first_ts_us) / 1000.0);
+  std::printf("Metrics: %s.metrics.csv, %s.metrics.json\n", prefix.c_str(),
+              prefix.c_str());
+  std::printf("\nOpen the trace in https://ui.perfetto.dev (or "
+              "chrome://tracing):\n"
+              "  - each \"worker N\" track shows that worker's work-order "
+              "spans (args carry the operator name);\n"
+              "  - the coordinator track shows UoT transfers, edge flushes "
+              "and budget events;\n"
+              "  - counter tracks plot queue depths and per-category "
+              "memory over time (Table II's timeline).\n");
+  return 0;
+}

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_session.h"
+
 namespace uot {
+
+ExecutionStats QueryExecutor::Execute(QueryPlan* plan,
+                                      const ExecConfig& config) {
+  MemoryTracker& tracker = plan->storage()->tracker();
+  const bool observed = config.trace != nullptr || config.metrics != nullptr;
+  if (observed) tracker.AttachObservers(config.trace, config.metrics);
+  Scheduler scheduler(plan, config);
+  ExecutionStats stats = scheduler.Run();
+  if (observed) tracker.AttachObservers(nullptr, nullptr);
+  return stats;
+}
 
 std::string RenderTable(const Table& table, uint64_t max_rows) {
   std::string out;

@@ -13,10 +13,14 @@ class QueryExecutor {
  public:
   /// Runs `plan` to completion and returns execution statistics. The result
   /// rows are in `plan->result_table()`.
-  static ExecutionStats Execute(QueryPlan* plan, const ExecConfig& config) {
-    Scheduler scheduler(plan, config);
-    return scheduler.Run();
-  }
+  ///
+  /// When `config.trace` / `config.metrics` are set, the storage manager's
+  /// memory tracker is additionally attached to them for the duration of
+  /// the run, so traces carry per-category memory counter tracks and the
+  /// registry gains `memory.<category>.bytes` gauges (their Max() is the
+  /// sampled high-water mark). Concurrent executions against the same
+  /// StorageManager must not mix traced and untraced runs.
+  static ExecutionStats Execute(QueryPlan* plan, const ExecConfig& config);
 };
 
 /// Renders up to `max_rows` rows of `table` as an ASCII table (examples and

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace_session.h"
+
 namespace uot {
 namespace {
 
@@ -46,6 +48,14 @@ void JoinHashTable::Reserve(uint64_t num_entries) {
   allocated_bytes_ = num_slots_ * (slot_stride_ + 1);
   if (tracker_ != nullptr) {
     tracker_->Allocate(MemoryCategory::kHashTable, allocated_bytes_);
+    if (obs::TraceSession* trace = tracker_->trace()) {
+      const int32_t slots = num_slots_ > static_cast<uint64_t>(INT32_MAX)
+                                ? INT32_MAX
+                                : static_cast<int32_t>(num_slots_);
+      trace->EmitInstant(obs::TraceEventType::kHashTableReserve, /*tid=*/0,
+                         /*arg0=*/-1, /*arg1=*/slots,
+                         static_cast<int64_t>(allocated_bytes_));
+    }
   }
 }
 

@@ -1,0 +1,76 @@
+#ifndef UOT_OBS_TRACE_EVENT_H_
+#define UOT_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+
+namespace uot {
+namespace obs {
+
+/// The engine's trace-event taxonomy. Every instrumented site emits one of
+/// these typed events; names and categories are resolved at export time so
+/// the hot-path record stays a fixed-size POD.
+enum class TraceEventType : uint8_t {
+  /// Whole-query span (coordinator). value = number of work orders.
+  kQuery = 0,
+  /// One work-order execution span (worker). arg0 = operator index,
+  /// arg1 = worker id.
+  kWorkOrder,
+  /// A UoT transfer delivered accumulated blocks over a streaming edge.
+  /// arg0 = edge index, value = blocks delivered.
+  kBlockTransfer,
+  /// Final flush of a streaming edge when its producer finished.
+  /// arg0 = edge index.
+  kEdgeFlush,
+  /// A producer work order was deferred by the memory-budget policy.
+  /// arg0 = operator index, value = tracked bytes at deferral.
+  kBudgetDefer,
+  /// A budget-deferred work order was released. arg0 = operator index,
+  /// value = tracked bytes at release.
+  kBudgetRelease,
+  /// A join hash table sized its slot array. arg1 = slots (saturated),
+  /// value = allocated bytes.
+  kHashTableReserve,
+  /// An operator completed all work orders and flushed its output.
+  /// arg0 = operator index.
+  kOperatorFinish,
+  /// Counter track: scheduler queue depth. arg0 = 0 for the work-order
+  /// queue, 1 for the event queue; value = depth.
+  kQueueDepth,
+  /// Counter track: tracked memory per category. arg0 = MemoryCategory
+  /// index, value = current bytes.
+  kMemoryBytes,
+};
+
+/// Chrome trace_event phases the exporter knows how to render.
+enum class TracePhase : uint8_t {
+  kComplete,  // "ph":"X" — a span with a duration
+  kInstant,   // "ph":"i" — a point event
+  kCounter,   // "ph":"C" — a sampled counter track
+};
+
+/// Event name as it appears in the exported trace.
+const char* TraceEventTypeName(TraceEventType type);
+
+/// Event category ("cat" in the exported trace): exec, scheduler,
+/// transfer, memory, or join.
+const char* TraceEventTypeCategory(TraceEventType type);
+
+/// A fixed-size trace record. Interpretation of arg0/arg1/value is per
+/// TraceEventType (see the enum comments); unused fields stay at their
+/// defaults. Timestamps are absolute monotonic nanoseconds (NowNanos);
+/// the exporter rebases them to the session origin.
+struct TraceEvent {
+  int64_t ts_ns = 0;
+  int64_t dur_ns = 0;
+  int64_t value = 0;
+  int32_t arg0 = -1;
+  int32_t arg1 = -1;
+  uint32_t tid = 0;
+  TraceEventType type = TraceEventType::kQuery;
+  TracePhase phase = TracePhase::kInstant;
+};
+
+}  // namespace obs
+}  // namespace uot
+
+#endif  // UOT_OBS_TRACE_EVENT_H_

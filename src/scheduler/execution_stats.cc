@@ -24,8 +24,11 @@ double ExecutionStats::AverageDop(int op) const {
     running += delta;
     prev = ts;
   }
+  // Zero span (all records share one timestamp, possible on coarse clocks):
+  // there is no interval to integrate over, so the DOP is defined as 0
+  // rather than NaN or an arbitrary count.
   const int64_t span = prev - span_start;
-  if (span <= 0) return static_cast<double>(events.size() / 2);
+  if (span <= 0) return 0.0;
   return static_cast<double>(busy_weighted) / static_cast<double>(span);
 }
 
@@ -44,6 +47,24 @@ std::string ExecutionStats::ToString() const {
                   static_cast<unsigned long long>(s.num_work_orders),
                   s.total_task_ms(), s.avg_task_ms(), s.span_ms());
     out += line;
+  }
+  out += "  memory peaks:";
+  for (int c = 0; c < kNumMemoryCategories; ++c) {
+    std::snprintf(line, sizeof(line), " %s=%lld B (%.2f MiB)",
+                  MemoryCategoryName(static_cast<MemoryCategory>(c)),
+                  static_cast<long long>(peak_bytes[c]),
+                  static_cast<double>(peak_bytes[c]) / (1024.0 * 1024.0));
+    out += line;
+  }
+  out += "\n";
+  if (!edge_transfers.empty()) {
+    out += "  edge transfers:";
+    for (size_t e = 0; e < edge_transfers.size(); ++e) {
+      std::snprintf(line, sizeof(line), " [%zu]=%llu", e,
+                    static_cast<unsigned long long>(edge_transfers[e]));
+      out += line;
+    }
+    out += "\n";
   }
   return out;
 }

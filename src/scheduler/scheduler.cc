@@ -1,5 +1,7 @@
 #include "scheduler/scheduler.h"
 
+#include "obs/metrics.h"
+#include "obs/trace_session.h"
 #include "util/timer.h"
 
 namespace uot {
@@ -8,6 +10,65 @@ Scheduler::Scheduler(QueryPlan* plan, ExecConfig config)
     : plan_(plan), config_(config) {
   UOT_CHECK(plan_ != nullptr);
   UOT_CHECK(config_.num_workers >= 1);
+}
+
+void Scheduler::InitObservability() {
+  trace_ = config_.trace;
+  metrics_ = config_.metrics;
+  const int n = plan_->num_operators();
+  if (trace_ != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) names.push_back(plan_->op(i)->name());
+    trace_->SetOperatorNames(std::move(names));
+    trace_->SetThreadName(0, "coordinator");
+    for (int w = 0; w < config_.num_workers; ++w) {
+      trace_->SetThreadName(static_cast<uint32_t>(1 + w),
+                            "worker " + std::to_string(w));
+    }
+  }
+  op_task_ns_.clear();
+  op_work_orders_.clear();
+  edge_transfers_metric_.clear();
+  edge_blocks_metric_.clear();
+  if (metrics_ == nullptr) {
+    work_order_count_ = nullptr;
+    work_order_latency_ns_ = nullptr;
+    work_queue_depth_ = nullptr;
+    event_queue_depth_ = nullptr;
+    budget_deferrals_ = nullptr;
+    return;
+  }
+  work_order_count_ = metrics_->GetCounter("scheduler.work_orders");
+  work_order_latency_ns_ =
+      metrics_->GetHistogram("scheduler.work_order_latency_ns");
+  work_queue_depth_ = metrics_->GetGauge("scheduler.queue.work_orders.depth");
+  event_queue_depth_ = metrics_->GetGauge("scheduler.queue.events.depth");
+  budget_deferrals_ = metrics_->GetCounter("scheduler.budget.deferrals");
+  for (int i = 0; i < n; ++i) {
+    const std::string prefix = "scheduler.op." + std::to_string(i);
+    op_task_ns_.push_back(metrics_->GetCounter(prefix + ".task_ns"));
+    op_work_orders_.push_back(metrics_->GetCounter(prefix + ".work_orders"));
+  }
+  for (size_t e = 0; e < plan_->streaming_edges().size(); ++e) {
+    const std::string prefix = "scheduler.edge." + std::to_string(e);
+    edge_transfers_metric_.push_back(
+        metrics_->GetCounter(prefix + ".transfers"));
+    edge_blocks_metric_.push_back(metrics_->GetCounter(prefix + ".blocks"));
+  }
+}
+
+void Scheduler::SampleQueueDepths() {
+  const int64_t work_depth = static_cast<int64_t>(work_queue_.Size());
+  const int64_t event_depth = static_cast<int64_t>(event_queue_.Size());
+  if (work_queue_depth_ != nullptr) {
+    work_queue_depth_->Set(work_depth);
+    event_queue_depth_->Set(event_depth);
+  }
+  if (trace_ != nullptr) {
+    trace_->EmitCounter(obs::TraceEventType::kQueueDepth, 0, work_depth);
+    trace_->EmitCounter(obs::TraceEventType::kQueueDepth, 1, event_depth);
+  }
 }
 
 ExecutionStats Scheduler::Run() {
@@ -61,6 +122,8 @@ ExecutionStats Scheduler::Run() {
     });
   }
 
+  InitObservability();
+
   plan_->storage()->tracker().ResetPeaks();
   stats_.query_start_ns = NowNanos();
 
@@ -75,6 +138,7 @@ ExecutionStats Scheduler::Run() {
   while (!AllFinished()) {
     std::optional<Event> event = event_queue_.Pop();
     UOT_CHECK(event.has_value());  // queue is never closed mid-run
+    if (trace_ != nullptr || metrics_ != nullptr) SampleQueueDepths();
     switch (event->kind) {
       case Event::Kind::kBlockReady:
         HandleBlockReady(event->op, event->block);
@@ -100,6 +164,14 @@ ExecutionStats Scheduler::Run() {
         }
         if (event->record.end_ns > os.last_end_ns) {
           os.last_end_ns = event->record.end_ns;
+        }
+        if (metrics_ != nullptr) {
+          const size_t op_index = static_cast<size_t>(event->op);
+          work_order_count_->Increment();
+          work_order_latency_ns_->Record(event->record.duration_ns());
+          op_task_ns_[op_index]->Add(
+              static_cast<uint64_t>(event->record.duration_ns()));
+          op_work_orders_[op_index]->Increment();
         }
         // Release held work orders under the concurrency cap.
         while (!state.held.empty() &&
@@ -129,6 +201,13 @@ ExecutionStats Scheduler::Run() {
   for (std::thread& t : workers_) t.join();
   workers_.clear();
 
+  if (trace_ != nullptr) {
+    trace_->EmitComplete(obs::TraceEventType::kQuery, /*tid=*/0,
+                         stats_.query_start_ns, stats_.query_end_ns,
+                         /*arg0=*/-1, /*arg1=*/-1,
+                         static_cast<int64_t>(stats_.records.size()));
+  }
+
   const MemoryTracker& tracker = plan_->storage()->tracker();
   for (int c = 0; c < kNumMemoryCategories; ++c) {
     stats_.peak_bytes[c] = tracker.Peak(static_cast<MemoryCategory>(c));
@@ -150,6 +229,12 @@ void Scheduler::WorkerLoop(int worker_id) {
     record.start_ns = NowNanos();
     (*item)->Execute();
     record.end_ns = NowNanos();
+    if (trace_ != nullptr) {
+      trace_->EmitComplete(obs::TraceEventType::kWorkOrder,
+                           static_cast<uint32_t>(1 + worker_id),
+                           record.start_ns, record.end_ns, record.op,
+                           worker_id);
+    }
     event_queue_.Push(Event{Event::Kind::kWorkOrderDone, record.op, nullptr,
                             (*item)->consumed_block, record});
     // Let the coordinator react (transfer blocks, release transients)
@@ -187,6 +272,11 @@ void Scheduler::Dispatch(int op, std::unique_ptr<WorkOrder> wo) {
   // and release transient blocks, which is what brings memory back under
   // the budget.
   if (config_.memory_budget_bytes > 0 && !state.is_consumer) {
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceEventType::kBudgetDefer, /*tid=*/0, op,
+                          -1, plan_->storage()->tracker().TotalCurrent());
+    }
+    if (budget_deferrals_ != nullptr) budget_deferrals_->Increment();
     deferred_.emplace_back(op, std::move(wo));
     return;
   }
@@ -211,6 +301,10 @@ void Scheduler::ReleaseDeferred() {
     if (!over_budget && total_running_ >= config_.num_workers) return;
     auto [op, wo] = std::move(deferred_.front());
     deferred_.pop_front();
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceEventType::kBudgetRelease, /*tid=*/0, op,
+                          -1, plan_->storage()->tracker().TotalCurrent());
+    }
     OpState& state = op_states_[static_cast<size_t>(op)];
     if (config_.max_concurrent_per_op != 0 &&
         state.running >= config_.max_concurrent_per_op) {
@@ -257,9 +351,23 @@ void Scheduler::DeliverEdge(int edge_index, bool final_flush) {
     plan_->op(edge.consumer)
         ->ReceiveInputBlocks(edge.consumer_input, state.buffer);
     ++state.transfers;
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceEventType::kBlockTransfer, /*tid=*/0,
+                          edge_index, -1,
+                          static_cast<int64_t>(state.buffer.size()));
+    }
+    if (metrics_ != nullptr) {
+      edge_transfers_metric_[static_cast<size_t>(edge_index)]->Increment();
+      edge_blocks_metric_[static_cast<size_t>(edge_index)]->Add(
+          state.buffer.size());
+    }
     state.buffer.clear();
   }
   if (final_flush) {
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceEventType::kEdgeFlush, /*tid=*/0,
+                          edge_index);
+    }
     plan_->op(edge.consumer)->InputDone(edge.consumer_input);
   }
   TryGenerate(edge.consumer);
@@ -269,6 +377,9 @@ void Scheduler::HandleOperatorFlushed(int op) {
   OpState& state = op_states_[static_cast<size_t>(op)];
   state.finished = true;
   state.finishing = false;
+  if (trace_ != nullptr) {
+    trace_->EmitInstant(obs::TraceEventType::kOperatorFinish, /*tid=*/0, op);
+  }
   const auto& edges = plan_->streaming_edges();
   for (size_t i = 0; i < edges.size(); ++i) {
     if (edges[i].producer != op) continue;

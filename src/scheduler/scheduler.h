@@ -14,6 +14,14 @@
 
 namespace uot {
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class TraceSession;
+}  // namespace obs
+
 /// Execution configuration for one query run.
 struct ExecConfig {
   /// Number of worker threads executing work orders.
@@ -34,6 +42,15 @@ struct ExecConfig {
   /// work order is always kept in flight so the query progresses. Another
   /// of the paper's Section III-C scheduling policies.
   int64_t memory_budget_bytes = 0;
+  /// Optional trace sink (see src/obs/): when set, the scheduler records
+  /// typed span/instant/counter events (work orders, UoT transfers, edge
+  /// flushes, budget deferrals, queue depths) for Perfetto export. Null
+  /// (the default) keeps the hot path at a single pointer check.
+  obs::TraceSession* trace = nullptr;
+  /// Optional metrics sink: when set, the scheduler maintains named
+  /// counters/gauges/histograms (per-operator task time, per-edge
+  /// transfers, queue depths, work-order latency distribution).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// The query scheduler (paper Section III): a single coordinating loop plus
@@ -84,6 +101,11 @@ class Scheduler {
   };
 
   void WorkerLoop(int worker_id);
+  /// Resolves observability sinks from the config and pre-registers the
+  /// scheduler's metric handles so hot-path updates are lock-free.
+  void InitObservability();
+  /// Samples queue-depth gauges/counter tracks (observability only).
+  void SampleQueueDepths();
   void TryGenerate(int op);
   void Dispatch(int op, std::unique_ptr<WorkOrder> wo);
   /// Re-dispatches budget-deferred work orders when allowed.
@@ -110,6 +132,20 @@ class Scheduler {
   std::deque<std::pair<int, std::unique_ptr<WorkOrder>>> deferred_;
   int total_running_ = 0;
   ExecutionStats stats_;
+
+  // Observability sinks and pre-resolved metric handles, all null when the
+  // corresponding ExecConfig option is unset.
+  obs::TraceSession* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* work_order_count_ = nullptr;
+  obs::Histogram* work_order_latency_ns_ = nullptr;
+  obs::Gauge* work_queue_depth_ = nullptr;
+  obs::Gauge* event_queue_depth_ = nullptr;
+  obs::Counter* budget_deferrals_ = nullptr;
+  std::vector<obs::Counter*> op_task_ns_;
+  std::vector<obs::Counter*> op_work_orders_;
+  std::vector<obs::Counter*> edge_transfers_metric_;
+  std::vector<obs::Counter*> edge_blocks_metric_;
 };
 
 }  // namespace uot

@@ -9,6 +9,12 @@
 
 namespace uot {
 
+namespace obs {
+class Gauge;
+class MetricsRegistry;
+class TraceSession;
+}  // namespace obs
+
 /// Memory categories tracked during query execution.
 ///
 /// The paper's memory-footprint comparison (Section VI, Table II) is between
@@ -22,6 +28,9 @@ enum class MemoryCategory : int {
 };
 
 inline constexpr int kNumMemoryCategories = 4;
+
+/// Stable lower_snake_case name of a category (metric/trace track names).
+const char* MemoryCategoryName(MemoryCategory category);
 
 /// Thread-safe allocation accounting with per-category peaks.
 ///
@@ -43,11 +52,19 @@ class MemoryTracker {
            !peak_[c].compare_exchange_weak(peak, now,
                                            std::memory_order_relaxed)) {
     }
+    if (observers_active_.load(std::memory_order_relaxed)) {
+      Observe(category, now);
+    }
   }
 
   void Release(MemoryCategory category, size_t bytes) {
-    current_[static_cast<int>(category)].fetch_sub(
-        static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    const int64_t now =
+        current_[static_cast<int>(category)].fetch_sub(
+            static_cast<int64_t>(bytes), std::memory_order_relaxed) -
+        static_cast<int64_t>(bytes);
+    if (observers_active_.load(std::memory_order_relaxed)) {
+      Observe(category, now);
+    }
   }
 
   int64_t Current(MemoryCategory category) const {
@@ -79,9 +96,29 @@ class MemoryTracker {
     }
   }
 
+  /// Installs observability sinks (both may be null to detach): every
+  /// Allocate/Release then emits a per-category `memory_bytes` counter
+  /// sample into `trace` and updates a `memory.<category>.bytes` gauge in
+  /// `metrics` (whose Max() is the sampled high-water mark). Attach/detach
+  /// only while no thread is allocating — the executor installs observers
+  /// before workers start and detaches after they join.
+  void AttachObservers(obs::TraceSession* trace,
+                       obs::MetricsRegistry* metrics);
+
+  /// The attached trace session (null when detached). Instrumented
+  /// allocators (e.g. JoinHashTable) use it for richer typed events.
+  obs::TraceSession* trace() const { return trace_; }
+
  private:
+  /// Out-of-line observer notification keeps obs types out of this hot
+  /// inline header; called only when observers are attached.
+  void Observe(MemoryCategory category, int64_t current_bytes);
+
   std::atomic<int64_t> current_[kNumMemoryCategories] = {};
   std::atomic<int64_t> peak_[kNumMemoryCategories] = {};
+  std::atomic<bool> observers_active_{false};
+  obs::TraceSession* trace_ = nullptr;
+  obs::Gauge* gauges_[kNumMemoryCategories] = {};
 };
 
 }  // namespace uot

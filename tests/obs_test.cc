@@ -1,0 +1,353 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "exec/query_executor.h"
+#include "obs/metrics.h"
+#include "obs/trace_json.h"
+#include "obs/trace_session.h"
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+#include "util/timer.h"
+
+namespace uot {
+namespace {
+
+using obs::ChromeTraceSummary;
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::ParseChromeTraceJson;
+using obs::TraceEvent;
+using obs::TraceEventType;
+using obs::TracePhase;
+using obs::TraceSession;
+
+TEST(TraceSessionTest, ConcurrentEmissionFromManyThreads) {
+  TraceSession session;
+  constexpr int kThreads = 8;
+  constexpr int kEventsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&session, t] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        const int64_t now = NowNanos();
+        session.EmitComplete(TraceEventType::kWorkOrder,
+                             static_cast<uint32_t>(t), now, now + 100,
+                             /*arg0=*/i % 7, /*arg1=*/t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(session.num_events(),
+            static_cast<size_t>(kThreads) * kEventsPerThread);
+
+  const std::vector<TraceEvent> events = session.SortedEvents();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) * kEventsPerThread);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_ns, events[i].ts_ns);
+  }
+}
+
+TEST(TraceSessionTest, InterleavedSessionsKeepEventsSeparate) {
+  TraceSession a;
+  TraceSession b;
+  // The same thread alternating between sessions exercises the
+  // thread-local buffer cache's session-id check.
+  for (int i = 0; i < 100; ++i) {
+    a.EmitInstant(TraceEventType::kEdgeFlush, 0, i);
+    b.EmitInstant(TraceEventType::kBlockTransfer, 0, i, -1, 2);
+    b.EmitInstant(TraceEventType::kBlockTransfer, 0, i, -1, 2);
+  }
+  EXPECT_EQ(a.num_events(), 100u);
+  EXPECT_EQ(b.num_events(), 200u);
+}
+
+TEST(TraceSessionTest, PerfettoJsonRoundTrips) {
+  TraceSession session;
+  session.SetThreadName(0, "coordinator");
+  session.SetThreadName(1, "worker 0");
+  session.SetOperatorNames({"sel(lineitem)", "probe(orders)"});
+  const int64_t base = NowNanos();
+  session.EmitComplete(TraceEventType::kQuery, 0, base, base + 5000, -1, -1,
+                       3);
+  session.EmitComplete(TraceEventType::kWorkOrder, 1, base + 100, base + 900,
+                       0, 0);
+  session.EmitInstant(TraceEventType::kBlockTransfer, 0, /*edge=*/0, -1, 4);
+  session.EmitInstant(TraceEventType::kEdgeFlush, 0, /*edge=*/0);
+  session.EmitCounter(TraceEventType::kMemoryBytes, /*category=*/2, 4096);
+  session.EmitCounter(TraceEventType::kQueueDepth, /*queue=*/0, 7);
+
+  const std::string json = session.ToChromeJson();
+  ChromeTraceSummary summary;
+  const Status status = ParseChromeTraceJson(json, &summary);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // 6 events + 2 thread-name metadata records.
+  EXPECT_EQ(summary.num_events, 8u);
+  EXPECT_EQ(summary.num_metadata, 2u);
+  EXPECT_EQ(summary.num_complete, 2u);
+  EXPECT_EQ(summary.num_instant, 2u);
+  EXPECT_EQ(summary.num_counter, 2u);
+  EXPECT_TRUE(summary.timestamps_monotonic);
+  EXPECT_GE(summary.last_ts_us, summary.first_ts_us);
+}
+
+TEST(TraceJsonTest, RejectsMalformedDocuments) {
+  ChromeTraceSummary summary;
+  EXPECT_FALSE(ParseChromeTraceJson("", &summary).ok());
+  EXPECT_FALSE(ParseChromeTraceJson("{", &summary).ok());
+  EXPECT_FALSE(ParseChromeTraceJson("[]", &summary).ok());
+  // Valid JSON but no traceEvents array.
+  EXPECT_FALSE(ParseChromeTraceJson("{\"a\": 1}", &summary).ok());
+  // traceEvents must be an array.
+  EXPECT_FALSE(ParseChromeTraceJson("{\"traceEvents\": 1}", &summary).ok());
+  // Events must be objects.
+  EXPECT_FALSE(ParseChromeTraceJson("{\"traceEvents\": [1]}", &summary).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(
+      ParseChromeTraceJson("{\"traceEvents\": []} x", &summary).ok());
+  // Timestamped events must carry "ts".
+  EXPECT_FALSE(ParseChromeTraceJson(
+                   "{\"traceEvents\": [{\"ph\": \"X\"}]}", &summary)
+                   .ok());
+  // Minimal valid documents parse.
+  EXPECT_TRUE(ParseChromeTraceJson("{\"traceEvents\": []}", &summary).ok());
+  EXPECT_TRUE(ParseChromeTraceJson(
+                  "{\"traceEvents\": [{\"ph\": \"M\", \"name\": \"x\"}]}",
+                  &summary)
+                  .ok());
+  EXPECT_EQ(summary.num_metadata, 1u);
+}
+
+TEST(TraceJsonTest, DetectsNonMonotonicTimestamps) {
+  ChromeTraceSummary summary;
+  const Status status = ParseChromeTraceJson(
+      "{\"traceEvents\": ["
+      "{\"ph\": \"i\", \"ts\": 5.0},"
+      "{\"ph\": \"i\", \"ts\": 3.0}"
+      "]}",
+      &summary);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_FALSE(summary.timestamps_monotonic);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({10, 100, 1000});
+  ASSERT_EQ(h.num_buckets(), 4u);
+  for (int64_t v : {-5, 0, 9, 10}) h.Record(v);    // bucket 0: v <= 10
+  for (int64_t v : {11, 100}) h.Record(v);         // bucket 1: v <= 100
+  for (int64_t v : {101, 999, 1000}) h.Record(v);  // bucket 2: v <= 1000
+  for (int64_t v : {1001, 50000}) h.Record(v);     // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 4u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 3u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.TotalCount(), 11u);
+  EXPECT_EQ(h.Min(), -5);
+  EXPECT_EQ(h.Max(), 50000);
+  EXPECT_EQ(h.bucket_upper_bound(0), 10);
+  EXPECT_EQ(h.bucket_upper_bound(3), INT64_MAX);
+  // The p50 of 11 samples is the 6th: value 11 -> bucket with bound 100.
+  EXPECT_EQ(h.ApproxPercentile(0.5), 100);
+  EXPECT_EQ(h.ApproxPercentile(1.0), INT64_MAX);
+}
+
+TEST(HistogramTest, ExponentialBoundsStrictlyIncrease) {
+  const std::vector<int64_t> bounds = Histogram::ExponentialBounds(1, 1.3, 40);
+  ASSERT_EQ(bounds.size(), 40u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]) << "at " << i;
+  }
+}
+
+TEST(HistogramTest, ConcurrentRecordsAreAllCounted) {
+  Histogram h(Histogram::ExponentialBounds(1, 2.0, 16));
+  constexpr int kThreads = 4;
+  constexpr int kRecords = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kRecords; ++i) h.Record(i % 1024);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(), static_cast<uint64_t>(kThreads) * kRecords);
+  uint64_t bucket_sum = 0;
+  for (size_t i = 0; i < h.num_buckets(); ++i) bucket_sum += h.bucket_count(i);
+  EXPECT_EQ(bucket_sum, h.TotalCount());
+}
+
+TEST(CounterTest, OverflowWrapsAround) {
+  Counter c;
+  c.Add(UINT64_MAX);
+  EXPECT_EQ(c.Value(), UINT64_MAX);
+  // Unsigned wraparound is the documented overflow behavior: a counter
+  // that exceeds 2^64 - 1 must keep the query alive, not abort it.
+  c.Add(2);
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST(GaugeTest, TracksValueAndHighWaterMark) {
+  Gauge g;
+  g.Set(5);
+  g.Set(3);
+  EXPECT_EQ(g.Value(), 3);
+  EXPECT_EQ(g.Max(), 5);
+  g.Add(10);
+  EXPECT_EQ(g.Value(), 13);
+  EXPECT_EQ(g.Max(), 13);
+  g.Add(-20);
+  EXPECT_EQ(g.Value(), -7);
+  EXPECT_EQ(g.Max(), 13);
+}
+
+TEST(MetricsRegistryTest, GetReturnsStablePointersAndFindLocates) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("a.count");
+  EXPECT_EQ(registry.GetCounter("a.count"), c);
+  EXPECT_EQ(registry.FindCounter("a.count"), c);
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  Gauge* g = registry.GetGauge("b.gauge");
+  EXPECT_EQ(registry.GetGauge("b.gauge"), g);
+  Histogram* h = registry.GetHistogram("c.hist", {1, 2, 3});
+  EXPECT_EQ(registry.GetHistogram("c.hist"), h);
+  EXPECT_EQ(h->num_buckets(), 4u);
+}
+
+TEST(MetricsRegistryTest, CsvAndJsonExportCoverAllMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("blocks.transferred")->Add(42);
+  registry.GetGauge("queue.depth")->Set(7);
+  Histogram* h = registry.GetHistogram("latency_ns", {100, 200});
+  h->Record(50);
+  h->Record(150);
+  h->Record(500);
+
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("metric,kind,field,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("blocks.transferred,counter,value,42"),
+            std::string::npos);
+  EXPECT_NE(csv.find("queue.depth,gauge,value,7"), std::string::npos);
+  EXPECT_NE(csv.find("queue.depth,gauge,max,7"), std::string::npos);
+  EXPECT_NE(csv.find("latency_ns,histogram,count,3"), std::string::npos);
+  EXPECT_NE(csv.find("latency_ns,histogram,le_100,1"), std::string::npos);
+  EXPECT_NE(csv.find("latency_ns,histogram,le_200,1"), std::string::npos);
+  EXPECT_NE(csv.find("latency_ns,histogram,le_inf,1"), std::string::npos);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"blocks.transferred\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"queue.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\""), std::string::npos);
+}
+
+/// End-to-end acceptance: a TPC-H query run with tracing enabled produces
+/// a valid Chrome/Perfetto trace and a populated metrics registry that
+/// agree with the execution stats.
+TEST(ObsIntegrationTest, TpchQueryTraceIsValidAndConsistent) {
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  config.layout = Layout::kColumnStore;
+  config.block_bytes = 16 * 1024;
+  db.Generate(config);
+
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = 8 * 1024;
+  auto plan = BuildTpchPlan(7, db, plan_config);
+
+  TraceSession trace;
+  MetricsRegistry metrics;
+  ExecConfig exec;
+  exec.num_workers = 4;
+  exec.uot = UotPolicy::LowUot(1);
+  exec.trace = &trace;
+  exec.metrics = &metrics;
+  const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+  ASSERT_GT(stats.records.size(), 0u);
+
+  // The trace parses, is non-trivial, and its timestamps are sorted.
+  const std::string json = trace.ToChromeJson();
+  ChromeTraceSummary summary;
+  const Status status = ParseChromeTraceJson(json, &summary);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(summary.timestamps_monotonic);
+  // One span per work order plus the query span.
+  EXPECT_EQ(summary.num_complete, stats.records.size() + 1);
+  EXPECT_GT(summary.num_counter, 0u);   // queue depth + memory tracks
+  EXPECT_GT(summary.num_instant, 0u);   // transfers, flushes, finishes
+  EXPECT_GT(summary.num_metadata, 0u);  // thread names
+
+  // Metrics agree with the stats the scheduler aggregated.
+  const Counter* wo = metrics.FindCounter("scheduler.work_orders");
+  ASSERT_NE(wo, nullptr);
+  EXPECT_EQ(wo->Value(), stats.records.size());
+  const Histogram* latency =
+      metrics.FindHistogram("scheduler.work_order_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->TotalCount(), stats.records.size());
+  for (size_t i = 0; i < stats.operators.size(); ++i) {
+    const Counter* per_op = metrics.FindCounter(
+        "scheduler.op." + std::to_string(i) + ".work_orders");
+    ASSERT_NE(per_op, nullptr);
+    EXPECT_EQ(per_op->Value(), stats.operators[i].num_work_orders);
+  }
+  // Edge transfer counters match the stats' per-edge transfer counts.
+  for (size_t e = 0; e < stats.edge_transfers.size(); ++e) {
+    const Counter* transfers = metrics.FindCounter(
+        "scheduler.edge." + std::to_string(e) + ".transfers");
+    ASSERT_NE(transfers, nullptr);
+    EXPECT_EQ(transfers->Value(), stats.edge_transfers[e]);
+  }
+  // The memory gauges saw the hash-table high-water mark.
+  const Gauge* ht = metrics.FindGauge("memory.hash_table.bytes");
+  ASSERT_NE(ht, nullptr);
+  EXPECT_GT(ht->Max(), 0);
+
+  // Round-trip through a file, as the benches and trace_explorer write it.
+  const std::string path = ::testing::TempDir() + "/uot_q7.trace.json";
+  ASSERT_TRUE(trace.WriteChromeJson(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string reread;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) reread.append(buf, n);
+  std::fclose(f);
+  ChromeTraceSummary reread_summary;
+  ASSERT_TRUE(ParseChromeTraceJson(reread, &reread_summary).ok());
+  EXPECT_EQ(reread_summary.num_events, summary.num_events);
+}
+
+/// Tracing disabled must leave no observable footprint (and, per the
+/// acceptance criteria, no measurable overhead — the pointer is null and
+/// every instrumentation site is a single branch).
+TEST(ObsIntegrationTest, DisabledTracingLeavesNoFootprint) {
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  config.layout = Layout::kColumnStore;
+  config.block_bytes = 16 * 1024;
+  db.Generate(config);
+
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = 8 * 1024;
+  auto plan = BuildTpchPlan(1, db, plan_config);
+  ExecConfig exec;
+  exec.num_workers = 2;
+  const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+  EXPECT_GT(stats.records.size(), 0u);
+  EXPECT_EQ(exec.trace, nullptr);
+  EXPECT_EQ(exec.metrics, nullptr);
+}
+
+}  // namespace
+}  // namespace uot

@@ -312,6 +312,66 @@ TEST(SchedulerTest, StatsAggregatesAreConsistent) {
   EXPECT_FALSE(stats.ToString().empty());
 }
 
+TEST(AverageDopTest, ZeroWorkOrdersIsZero) {
+  ExecutionStats stats;
+  // No records at all: DOP of any operator is 0, not NaN.
+  EXPECT_EQ(stats.AverageDop(0), 0.0);
+  // Records exist, but none for operator 5.
+  stats.records.push_back(WorkOrderRecord{0, 0, 100, 200});
+  EXPECT_EQ(stats.AverageDop(5), 0.0);
+}
+
+TEST(AverageDopTest, ZeroSpanIsZero) {
+  ExecutionStats stats;
+  // All records collapse to a single instant (possible on coarse clocks):
+  // there is no interval to integrate over, so the DOP is defined as 0
+  // rather than garbage derived from the record count.
+  stats.records.push_back(WorkOrderRecord{0, 0, 100, 100});
+  stats.records.push_back(WorkOrderRecord{0, 1, 100, 100});
+  EXPECT_EQ(stats.AverageDop(0), 0.0);
+}
+
+TEST(AverageDopTest, SingleWorkerSequentialRunsAverageToOne) {
+  ExecutionStats stats;
+  // Back-to-back, non-overlapping records: exactly one running at every
+  // point of the span, so the average DOP is 1.
+  stats.records.push_back(WorkOrderRecord{0, 0, 0, 100});
+  stats.records.push_back(WorkOrderRecord{0, 0, 100, 200});
+  stats.records.push_back(WorkOrderRecord{0, 0, 200, 300});
+  EXPECT_DOUBLE_EQ(stats.AverageDop(0), 1.0);
+}
+
+TEST(AverageDopTest, FullyOverlappingRecordsAverageToCount) {
+  ExecutionStats stats;
+  // Two records over the identical interval: DOP 2 throughout.
+  stats.records.push_back(WorkOrderRecord{0, 0, 0, 100});
+  stats.records.push_back(WorkOrderRecord{0, 1, 0, 100});
+  EXPECT_DOUBLE_EQ(stats.AverageDop(0), 2.0);
+  // A half-overlapping third record: [0,50) has DOP 2, [50,100) DOP 3,
+  // [100,150) DOP 1 -> (2*50 + 3*50 + 1*50) / 150.
+  stats.records.push_back(WorkOrderRecord{0, 2, 50, 150});
+  EXPECT_DOUBLE_EQ(stats.AverageDop(0),
+                   (2.0 * 50.0 + 3.0 * 50.0 + 1.0 * 50.0) / 150.0);
+}
+
+TEST(SchedulerTest, ToStringIncludesMemoryAndEdgeSummaries) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 2000, 10,
+                                 Layout::kRowStore, 2048);
+  auto build_table = MakeKvTable(&storage, "build", 50, 10,
+                                 Layout::kRowStore, 2048);
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                2048);
+  ExecConfig config;
+  config.num_workers = 2;
+  ExecutionStats stats = QueryExecutor::Execute(sp.plan.get(), config);
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("memory peaks:"), std::string::npos);
+  EXPECT_NE(rendered.find("MiB"), std::string::npos);
+  EXPECT_NE(rendered.find("hash_table="), std::string::npos);
+  EXPECT_NE(rendered.find("edge transfers:"), std::string::npos);
+}
+
 TEST(SchedulerTest, EmptyProducerStillCompletesConsumers) {
   StorageManager storage;
   auto probe_table = MakeKvTable(&storage, "probe", 100, 10,
