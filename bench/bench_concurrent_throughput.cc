@@ -1,0 +1,110 @@
+// Shared-engine concurrency: wall-clock throughput of a fixed TPC-H query
+// batch executed (a) serially through the per-query QueryExecutor path and
+// (b) on one shared worker-pool Engine at 1/2/4 concurrent queries.
+//
+// Single queries rarely keep every worker busy (pipeline structure bounds
+// their DOP); admitting several queries to one pool fills the idle workers,
+// so batch throughput should rise with the concurrency level. Emits
+// BENCH_concurrency.json for the CI perf trajectory.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/engine.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace uot;
+using namespace uot::bench;
+
+// Two instances each of four differently shaped queries: scan-heavy (1, 6),
+// join-heavy (3), and join+aggregate (12).
+const std::vector<int> kBatch = {1, 3, 6, 12, 1, 3, 6, 12};
+
+double RunBatchConcurrent(Engine* engine, const TpchDatabase& db,
+                          const TpchPlanConfig& plan_config,
+                          const ExecConfig& exec, int concurrency) {
+  // Plans are built up front so the measured interval is pure execution.
+  std::vector<std::unique_ptr<QueryPlan>> plans;
+  for (int query : kBatch) plans.push_back(BuildTpchPlan(query, db, plan_config));
+  std::atomic<size_t> next{0};
+  Timer timer;
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < concurrency; ++d) {
+    drivers.emplace_back([&] {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= plans.size()) return;
+        engine->Execute(plans[i].get(), exec);
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  return timer.ElapsedSeconds() * 1e3;
+}
+
+}  // namespace
+
+int main() {
+  const double sf = ScaleFactor();
+  const char* threads_env = std::getenv("UOT_THREADS");
+  // The headline configuration is 8 pool workers; UOT_THREADS overrides.
+  const int workers = threads_env != nullptr ? std::atoi(threads_env) : 8;
+  const int runs = Runs();
+
+  std::printf("Concurrent throughput: %zu-query TPC-H batch "
+              "(SF=%.3f, %d pool workers, best of %d runs)\n\n",
+              kBatch.size(), sf, workers, runs);
+
+  TpchFixture fixture(sf, Layout::kColumnStore, MidBlockBytes());
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = MidBlockBytes();
+  ExecConfig exec;
+  exec.num_workers = workers;
+  exec.uot = UotPolicy::LowUot(1);
+
+  BenchJson json("concurrency");
+  json.SetString("batch", "2x{Q1,Q3,Q6,Q12}");
+  json.Set("scale_factor", sf);
+  json.Set("workers", workers);
+
+  // Serial baseline: the historical path, one fresh worker pool per query.
+  double serial_ms = 1e300;
+  for (int r = 0; r < runs; ++r) {
+    std::vector<std::unique_ptr<QueryPlan>> plans;
+    for (int query : kBatch) {
+      plans.push_back(BuildTpchPlan(query, fixture.db(), plan_config));
+    }
+    Timer timer;
+    for (auto& plan : plans) QueryExecutor::Execute(plan.get(), exec);
+    serial_ms = std::min(serial_ms, timer.ElapsedSeconds() * 1e3);
+  }
+  std::printf("%-28s %10.2f ms\n", "serial (per-query pools)", serial_ms);
+  json.Set("serial_ms", serial_ms);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = workers;
+  Engine engine(engine_config);
+  for (const int concurrency : {1, 2, 4}) {
+    double best_ms = 1e300;
+    for (int r = 0; r < runs; ++r) {
+      best_ms = std::min(best_ms,
+                         RunBatchConcurrent(&engine, fixture.db(), plan_config,
+                                            exec, concurrency));
+    }
+    const double speedup = serial_ms / best_ms;
+    std::printf("shared engine, %d concurrent %10.2f ms   %5.2fx vs serial\n",
+                concurrency, best_ms, speedup);
+    json.Set("shared_" + std::to_string(concurrency) + "_ms", best_ms);
+    json.Set("speedup_" + std::to_string(concurrency), speedup);
+  }
+  json.Set("queries_executed",
+           static_cast<double>(engine.queries_executed()));
+  json.Write();
+  std::printf("\nTarget: >= 1.2x batch throughput at 4 concurrent queries.\n");
+  return 0;
+}

@@ -187,6 +187,61 @@ inline void MaybeExportObs(const ObservedRun& run,
   }
 }
 
+/// Machine-readable bench output: ordered key -> value rows written as
+/// `BENCH_<name>.json` so CI can track a perf trajectory over commits.
+/// The directory comes from UOT_BENCH_JSON_DIR (default: current dir).
+/// Values are numbers (Set) or strings (SetString); insertion order is
+/// preserved in the emitted object.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    rows_.emplace_back(key, buf);
+  }
+
+  void SetString(const std::string& key, const std::string& value) {
+    std::string quoted = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    quoted += '"';
+    rows_.emplace_back(key, std::move(quoted));
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n  \"bench\": \"" + name_ + "\"";
+    for (const auto& [key, value] : rows_) {
+      out += ",\n  \"" + key + "\": " + value;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json and prints where it went (or why not).
+  void Write() const {
+    const char* dir = std::getenv("UOT_BENCH_JSON_DIR");
+    const std::string path =
+        std::string(dir != nullptr ? dir : ".") + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("  [bench] cannot write %s\n", path.c_str());
+      return;
+    }
+    const std::string json = ToJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("  [bench] wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> rows_;
+};
+
 /// Index of the first probe operator consuming the lineitem select's
 /// output — the paper's "first consumer operator in the pipeline" (Fig. 5).
 /// Returns -1 if the query has no select(lineitem) -> probe chain.

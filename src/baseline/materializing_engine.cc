@@ -4,7 +4,7 @@
 
 #include "operators/build_hash_operator.h"
 #include "operators/select_operator.h"
-#include "scheduler/scheduler.h"
+#include "exec/engine.h"
 #include "util/timer.h"
 
 namespace uot {
@@ -111,8 +111,10 @@ double MaterializingEngine::ExecutePlan(QueryPlan* plan) {
   config.num_workers = 1;
   config.uot = UotPolicy::HighUot();
   Timer timer;
-  Scheduler scheduler(plan, config);
-  scheduler.Run();
+  EngineConfig engine_config;
+  engine_config.num_workers = config.num_workers;
+  Engine engine(engine_config);
+  engine.Execute(plan, config);
   return timer.ElapsedMillis();
 }
 

@@ -1,0 +1,109 @@
+#include "exec/engine.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace uot {
+
+Engine::Engine(EngineConfig config) : config_(config) {
+  UOT_CHECK(config_.num_workers >= 1);
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+Engine::~Engine() { Shutdown(); }
+
+void Engine::Shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    shutdown_ = true;
+    // Queries already admitted run to completion; new Execute() calls are
+    // rejected by the admission CHECK below.
+    admission_cv_.wait(lock, [this] { return active_ == 0; });
+  }
+  work_queue_.Close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+bool Engine::CanAdmitLocked(const StorageManager* storage) const {
+  if (active_ == 0) return true;  // progress guarantee
+  if (config_.max_inflight_queries > 0 &&
+      active_ >= config_.max_inflight_queries) {
+    return false;
+  }
+  if (config_.memory_budget_bytes > 0) {
+    // Sum tracked memory over the candidate's and every active session's
+    // storage manager, counting shared managers once.
+    int64_t total = storage->tracker().TotalCurrent();
+    std::vector<const StorageManager*> seen{storage};
+    for (const StorageManager* s : active_storages_) {
+      if (std::find(seen.begin(), seen.end(), s) != seen.end()) continue;
+      seen.push_back(s);
+      total += s->tracker().TotalCurrent();
+    }
+    if (total > config_.memory_budget_bytes) return false;
+  }
+  return true;
+}
+
+ExecutionStats Engine::Execute(QueryPlan* plan, const ExecConfig& config) {
+  UOT_CHECK(plan != nullptr);
+  const StorageManager* storage = plan->storage();
+  const int64_t admission_start_ns = NowNanos();
+  {
+    std::unique_lock<std::mutex> lock(admission_mutex_);
+    UOT_CHECK(!shutdown_);  // Execute() after Shutdown() is a caller bug
+    admission_cv_.wait(lock, [&] { return CanAdmitLocked(storage); });
+    ++active_;
+    active_storages_.push_back(storage);
+  }
+  const int64_t admitted_ns = NowNanos();
+
+  QuerySession session(plan, config, this, config_.num_workers,
+                       next_query_id_.fetch_add(1,
+                                                std::memory_order_relaxed));
+  ExecutionStats stats = session.Run();
+  stats.admission_wait_ns = admitted_ns - admission_start_ns;
+
+  {
+    std::lock_guard<std::mutex> lock(admission_mutex_);
+    --active_;
+    active_storages_.erase(std::find(active_storages_.begin(),
+                                     active_storages_.end(), storage));
+  }
+  queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  admission_cv_.notify_all();
+  return stats;
+}
+
+int Engine::active_queries() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  return active_;
+}
+
+bool Engine::SubmitWork(QuerySession* session, std::unique_ptr<WorkOrder> wo,
+                        bool high_priority) {
+  WorkItem item{session, std::move(wo)};
+  return high_priority ? work_queue_.PushFront(std::move(item))
+                       : work_queue_.Push(std::move(item));
+}
+
+size_t Engine::WorkQueueDepth() const { return work_queue_.Size(); }
+
+void Engine::WorkerLoop(int worker_id) {
+  while (true) {
+    std::optional<WorkItem> item = work_queue_.Pop();
+    if (!item.has_value()) return;
+    item->session->ExecuteWorkOrder(std::move(item->work_order), worker_id);
+    // Let the coordinator react (transfer blocks, release transients)
+    // before taking more work — important on machines with few cores,
+    // where a busy worker can otherwise starve the coordinator threads.
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace uot

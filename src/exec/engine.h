@@ -1,0 +1,115 @@
+#ifndef UOT_EXEC_ENGINE_H_
+#define UOT_EXEC_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "plan/query_plan.h"
+#include "scheduler/query_session.h"
+
+namespace uot {
+
+/// Engine-wide configuration: the shared resources behind all concurrently
+/// executing queries.
+struct EngineConfig {
+  /// Size of the persistent worker pool shared by every session.
+  int num_workers = 4;
+  /// Admission control: maximum queries executing at once (0 = unlimited).
+  /// Excess Execute() calls block until a slot frees up.
+  int max_inflight_queries = 0;
+  /// Admission control: shared soft memory budget in bytes across all
+  /// active sessions' storage managers (0 = unlimited). A query is held at
+  /// admission while the tracked total exceeds the budget — except that
+  /// one query is always admitted so the system progresses. This is
+  /// engine-level admission; the per-work-order budget policy inside a
+  /// query is ExecConfig::memory_budget_bytes.
+  int64_t memory_budget_bytes = 0;
+};
+
+/// A long-lived query execution service (the architectural move of
+/// "To pipeline or not to pipeline" and Theseus: the executor as a
+/// resource-managed service, not a per-query thread bundle).
+///
+/// The engine owns one persistent pool of `num_workers` threads and a
+/// shared work-order queue. Each Execute() call runs one QuerySession: the
+/// calling thread drives the session's coordinator loop while pool workers
+/// execute work orders tagged with their owning session; completion events
+/// route back to that session's event queue. Any number of threads may
+/// call Execute() concurrently — admission control (max in-flight queries
+/// plus a shared memory budget) decides when each query starts.
+///
+/// Observability stays per-query: give each session its own TraceSession /
+/// MetricsRegistry via ExecConfig (or a shared registry with distinct
+/// `metrics_prefix` values); work-order spans land in the owning session's
+/// trace no matter which pool worker ran them.
+///
+/// Per-session memory peaks (ExecutionStats::peak_bytes) are read from the
+/// plan's storage-manager tracker and are only meaningful when concurrent
+/// sessions do not share a StorageManager.
+class Engine final : public WorkOrderSink {
+ public:
+  explicit Engine(EngineConfig config);
+  /// Waits for active queries to finish, then stops the pool.
+  ~Engine() override;
+  UOT_DISALLOW_COPY_AND_ASSIGN(Engine);
+
+  /// Executes `plan` to completion and returns its statistics. Blocks in
+  /// admission control first when the engine is saturated; safe to call
+  /// from many threads concurrently. The per-query scheduling knobs of
+  /// `config` (UoT policy, budget, caps, obs sinks) apply as in a
+  /// standalone run; `config.num_workers` is ignored — the engine's pool
+  /// executes the work orders.
+  ExecutionStats Execute(QueryPlan* plan, const ExecConfig& config);
+
+  /// Waits until no query is active, then closes the shared queue and
+  /// joins the pool. Idempotent; Execute() must not be called afterwards.
+  void Shutdown();
+
+  int num_workers() const { return config_.num_workers; }
+  /// Queries currently admitted and executing.
+  int active_queries() const;
+  /// Total queries that have completed on this engine.
+  uint64_t queries_executed() const {
+    return queries_executed_.load(std::memory_order_relaxed);
+  }
+
+  // WorkOrderSink — called by sessions (coordinator threads).
+  bool SubmitWork(QuerySession* session, std::unique_ptr<WorkOrder> wo,
+                  bool high_priority) override;
+  size_t WorkQueueDepth() const override;
+
+ private:
+  /// A work order tagged with its owning session.
+  struct WorkItem {
+    QuerySession* session;
+    std::unique_ptr<WorkOrder> work_order;
+  };
+
+  void WorkerLoop(int worker_id);
+  /// Admission predicate; `admission_mutex_` must be held.
+  bool CanAdmitLocked(const StorageManager* storage) const;
+
+  const EngineConfig config_;
+  ThreadSafeQueue<WorkItem> work_queue_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex admission_mutex_;
+  std::condition_variable admission_cv_;
+  int active_ = 0;                // guarded by admission_mutex_
+  bool shutdown_ = false;         // guarded by admission_mutex_
+  // Storage managers of active sessions (one entry per session; duplicates
+  // possible when sessions share storage). Guarded by admission_mutex_.
+  std::vector<const StorageManager*> active_storages_;
+
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<uint64_t> queries_executed_{0};
+};
+
+}  // namespace uot
+
+#endif  // UOT_EXEC_ENGINE_H_

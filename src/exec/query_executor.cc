@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "exec/engine.h"
 #include "obs/metrics.h"
 #include "obs/trace_session.h"
 
@@ -13,8 +14,13 @@ ExecutionStats QueryExecutor::Execute(QueryPlan* plan,
   MemoryTracker& tracker = plan->storage()->tracker();
   const bool observed = config.trace != nullptr || config.metrics != nullptr;
   if (observed) tracker.AttachObservers(config.trace, config.metrics);
-  Scheduler scheduler(plan, config);
-  ExecutionStats stats = scheduler.Run();
+  // A one-session engine: the worker pool lives exactly as long as the
+  // query, preserving the historical per-query threading behaviour. Use a
+  // long-lived Engine directly to run queries concurrently.
+  EngineConfig engine_config;
+  engine_config.num_workers = config.num_workers;
+  Engine engine(engine_config);
+  ExecutionStats stats = engine.Execute(plan, config);
   if (observed) tracker.AttachObservers(nullptr, nullptr);
   return stats;
 }

@@ -4,11 +4,18 @@
 #include <string>
 
 #include "plan/query_plan.h"
+#include "scheduler/execution_stats.h"
 #include "scheduler/scheduler.h"
 
 namespace uot {
 
 /// Facade for executing a query plan under a given configuration.
+///
+/// Each call builds a one-query Engine (exec/engine.h) with
+/// `config.num_workers` pool workers, so a standalone run behaves exactly
+/// like the historical per-query scheduler. To execute several queries
+/// concurrently on one shared worker pool, construct an Engine directly
+/// and call Engine::Execute from multiple threads.
 class QueryExecutor {
  public:
   /// Runs `plan` to completion and returns execution statistics. The result

@@ -43,7 +43,7 @@ bool AggregateOperator::GenerateWorkOrders(
   for (Block* block : input_.TakePending()) {
     auto wo = std::make_unique<AggregateWorkOrder>(
         block, this, &group_cols_, &aggs_, predicate_.get());
-    if (!input_.from_base_table()) wo->consumed_block = block;
+    if (!input_.from_base_table()) wo->consumed_blocks.push_back(block);
     out->push_back(std::move(wo));
   }
   return input_.done();

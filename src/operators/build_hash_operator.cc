@@ -66,7 +66,7 @@ bool BuildHashOperator::GenerateWorkOrders(
       auto wo = std::make_unique<BuildHashWorkOrder>(
           block, &key_cols_, &payload_cols_, hash_table_.get(),
           lip_filter_.get());
-      if (!input_.from_base_table()) wo->consumed_block = block;
+      if (!input_.from_base_table()) wo->consumed_blocks.push_back(block);
       out->push_back(std::move(wo));
     }
     generated_ = true;

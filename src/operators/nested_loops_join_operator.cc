@@ -38,7 +38,9 @@ void NestedLoopsJoinOperator::InputDone(int input_index) {
 bool NestedLoopsJoinOperator::GenerateWorkOrders(
     std::vector<std::unique_ptr<WorkOrder>>* out) {
   for (Block* block : input_.TakePending()) {
-    out->push_back(std::make_unique<NestedLoopsJoinWorkOrder>(block, this));
+    auto wo = std::make_unique<NestedLoopsJoinWorkOrder>(block, this);
+    if (!input_.from_base_table()) wo->consumed_blocks.push_back(block);
+    out->push_back(std::move(wo));
   }
   return input_.done();
 }

@@ -22,12 +22,14 @@ class WorkOrder {
   /// Set by the scheduler at dispatch time.
   int operator_index = -1;
 
-  /// The transient intermediate block this work order consumes, if any.
-  /// The scheduler may drop it once the work order completes (temporary
+  /// The transient intermediate blocks this work order consumes, if any.
+  /// The scheduler may drop them once the work order completes (temporary
   /// blocks are transient under small UoT values — paper Table II's
   /// zero intermediate-table footprint for the low-UoT strategy). Never
-  /// set for base-table input blocks.
-  Block* consumed_block = nullptr;
+  /// populated with base-table input blocks. Operators with several
+  /// streaming inputs (sort-merge join) list blocks from every input; the
+  /// scheduler resolves each block to its producer table.
+  std::vector<Block*> consumed_blocks;
 };
 
 /// A physical relational operator.

@@ -90,7 +90,7 @@ bool ProbeHashOperator::GenerateWorkOrders(
     auto wo = std::make_unique<ProbeHashWorkOrder>(
         block, table, &probe_key_cols_, &probe_output_cols_, kind_,
         &residuals_, destination_);
-    if (!input_.from_base_table()) wo->consumed_block = block;
+    if (!input_.from_base_table()) wo->consumed_blocks.push_back(block);
     out->push_back(std::move(wo));
   }
   return input_.done();

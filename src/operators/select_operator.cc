@@ -34,7 +34,7 @@ bool SelectOperator::GenerateWorkOrders(
   for (Block* block : input_.TakePending()) {
     auto wo = std::make_unique<SelectWorkOrder>(
         block, predicate_.get(), projection_.get(), &lip_, destination_);
-    if (!input_.from_base_table()) wo->consumed_block = block;
+    if (!input_.from_base_table()) wo->consumed_blocks.push_back(block);
     out->push_back(std::move(wo));
   }
   return input_.done();

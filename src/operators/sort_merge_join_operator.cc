@@ -81,7 +81,18 @@ bool SortMergeJoinOperator::GenerateWorkOrders(
   if (!generated_) {
     left_blocks_ = left_.TakePending();
     right_blocks_ = right_.TakePending();
-    out->push_back(std::make_unique<SortMergeJoinWorkOrder>(this));
+    auto wo = std::make_unique<SortMergeJoinWorkOrder>(this);
+    // Transient input blocks (from either streaming side) may be dropped
+    // once the single merge work order has executed.
+    if (!left_.from_base_table()) {
+      wo->consumed_blocks.insert(wo->consumed_blocks.end(),
+                                 left_blocks_.begin(), left_blocks_.end());
+    }
+    if (!right_.from_base_table()) {
+      wo->consumed_blocks.insert(wo->consumed_blocks.end(),
+                                 right_blocks_.begin(), right_blocks_.end());
+    }
+    out->push_back(std::move(wo));
     generated_ = true;
   }
   return true;

@@ -34,7 +34,11 @@ bool SortOperator::GenerateWorkOrders(
   if (!input_.done()) return false;
   if (!generated_) {
     buffered_ = input_.TakePending();
-    out->push_back(std::make_unique<SortWorkOrder>(this));
+    auto wo = std::make_unique<SortWorkOrder>(this);
+    // The sort copies every input row into its own packed buffer, so
+    // transient input blocks may be dropped after the work order runs.
+    if (!input_.from_base_table()) wo->consumed_blocks = buffered_;
+    out->push_back(std::move(wo));
     generated_ = true;
   }
   return true;

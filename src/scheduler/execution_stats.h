@@ -45,6 +45,12 @@ struct OperatorStats {
 /// timings, per-operator aggregates, per-edge transfer counts and memory
 /// peaks (paper Figs. 3/5/6/7, Table II).
 struct ExecutionStats {
+  /// Engine-assigned id of the session that produced these stats (0 for
+  /// runs outside an engine). Tags trace events of concurrent queries.
+  uint64_t query_id = 0;
+  /// Time spent blocked in engine admission control before the session
+  /// started (0 when admitted immediately).
+  int64_t admission_wait_ns = 0;
   int64_t query_start_ns = 0;
   int64_t query_end_ns = 0;
   std::vector<WorkOrderRecord> records;

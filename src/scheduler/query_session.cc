@@ -1,4 +1,6 @@
-#include "scheduler/scheduler.h"
+#include "scheduler/query_session.h"
+
+#include <algorithm>
 
 #include "obs/metrics.h"
 #include "obs/trace_session.h"
@@ -6,13 +8,24 @@
 
 namespace uot {
 
-Scheduler::Scheduler(QueryPlan* plan, ExecConfig config)
-    : plan_(plan), config_(config) {
+QuerySession::QuerySession(QueryPlan* plan, ExecConfig config,
+                           WorkOrderSink* sink, int pool_workers,
+                           uint64_t query_id)
+    : plan_(plan),
+      config_(std::move(config)),
+      sink_(sink),
+      pool_workers_(pool_workers),
+      query_id_(query_id) {
   UOT_CHECK(plan_ != nullptr);
-  UOT_CHECK(config_.num_workers >= 1);
+  UOT_CHECK(sink_ != nullptr);
+  UOT_CHECK(pool_workers_ >= 1);
 }
 
-void Scheduler::InitObservability() {
+std::string QuerySession::MetricName(const char* name) const {
+  return config_.metrics_prefix + name;
+}
+
+void QuerySession::InitObservability() {
   trace_ = config_.trace;
   metrics_ = config_.metrics;
   const int n = plan_->num_operators();
@@ -22,7 +35,7 @@ void Scheduler::InitObservability() {
     for (int i = 0; i < n; ++i) names.push_back(plan_->op(i)->name());
     trace_->SetOperatorNames(std::move(names));
     trace_->SetThreadName(0, "coordinator");
-    for (int w = 0; w < config_.num_workers; ++w) {
+    for (int w = 0; w < pool_workers_; ++w) {
       trace_->SetThreadName(static_cast<uint32_t>(1 + w),
                             "worker " + std::to_string(w));
     }
@@ -39,27 +52,32 @@ void Scheduler::InitObservability() {
     budget_deferrals_ = nullptr;
     return;
   }
-  work_order_count_ = metrics_->GetCounter("scheduler.work_orders");
+  work_order_count_ = metrics_->GetCounter(MetricName("scheduler.work_orders"));
   work_order_latency_ns_ =
-      metrics_->GetHistogram("scheduler.work_order_latency_ns");
-  work_queue_depth_ = metrics_->GetGauge("scheduler.queue.work_orders.depth");
-  event_queue_depth_ = metrics_->GetGauge("scheduler.queue.events.depth");
-  budget_deferrals_ = metrics_->GetCounter("scheduler.budget.deferrals");
+      metrics_->GetHistogram(MetricName("scheduler.work_order_latency_ns"));
+  work_queue_depth_ =
+      metrics_->GetGauge(MetricName("scheduler.queue.work_orders.depth"));
+  event_queue_depth_ =
+      metrics_->GetGauge(MetricName("scheduler.queue.events.depth"));
+  budget_deferrals_ =
+      metrics_->GetCounter(MetricName("scheduler.budget.deferrals"));
   for (int i = 0; i < n; ++i) {
-    const std::string prefix = "scheduler.op." + std::to_string(i);
+    const std::string prefix =
+        MetricName("scheduler.op.") + std::to_string(i);
     op_task_ns_.push_back(metrics_->GetCounter(prefix + ".task_ns"));
     op_work_orders_.push_back(metrics_->GetCounter(prefix + ".work_orders"));
   }
   for (size_t e = 0; e < plan_->streaming_edges().size(); ++e) {
-    const std::string prefix = "scheduler.edge." + std::to_string(e);
+    const std::string prefix =
+        MetricName("scheduler.edge.") + std::to_string(e);
     edge_transfers_metric_.push_back(
         metrics_->GetCounter(prefix + ".transfers"));
     edge_blocks_metric_.push_back(metrics_->GetCounter(prefix + ".blocks"));
   }
 }
 
-void Scheduler::SampleQueueDepths() {
-  const int64_t work_depth = static_cast<int64_t>(work_queue_.Size());
+void QuerySession::SampleQueueDepths() {
+  const int64_t work_depth = static_cast<int64_t>(sink_->WorkQueueDepth());
   const int64_t event_depth = static_cast<int64_t>(event_queue_.Size());
   if (work_queue_depth_ != nullptr) {
     work_queue_depth_->Set(work_depth);
@@ -71,7 +89,7 @@ void Scheduler::SampleQueueDepths() {
   }
 }
 
-ExecutionStats Scheduler::Run() {
+ExecutionStats QuerySession::Run() {
   const int n = plan_->num_operators();
   op_states_.clear();
   op_states_.resize(static_cast<size_t>(n));
@@ -80,6 +98,7 @@ ExecutionStats Scheduler::Run() {
   deferred_.clear();
   total_running_ = 0;
   stats_ = ExecutionStats{};
+  stats_.query_id = query_id_;
   stats_.operators.resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     stats_.operators[static_cast<size_t>(i)].name = plan_->op(i)->name();
@@ -96,9 +115,11 @@ ExecutionStats Scheduler::Run() {
     op_states_[static_cast<size_t>(e.consumer)].is_consumer = true;
   }
 
-  // A consumer may drop its input blocks after use iff it is the sole
-  // consumer of its producer's output.
-  droppable_source_.assign(static_cast<size_t>(n), nullptr);
+  // A consumer may drop an input block after use iff the block's producer
+  // has no other consumer. Tracked per (consumer, producer): an operator
+  // with several streaming inputs (e.g. sort-merge join) lists every
+  // droppable producer table, not just the last edge scanned.
+  droppable_sources_.assign(static_cast<size_t>(n), {});
   if (config_.drop_consumed_blocks) {
     for (const QueryPlan::StreamingEdge& e : plan_->streaming_edges()) {
       int consumers_of_producer = 0;
@@ -108,7 +129,8 @@ ExecutionStats Scheduler::Run() {
       }
       InsertDestination* dest = plan_->destination_of(e.producer);
       if (consumers_of_producer == 1 && dest != nullptr) {
-        droppable_source_[static_cast<size_t>(e.consumer)] = dest->output();
+        droppable_sources_[static_cast<size_t>(e.consumer)].push_back(
+            dest->output());
       }
     }
   }
@@ -118,7 +140,7 @@ ExecutionStats Scheduler::Run() {
     InsertDestination* dest = plan_->destination_of(i);
     if (dest == nullptr) continue;
     dest->set_on_block_ready([this, i](Block* block) {
-      event_queue_.Push(Event{Event::Kind::kBlockReady, i, block, nullptr, {}});
+      event_queue_.Push(Event{Event::Kind::kBlockReady, i, block, {}, {}});
     });
   }
 
@@ -126,11 +148,6 @@ ExecutionStats Scheduler::Run() {
 
   plan_->storage()->tracker().ResetPeaks();
   stats_.query_start_ns = NowNanos();
-
-  workers_.reserve(static_cast<size_t>(config_.num_workers));
-  for (int w = 0; w < config_.num_workers; ++w) {
-    workers_.emplace_back([this, w] { WorkerLoop(w); });
-  }
 
   for (int i = 0; i < n; ++i) TryGenerate(i);
   ReleaseDeferred();
@@ -143,53 +160,9 @@ ExecutionStats Scheduler::Run() {
       case Event::Kind::kBlockReady:
         HandleBlockReady(event->op, event->block);
         break;
-      case Event::Kind::kWorkOrderDone: {
-        OpState& state = op_states_[static_cast<size_t>(event->op)];
-        ++state.completed;
-        --state.running;
-        --total_running_;
-        // Transient intermediate blocks are dropped once consumed.
-        Table* source = droppable_source_[static_cast<size_t>(event->op)];
-        if (event->consumed != nullptr && source != nullptr &&
-            source->ReleaseBlock(event->consumed)) {
-          plan_->storage()->DropBlock(event->consumed);
-        }
-        stats_.records.push_back(event->record);
-        OperatorStats& os = stats_.operators[static_cast<size_t>(event->op)];
-        ++os.num_work_orders;
-        os.total_task_ns += event->record.duration_ns();
-        if (os.first_start_ns == 0 ||
-            event->record.start_ns < os.first_start_ns) {
-          os.first_start_ns = event->record.start_ns;
-        }
-        if (event->record.end_ns > os.last_end_ns) {
-          os.last_end_ns = event->record.end_ns;
-        }
-        if (metrics_ != nullptr) {
-          const size_t op_index = static_cast<size_t>(event->op);
-          work_order_count_->Increment();
-          work_order_latency_ns_->Record(event->record.duration_ns());
-          op_task_ns_[op_index]->Add(
-              static_cast<uint64_t>(event->record.duration_ns()));
-          op_work_orders_[op_index]->Increment();
-        }
-        // Release held work orders under the concurrency cap.
-        while (!state.held.empty() &&
-               (config_.max_concurrent_per_op == 0 ||
-                state.running < config_.max_concurrent_per_op)) {
-          std::unique_ptr<WorkOrder> wo = std::move(state.held.back());
-          state.held.pop_back();
-          ++state.running;
-          if (state.is_consumer) {
-            work_queue_.PushFront(std::move(wo));
-          } else {
-            work_queue_.Push(std::move(wo));
-          }
-        }
-        ReleaseDeferred();
-        CheckOperatorDone(event->op);
+      case Event::Kind::kWorkOrderDone:
+        HandleWorkOrderDone(&*event);
         break;
-      }
       case Event::Kind::kOperatorFlushed:
         HandleOperatorFlushed(event->op);
         break;
@@ -197,14 +170,12 @@ ExecutionStats Scheduler::Run() {
   }
 
   stats_.query_end_ns = NowNanos();
-  work_queue_.Close();
-  for (std::thread& t : workers_) t.join();
-  workers_.clear();
 
   if (trace_ != nullptr) {
     trace_->EmitComplete(obs::TraceEventType::kQuery, /*tid=*/0,
                          stats_.query_start_ns, stats_.query_end_ns,
-                         /*arg0=*/-1, /*arg1=*/-1,
+                         /*arg0=*/static_cast<int32_t>(query_id_),
+                         /*arg1=*/-1,
                          static_cast<int64_t>(stats_.records.size()));
   }
 
@@ -219,32 +190,75 @@ ExecutionStats Scheduler::Run() {
   return std::move(stats_);
 }
 
-void Scheduler::WorkerLoop(int worker_id) {
-  while (true) {
-    std::optional<std::unique_ptr<WorkOrder>> item = work_queue_.Pop();
-    if (!item.has_value()) return;
-    WorkOrderRecord record;
-    record.op = (*item)->operator_index;
-    record.worker = worker_id;
-    record.start_ns = NowNanos();
-    (*item)->Execute();
-    record.end_ns = NowNanos();
-    if (trace_ != nullptr) {
-      trace_->EmitComplete(obs::TraceEventType::kWorkOrder,
-                           static_cast<uint32_t>(1 + worker_id),
-                           record.start_ns, record.end_ns, record.op,
-                           worker_id);
-    }
-    event_queue_.Push(Event{Event::Kind::kWorkOrderDone, record.op, nullptr,
-                            (*item)->consumed_block, record});
-    // Let the coordinator react (transfer blocks, release transients)
-    // before taking more work — important on machines with few cores,
-    // where a busy worker can otherwise starve the scheduler thread.
-    std::this_thread::yield();
+void QuerySession::ExecuteWorkOrder(std::unique_ptr<WorkOrder> work_order,
+                                    int worker_id) {
+  WorkOrderRecord record;
+  record.op = work_order->operator_index;
+  record.worker = worker_id;
+  record.start_ns = NowNanos();
+  work_order->Execute();
+  record.end_ns = NowNanos();
+  if (trace_ != nullptr) {
+    trace_->EmitComplete(obs::TraceEventType::kWorkOrder,
+                         static_cast<uint32_t>(1 + worker_id),
+                         record.start_ns, record.end_ns, record.op,
+                         worker_id);
   }
+  event_queue_.Push(Event{Event::Kind::kWorkOrderDone, record.op, nullptr,
+                          std::move(work_order->consumed_blocks), record});
 }
 
-void Scheduler::TryGenerate(int op) {
+void QuerySession::HandleWorkOrderDone(Event* event) {
+  OpState& state = op_states_[static_cast<size_t>(event->op)];
+  ++state.completed;
+  --state.running;
+  --total_running_;
+  // Transient intermediate blocks are dropped once consumed. Each block is
+  // resolved against the consumer's droppable producer tables in turn
+  // (ReleaseBlock is a no-op returning false on the wrong table).
+  const std::vector<Table*>& sources =
+      droppable_sources_[static_cast<size_t>(event->op)];
+  for (Block* consumed : event->consumed) {
+    for (Table* source : sources) {
+      if (source->ReleaseBlock(consumed)) {
+        plan_->storage()->DropBlock(consumed);
+        break;
+      }
+    }
+  }
+  stats_.records.push_back(event->record);
+  OperatorStats& os = stats_.operators[static_cast<size_t>(event->op)];
+  ++os.num_work_orders;
+  os.total_task_ns += event->record.duration_ns();
+  if (os.first_start_ns == 0 || event->record.start_ns < os.first_start_ns) {
+    os.first_start_ns = event->record.start_ns;
+  }
+  if (event->record.end_ns > os.last_end_ns) {
+    os.last_end_ns = event->record.end_ns;
+  }
+  if (metrics_ != nullptr) {
+    const size_t op_index = static_cast<size_t>(event->op);
+    work_order_count_->Increment();
+    work_order_latency_ns_->Record(event->record.duration_ns());
+    op_task_ns_[op_index]->Add(
+        static_cast<uint64_t>(event->record.duration_ns()));
+    op_work_orders_[op_index]->Increment();
+  }
+  // Release held work orders under the concurrency cap.
+  while (!state.held.empty() &&
+         (config_.max_concurrent_per_op == 0 ||
+          state.running < config_.max_concurrent_per_op)) {
+    std::unique_ptr<WorkOrder> wo = std::move(state.held.back());
+    state.held.pop_back();
+    ++state.running;
+    ++total_running_;
+    SubmitToPool(state, std::move(wo));
+  }
+  ReleaseDeferred();
+  CheckOperatorDone(event->op);
+}
+
+void QuerySession::TryGenerate(int op) {
   OpState& state = op_states_[static_cast<size_t>(op)];
   if (state.finished || state.finishing || state.blocking_deps > 0) return;
   if (!state.done_generating) {
@@ -259,7 +273,14 @@ void Scheduler::TryGenerate(int op) {
   CheckOperatorDone(op);
 }
 
-void Scheduler::Dispatch(int op, std::unique_ptr<WorkOrder> wo) {
+void QuerySession::SubmitToPool(const OpState& state,
+                                std::unique_ptr<WorkOrder> wo) {
+  const bool accepted =
+      sink_->SubmitWork(this, std::move(wo), state.is_consumer);
+  UOT_CHECK(accepted);  // the pool outlives every active session
+}
+
+void QuerySession::Dispatch(int op, std::unique_ptr<WorkOrder> wo) {
   OpState& state = op_states_[static_cast<size_t>(op)];
   if (config_.max_concurrent_per_op != 0 &&
       state.running >= config_.max_concurrent_per_op) {
@@ -272,53 +293,67 @@ void Scheduler::Dispatch(int op, std::unique_ptr<WorkOrder> wo) {
   // and release transient blocks, which is what brings memory back under
   // the budget.
   if (config_.memory_budget_bytes > 0 && !state.is_consumer) {
-    if (trace_ != nullptr) {
-      trace_->EmitInstant(obs::TraceEventType::kBudgetDefer, /*tid=*/0, op,
-                          -1, plan_->storage()->tracker().TotalCurrent());
+    const bool over_budget =
+        plan_->storage()->tracker().TotalCurrent() >
+        config_.memory_budget_bytes;
+    // Admit straight away when the budget would release it immediately
+    // anyway (under budget, a pool slot free, nothing already queued —
+    // FIFO order). Only a deferral forced by the budget itself is counted
+    // and traced; pacing deferrals (admissions waiting for a pool slot)
+    // are not budget events.
+    if (over_budget || !deferred_.empty() ||
+        total_running_ >= pool_workers_) {
+      if (over_budget) {
+        if (trace_ != nullptr) {
+          trace_->EmitInstant(obs::TraceEventType::kBudgetDefer, /*tid=*/0,
+                              op, -1,
+                              plan_->storage()->tracker().TotalCurrent());
+        }
+        if (budget_deferrals_ != nullptr) budget_deferrals_->Increment();
+      }
+      deferred_.push_back(DeferredWorkOrder{op, over_budget, std::move(wo)});
+      return;
     }
-    if (budget_deferrals_ != nullptr) budget_deferrals_->Increment();
-    deferred_.emplace_back(op, std::move(wo));
-    return;
   }
   ++state.running;
   ++total_running_;
-  if (state.is_consumer) {
-    work_queue_.PushFront(std::move(wo));
-  } else {
-    work_queue_.Push(std::move(wo));
-  }
+  SubmitToPool(state, std::move(wo));
 }
 
-void Scheduler::ReleaseDeferred() {
+void QuerySession::ReleaseDeferred() {
   while (!deferred_.empty()) {
     const bool over_budget =
         plan_->storage()->tracker().TotalCurrent() >
         config_.memory_budget_bytes;
     // Over budget: only release if nothing is running (progress
-    // guarantee). Under budget: admit producers only up to the worker
-    // count, so allocations stay paced against completions.
+    // guarantee). Under budget: admit producers only up to the pool
+    // size, so allocations stay paced against completions.
     if (over_budget && total_running_ > 0) return;
-    if (!over_budget && total_running_ >= config_.num_workers) return;
-    auto [op, wo] = std::move(deferred_.front());
+    if (!over_budget && total_running_ >= pool_workers_) return;
+    DeferredWorkOrder deferred = std::move(deferred_.front());
     deferred_.pop_front();
-    if (trace_ != nullptr) {
-      trace_->EmitInstant(obs::TraceEventType::kBudgetRelease, /*tid=*/0, op,
-                          -1, plan_->storage()->tracker().TotalCurrent());
+    if (deferred.counted && trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceEventType::kBudgetRelease, /*tid=*/0,
+                          deferred.op, -1,
+                          plan_->storage()->tracker().TotalCurrent());
     }
-    OpState& state = op_states_[static_cast<size_t>(op)];
+    OpState& state = op_states_[static_cast<size_t>(deferred.op)];
     if (config_.max_concurrent_per_op != 0 &&
         state.running >= config_.max_concurrent_per_op) {
-      state.held.push_back(std::move(wo));
+      state.held.push_back(std::move(deferred.work_order));
       continue;
     }
     ++state.running;
     ++total_running_;
-    work_queue_.Push(std::move(wo));  // producers queue behind consumers
+    // Producers queue behind consumers: never high priority.
+    const bool accepted =
+        sink_->SubmitWork(this, std::move(deferred.work_order), false);
+    UOT_CHECK(accepted);
     if (over_budget) return;  // released the single progress work order
   }
 }
 
-void Scheduler::CheckOperatorDone(int op) {
+void QuerySession::CheckOperatorDone(int op) {
   OpState& state = op_states_[static_cast<size_t>(op)];
   if (state.finished || state.finishing) return;
   if (!state.done_generating || state.completed != state.generated) return;
@@ -327,10 +362,10 @@ void Scheduler::CheckOperatorDone(int op) {
   // processed after them (FIFO), so final UoT transfers see every block.
   state.finishing = true;
   plan_->op(op)->Finish();
-  event_queue_.Push(Event{Event::Kind::kOperatorFlushed, op, nullptr, nullptr, {}});
+  event_queue_.Push(Event{Event::Kind::kOperatorFlushed, op, nullptr, {}, {}});
 }
 
-void Scheduler::HandleBlockReady(int op, Block* block) {
+void QuerySession::HandleBlockReady(int op, Block* block) {
   const auto& edges = plan_->streaming_edges();
   for (size_t i = 0; i < edges.size(); ++i) {
     if (edges[i].producer != op) continue;
@@ -343,7 +378,7 @@ void Scheduler::HandleBlockReady(int op, Block* block) {
   }
 }
 
-void Scheduler::DeliverEdge(int edge_index, bool final_flush) {
+void QuerySession::DeliverEdge(int edge_index, bool final_flush) {
   const QueryPlan::StreamingEdge& edge =
       plan_->streaming_edges()[static_cast<size_t>(edge_index)];
   EdgeState& state = edge_states_[static_cast<size_t>(edge_index)];
@@ -373,7 +408,7 @@ void Scheduler::DeliverEdge(int edge_index, bool final_flush) {
   TryGenerate(edge.consumer);
 }
 
-void Scheduler::HandleOperatorFlushed(int op) {
+void QuerySession::HandleOperatorFlushed(int op) {
   OpState& state = op_states_[static_cast<size_t>(op)];
   state.finished = true;
   state.finishing = false;
@@ -393,7 +428,7 @@ void Scheduler::HandleOperatorFlushed(int op) {
   }
 }
 
-bool Scheduler::AllFinished() const {
+bool QuerySession::AllFinished() const {
   for (const OpState& s : op_states_) {
     if (!s.finished) return false;
   }

@@ -1,0 +1,175 @@
+#ifndef UOT_SCHEDULER_QUERY_SESSION_H_
+#define UOT_SCHEDULER_QUERY_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/query_plan.h"
+#include "scheduler/execution_stats.h"
+#include "scheduler/scheduler.h"
+#include "util/thread_safe_queue.h"
+
+namespace uot {
+
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
+class QuerySession;
+
+/// Where a session's ready work orders go. Implemented by Engine
+/// (exec/engine.h), whose shared queue feeds the persistent worker pool;
+/// kept abstract so the scheduler layer does not depend on the exec layer.
+class WorkOrderSink {
+ public:
+  virtual ~WorkOrderSink() = default;
+
+  /// Enqueues a work order owned by `session`. High-priority work orders
+  /// (pipeline consumers) overtake queued leaf work across every session
+  /// sharing the sink. Returns false iff the sink has shut down and will
+  /// never execute the work order.
+  virtual bool SubmitWork(QuerySession* session,
+                          std::unique_ptr<WorkOrder> work_order,
+                          bool high_priority) = 0;
+
+  /// Current depth of the shared work-order queue (observability only).
+  virtual size_t WorkQueueDepth() const = 0;
+};
+
+/// The per-query half of the execution engine (paper Section III): all
+/// scheduling state of one running query — operator/edge states, the
+/// deferred-work-order queue, statistics, observability handles — plus the
+/// coordinating event loop.
+///
+/// `Run()` executes the coordinator on the calling thread: it reacts to
+/// execution events routed back from the worker pool through the session's
+/// own event queue:
+///  - a producer completed an output block -> accumulate it on each
+///    outgoing streaming edge and transfer to the consumer once UoT blocks
+///    are available (for the whole-table UoT, only when the producer
+///    finished);
+///  - a work order finished -> account it, drop consumed transient blocks,
+///    release capped/deferred work orders, and when the operator is fully
+///    done, flush its partial output blocks and unblock dependents.
+///
+/// Work orders are executed by pool workers owned by the Engine; many
+/// sessions run concurrently on one pool, each tagged with its own
+/// `query_id` and (optionally) its own trace/metrics sinks.
+class QuerySession {
+ public:
+  /// `pool_workers` is the size of the worker pool behind `sink` (used for
+  /// budget pacing and trace thread naming). `query_id` tags this
+  /// session's stats and trace events.
+  QuerySession(QueryPlan* plan, ExecConfig config, WorkOrderSink* sink,
+               int pool_workers, uint64_t query_id);
+  UOT_DISALLOW_COPY_AND_ASSIGN(QuerySession);
+
+  /// Executes the plan to completion and returns the collected statistics.
+  /// Runs the coordinator loop on the calling thread; must be called at
+  /// most once.
+  ExecutionStats Run();
+
+  /// Executes `work_order` on behalf of this session and posts the
+  /// completion event to the session's event queue. Called by pool worker
+  /// threads, concurrently with Run().
+  void ExecuteWorkOrder(std::unique_ptr<WorkOrder> work_order, int worker_id);
+
+  uint64_t query_id() const { return query_id_; }
+
+ private:
+  struct Event {
+    enum class Kind { kBlockReady, kWorkOrderDone, kOperatorFlushed };
+    Kind kind;
+    int op = -1;
+    Block* block = nullptr;
+    std::vector<Block*> consumed;  // transient input blocks, for dropping
+    WorkOrderRecord record;
+  };
+
+  struct OpState {
+    int blocking_deps = 0;
+    bool is_consumer = false;  // fed by a streaming edge
+    bool done_generating = false;
+    bool finishing = false;
+    bool finished = false;
+    uint64_t generated = 0;
+    uint64_t completed = 0;
+    int running = 0;
+    std::vector<std::unique_ptr<WorkOrder>> held;  // over the concurrency cap
+  };
+
+  struct EdgeState {
+    std::vector<Block*> buffer;
+    uint64_t transfers = 0;
+  };
+
+  struct DeferredWorkOrder {
+    int op;
+    bool counted;  // deferred over budget (counted/traced), not just paced
+    std::unique_ptr<WorkOrder> work_order;
+  };
+
+  /// Resolves observability sinks from the config and pre-registers the
+  /// session's metric handles so hot-path updates are lock-free.
+  void InitObservability();
+  /// The session-tagged metric name (config.metrics_prefix + name).
+  std::string MetricName(const char* name) const;
+  /// Samples queue-depth gauges/counter tracks (observability only).
+  void SampleQueueDepths();
+  void TryGenerate(int op);
+  void Dispatch(int op, std::unique_ptr<WorkOrder> wo);
+  /// Re-dispatches budget-deferred work orders when allowed.
+  void ReleaseDeferred();
+  /// Hands a work order to the sink (consumers at high priority).
+  void SubmitToPool(const OpState& state, std::unique_ptr<WorkOrder> wo);
+  void CheckOperatorDone(int op);
+  void HandleWorkOrderDone(Event* event);
+  void HandleBlockReady(int op, Block* block);
+  void HandleOperatorFlushed(int op);
+  void DeliverEdge(int edge_index, bool final_flush);
+  bool AllFinished() const;
+
+  QueryPlan* const plan_;
+  const ExecConfig config_;
+  WorkOrderSink* const sink_;
+  const int pool_workers_;
+  const uint64_t query_id_;
+
+  ThreadSafeQueue<Event> event_queue_;
+
+  std::vector<OpState> op_states_;
+  std::vector<EdgeState> edge_states_;
+  // Per consumer op: the producer output tables whose blocks may be
+  // dropped after this op consumes them — one entry per incoming streaming
+  // edge whose producer has no other consumer. A consumer with several
+  // streaming inputs (e.g. sort-merge join) lists every such producer;
+  // consumed blocks are resolved against each in turn.
+  std::vector<std::vector<Table*>> droppable_sources_;
+  // Work orders deferred by the memory budget, FIFO.
+  std::deque<DeferredWorkOrder> deferred_;
+  int total_running_ = 0;
+  ExecutionStats stats_;
+
+  // Observability sinks and pre-resolved metric handles, all null when the
+  // corresponding ExecConfig option is unset.
+  obs::TraceSession* trace_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* work_order_count_ = nullptr;
+  obs::Histogram* work_order_latency_ns_ = nullptr;
+  obs::Gauge* work_queue_depth_ = nullptr;
+  obs::Gauge* event_queue_depth_ = nullptr;
+  obs::Counter* budget_deferrals_ = nullptr;
+  std::vector<obs::Counter*> op_task_ns_;
+  std::vector<obs::Counter*> op_work_orders_;
+  std::vector<obs::Counter*> edge_transfers_metric_;
+  std::vector<obs::Counter*> edge_blocks_metric_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_SCHEDULER_QUERY_SESSION_H_

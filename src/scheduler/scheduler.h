@@ -1,30 +1,33 @@
 #ifndef UOT_SCHEDULER_SCHEDULER_H_
 #define UOT_SCHEDULER_SCHEDULER_H_
 
-#include <deque>
-#include <memory>
-#include <thread>
-#include <utility>
-#include <vector>
+#include <cstdint>
+#include <string>
 
-#include "plan/query_plan.h"
-#include "scheduler/execution_stats.h"
 #include "scheduler/uot_policy.h"
-#include "util/thread_safe_queue.h"
 
 namespace uot {
 
 namespace obs {
-class Counter;
-class Gauge;
-class Histogram;
 class MetricsRegistry;
 class TraceSession;
 }  // namespace obs
 
 /// Execution configuration for one query run.
+///
+/// Execution itself is split across two layers (paper Section III plus the
+/// engine extension, see DESIGN.md):
+///  - QuerySession (scheduler/query_session.h) holds the per-query
+///    scheduling state and runs the coordinator loop;
+///  - Engine (exec/engine.h) owns the persistent worker pool shared by all
+///    concurrently running sessions.
+/// QueryExecutor::Execute (exec/query_executor.h) wires both together for
+/// the common single-query case.
 struct ExecConfig {
-  /// Number of worker threads executing work orders.
+  /// Number of worker threads executing work orders. For a standalone
+  /// QueryExecutor::Execute run this is the size of the (one-query) engine
+  /// pool; sessions submitted to a shared Engine use the engine's pool and
+  /// ignore this field.
   int num_workers = 4;
   /// The unit of transfer applied to every streaming edge.
   UotPolicy uot;
@@ -42,110 +45,21 @@ struct ExecConfig {
   /// work order is always kept in flight so the query progresses. Another
   /// of the paper's Section III-C scheduling policies.
   int64_t memory_budget_bytes = 0;
-  /// Optional trace sink (see src/obs/): when set, the scheduler records
+  /// Optional trace sink (see src/obs/): when set, the session records
   /// typed span/instant/counter events (work orders, UoT transfers, edge
   /// flushes, budget deferrals, queue depths) for Perfetto export. Null
-  /// (the default) keeps the hot path at a single pointer check.
+  /// (the default) keeps the hot path at a single pointer check. Give each
+  /// concurrent session its own TraceSession so exported traces stay
+  /// per-query.
   obs::TraceSession* trace = nullptr;
-  /// Optional metrics sink: when set, the scheduler maintains named
+  /// Optional metrics sink: when set, the session maintains named
   /// counters/gauges/histograms (per-operator task time, per-edge
   /// transfers, queue depths, work-order latency distribution).
   obs::MetricsRegistry* metrics = nullptr;
-};
-
-/// The query scheduler (paper Section III): a single coordinating loop plus
-/// a pool of worker threads.
-///
-/// Workers execute work orders to completion; the coordinator reacts to
-/// execution events:
-///  - a producer completed an output block -> accumulate it on each
-///    outgoing streaming edge and transfer to the consumer once UoT blocks
-///    are available (for the whole-table UoT, only when the producer
-///    finished);
-///  - a work order finished -> account it, release capped work orders, and
-///    when the operator is fully done, flush its partial output blocks and
-///    unblock dependent operators.
-class Scheduler {
- public:
-  Scheduler(QueryPlan* plan, ExecConfig config);
-  UOT_DISALLOW_COPY_AND_ASSIGN(Scheduler);
-
-  /// Executes the plan to completion and returns the collected statistics.
-  ExecutionStats Run();
-
- private:
-  struct Event {
-    enum class Kind { kBlockReady, kWorkOrderDone, kOperatorFlushed };
-    Kind kind;
-    int op = -1;
-    Block* block = nullptr;
-    Block* consumed = nullptr;  // transient input block, for dropping
-    WorkOrderRecord record;
-  };
-
-  struct OpState {
-    int blocking_deps = 0;
-    bool is_consumer = false;  // fed by a streaming edge
-    bool done_generating = false;
-    bool finishing = false;
-    bool finished = false;
-    uint64_t generated = 0;
-    uint64_t completed = 0;
-    int running = 0;
-    std::vector<std::unique_ptr<WorkOrder>> held;  // over the concurrency cap
-  };
-
-  struct EdgeState {
-    std::vector<Block*> buffer;
-    uint64_t transfers = 0;
-  };
-
-  void WorkerLoop(int worker_id);
-  /// Resolves observability sinks from the config and pre-registers the
-  /// scheduler's metric handles so hot-path updates are lock-free.
-  void InitObservability();
-  /// Samples queue-depth gauges/counter tracks (observability only).
-  void SampleQueueDepths();
-  void TryGenerate(int op);
-  void Dispatch(int op, std::unique_ptr<WorkOrder> wo);
-  /// Re-dispatches budget-deferred work orders when allowed.
-  void ReleaseDeferred();
-  void CheckOperatorDone(int op);
-  void HandleBlockReady(int op, Block* block);
-  void HandleOperatorFlushed(int op);
-  void DeliverEdge(int edge_index, bool final_flush);
-  bool AllFinished() const;
-
-  QueryPlan* const plan_;
-  const ExecConfig config_;
-
-  ThreadSafeQueue<std::unique_ptr<WorkOrder>> work_queue_;
-  ThreadSafeQueue<Event> event_queue_;
-  std::vector<std::thread> workers_;
-
-  std::vector<OpState> op_states_;
-  std::vector<EdgeState> edge_states_;
-  // Per consumer op: the producer output table whose blocks may be dropped
-  // after this op consumes them (nullptr when not droppable).
-  std::vector<Table*> droppable_source_;
-  // Work orders deferred by the memory budget, FIFO.
-  std::deque<std::pair<int, std::unique_ptr<WorkOrder>>> deferred_;
-  int total_running_ = 0;
-  ExecutionStats stats_;
-
-  // Observability sinks and pre-resolved metric handles, all null when the
-  // corresponding ExecConfig option is unset.
-  obs::TraceSession* trace_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::Counter* work_order_count_ = nullptr;
-  obs::Histogram* work_order_latency_ns_ = nullptr;
-  obs::Gauge* work_queue_depth_ = nullptr;
-  obs::Gauge* event_queue_depth_ = nullptr;
-  obs::Counter* budget_deferrals_ = nullptr;
-  std::vector<obs::Counter*> op_task_ns_;
-  std::vector<obs::Counter*> op_work_orders_;
-  std::vector<obs::Counter*> edge_transfers_metric_;
-  std::vector<obs::Counter*> edge_blocks_metric_;
+  /// Prepended to every metric name this session registers (e.g. "q3.").
+  /// Lets concurrent sessions share one MetricsRegistry without their
+  /// counters colliding; empty (the default) keeps the historical names.
+  std::string metrics_prefix;
 };
 
 }  // namespace uot

@@ -13,33 +13,45 @@ namespace uot {
 
 /// A blocking multi-producer/multi-consumer FIFO queue.
 ///
-/// Used for work-order dispatch (scheduler -> workers) and for execution
-/// events (workers -> scheduler). `Close()` wakes all blocked consumers;
-/// after close, `Pop()` drains remaining items and then returns nullopt.
+/// Used for work-order dispatch (engine -> workers) and for execution
+/// events (workers -> query session). `Close()` wakes all blocked
+/// consumers; after close, `Pop()` drains remaining items and then returns
+/// nullopt. Push/PushFront against a closed queue reject the item and
+/// return false — in all build modes, so a racing producer (e.g. a work
+/// order finishing while the engine shuts down) cannot enqueue into a
+/// queue nobody will ever drain.
+///
+/// Destruction safety: producers notify while still holding the lock, so
+/// after a producer releases the mutex it never touches queue memory
+/// again. A consumer that pops the final item (e.g. a query session
+/// receiving its last completion event) may therefore destroy the queue
+/// as soon as its own call returns, even if the producing thread has not
+/// yet been rescheduled.
 template <typename T>
 class ThreadSafeQueue {
  public:
   ThreadSafeQueue() = default;
   UOT_DISALLOW_COPY_AND_ASSIGN(ThreadSafeQueue);
 
-  void Push(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      UOT_DCHECK(!closed_);
-      items_.push_back(std::move(item));
-    }
+  /// Enqueues at the back. Returns false (dropping `item`) iff the queue
+  /// has been closed.
+  bool Push(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
     cv_.notify_one();
+    return true;
   }
 
   /// Enqueues at the front: used for high-priority items (consumer work
   /// orders overtake queued leaf work so pipelines drain eagerly).
-  void PushFront(T item) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      UOT_DCHECK(!closed_);
-      items_.push_front(std::move(item));
-    }
+  /// Returns false (dropping `item`) iff the queue has been closed.
+  bool PushFront(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return false;
+    items_.push_front(std::move(item));
     cv_.notify_one();
+    return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
@@ -62,16 +74,19 @@ class ThreadSafeQueue {
   }
 
   void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
-    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
     cv_.notify_all();
   }
 
   size_t Size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
  private:

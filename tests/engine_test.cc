@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/engine.h"
+#include "exec/query_executor.h"
+#include "obs/metrics.h"
+#include "obs/trace_session.h"
+#include "operators/aggregate_operator.h"
+#include "operators/select_operator.h"
+#include "test_util.h"
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+
+namespace uot {
+namespace {
+
+using testing::MakeKvTable;
+
+/// A simple latch so concurrently submitted queries really race: every
+/// thread blocks here until all have been spawned.
+class StartGate {
+ public:
+  explicit StartGate(int expected) : expected_(expected) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (++arrived_ >= expected_) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [this] { return arrived_ >= expected_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const int expected_;
+  int arrived_ = 0;
+};
+
+/// select(in: v >= threshold) -> agg(sum(v)) over a plan-owned pipeline:
+/// a small two-operator plan for engine-level tests.
+std::unique_ptr<QueryPlan> MakeSelectAggPlan(StorageManager* storage,
+                                             const Table& input,
+                                             double threshold) {
+  auto plan = std::make_unique<QueryPlan>(storage);
+  auto proj = Projection::Identity(input.schema(), {0, 1});
+  Schema sel_schema = proj->output_schema();
+  Table* sel_out = plan->CreateTempTable("sel.out", sel_schema,
+                                         Layout::kRowStore, 1024);
+  InsertDestination* sel_dest = plan->CreateDestination(sel_out);
+  auto select = std::make_unique<SelectOperator>(
+      "select",
+      Cmp(CompareOp::kGe, Col(1, Type::Double()), LitDouble(threshold)),
+      std::move(proj), sel_dest);
+  select->AttachBaseTable(&input);
+  const int select_op = plan->AddOperator(std::move(select));
+  plan->RegisterOutput(select_op, sel_dest);
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1, Type::Double()), "sum"});
+  Schema agg_schema = AggregateOperator::OutputSchema(sel_schema, {}, aggs);
+  Table* agg_out = plan->CreateTempTable("agg.out", agg_schema,
+                                         Layout::kRowStore, 1024);
+  InsertDestination* agg_dest = plan->CreateDestination(agg_out);
+  auto agg = std::make_unique<AggregateOperator>(
+      "agg", sel_schema, std::vector<int>{}, std::move(aggs), nullptr,
+      agg_dest);
+  const int agg_op = plan->AddOperator(std::move(agg));
+  plan->RegisterOutput(agg_op, agg_dest);
+  plan->AddStreamingEdge(select_op, agg_op);
+  plan->SetResultTable(agg_out);
+  return plan;
+}
+
+TEST(EngineTest, RunsManyQueriesSequentiallyOnOnePool) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 4000, 10, Layout::kRowStore, 2048);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 4;
+  Engine engine(engine_config);
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(1);
+  std::string expected;
+  for (int i = 0; i < 3; ++i) {
+    auto plan = MakeSelectAggPlan(&storage, *input, 0.0);
+    ExecutionStats stats = engine.Execute(plan.get(), config);
+    EXPECT_GT(stats.records.size(), 0u);
+    EXPECT_GT(stats.query_id, 0u);
+    const std::string rows = CanonicalRows(*plan->result_table());
+    if (i == 0) {
+      expected = rows;
+    } else {
+      EXPECT_EQ(rows, expected);
+    }
+  }
+  EXPECT_EQ(engine.queries_executed(), 3u);
+  EXPECT_EQ(engine.active_queries(), 0);
+}
+
+TEST(EngineTest, ConcurrentSyntheticQueriesMatchSerial) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 8000, 16, Layout::kRowStore, 2048);
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(1);
+
+  std::string expected;
+  {
+    auto plan = MakeSelectAggPlan(&storage, *input, 100.0);
+    QueryExecutor::Execute(plan.get(), config);
+    expected = CanonicalRows(*plan->result_table());
+  }
+  ASSERT_FALSE(expected.empty());
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 4;
+  Engine engine(engine_config);
+
+  constexpr int kQueries = 6;
+  std::vector<std::unique_ptr<QueryPlan>> plans;
+  for (int i = 0; i < kQueries; ++i) {
+    plans.push_back(MakeSelectAggPlan(&storage, *input, 100.0));
+  }
+  StartGate gate(kQueries);
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> ids(kQueries, 0);
+  for (int i = 0; i < kQueries; ++i) {
+    threads.emplace_back([&, i] {
+      gate.ArriveAndWait();
+      ids[static_cast<size_t>(i)] =
+          engine.Execute(plans[static_cast<size_t>(i)].get(), config)
+              .query_id;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<uint64_t> distinct(ids.begin(), ids.end());
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kQueries));
+  for (const auto& plan : plans) {
+    EXPECT_EQ(CanonicalRows(*plan->result_table()), expected);
+  }
+  EXPECT_EQ(engine.queries_executed(), static_cast<uint64_t>(kQueries));
+}
+
+/// The headline stress test: several full TPC-H queries executing
+/// simultaneously on one shared engine return exactly the rows of their
+/// serial runs. Run under -fsanitize=thread in CI (see UOT_TSAN).
+TEST(EngineStressTest, ConcurrentTpchQueriesMatchSerial) {
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig tpch_config;
+  tpch_config.scale_factor = 0.004;
+  db.Generate(tpch_config);
+
+  const std::vector<int> queries = {1, 3, 6, 10, 12, 14};
+  TpchPlanConfig plan_config;
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 8;
+  Engine engine(engine_config);
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(1);
+
+  // Serial reference runs on the same engine.
+  std::map<int, std::string> expected;
+  for (int query : queries) {
+    auto plan = BuildTpchPlan(query, db, plan_config);
+    engine.Execute(plan.get(), config);
+    expected[query] = CanonicalRows(*plan->result_table());
+  }
+
+  // All queries at once, each driven by its own thread.
+  std::vector<std::unique_ptr<QueryPlan>> plans;
+  for (int query : queries) plans.push_back(BuildTpchPlan(query, db, plan_config));
+  StartGate gate(static_cast<int>(queries.size()));
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    threads.emplace_back([&, i] {
+      gate.ArriveAndWait();
+      engine.Execute(plans[i].get(), config);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(CanonicalRows(*plans[i]->result_table()),
+              expected[queries[i]])
+        << "Q" << queries[i] << " diverged under concurrency";
+  }
+}
+
+TEST(EngineTest, MaxInflightAdmissionSerializesQueries) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 20000, 16, Layout::kRowStore, 1024);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 2;
+  engine_config.max_inflight_queries = 1;
+  Engine engine(engine_config);
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(1);
+
+  auto plan_a = MakeSelectAggPlan(&storage, *input, 0.0);
+  auto plan_b = MakeSelectAggPlan(&storage, *input, 0.0);
+  ExecutionStats stats_a, stats_b;
+  StartGate gate(2);
+  std::thread ta([&] {
+    gate.ArriveAndWait();
+    stats_a = engine.Execute(plan_a.get(), config);
+  });
+  std::thread tb([&] {
+    gate.ArriveAndWait();
+    stats_b = engine.Execute(plan_b.get(), config);
+  });
+  ta.join();
+  tb.join();
+
+  // With one admission slot the two executions must not overlap.
+  const bool a_first = stats_a.query_start_ns <= stats_b.query_start_ns;
+  const ExecutionStats& first = a_first ? stats_a : stats_b;
+  const ExecutionStats& second = a_first ? stats_b : stats_a;
+  EXPECT_GE(second.query_start_ns, first.query_end_ns);
+  EXPECT_GE(second.admission_wait_ns, 0);
+}
+
+TEST(EngineTest, SharedMemoryBudgetHoldsSecondQueryAtAdmission) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 20000, 16, Layout::kRowStore, 1024);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 2;
+  // The base table alone exceeds the engine budget, so only the progress
+  // guarantee admits queries: one at a time.
+  engine_config.memory_budget_bytes = 1;
+  Engine engine(engine_config);
+  ASSERT_GT(storage.tracker().TotalCurrent(), 1);
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(1);
+
+  auto plan_a = MakeSelectAggPlan(&storage, *input, 0.0);
+  auto plan_b = MakeSelectAggPlan(&storage, *input, 0.0);
+  ExecutionStats stats_a, stats_b;
+  StartGate gate(2);
+  std::thread ta([&] {
+    gate.ArriveAndWait();
+    stats_a = engine.Execute(plan_a.get(), config);
+  });
+  std::thread tb([&] {
+    gate.ArriveAndWait();
+    stats_b = engine.Execute(plan_b.get(), config);
+  });
+  ta.join();
+  tb.join();
+
+  const bool a_first = stats_a.query_start_ns <= stats_b.query_start_ns;
+  const ExecutionStats& first = a_first ? stats_a : stats_b;
+  const ExecutionStats& second = a_first ? stats_b : stats_a;
+  EXPECT_GE(second.query_start_ns, first.query_end_ns);
+}
+
+TEST(EngineTest, MetricsPrefixKeepsSharedRegistryPerQuery) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 2000, 8, Layout::kRowStore, 1024);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 2;
+  Engine engine(engine_config);
+
+  obs::MetricsRegistry registry;
+  for (const char* prefix : {"q1.", "q2."}) {
+    auto plan = MakeSelectAggPlan(&storage, *input, 0.0);
+    ExecConfig config;
+    config.uot = UotPolicy::LowUot(1);
+    config.metrics = &registry;
+    config.metrics_prefix = prefix;
+    engine.Execute(plan.get(), config);
+  }
+
+  const obs::Counter* q1 = registry.FindCounter("q1.scheduler.work_orders");
+  const obs::Counter* q2 = registry.FindCounter("q2.scheduler.work_orders");
+  ASSERT_NE(q1, nullptr);
+  ASSERT_NE(q2, nullptr);
+  EXPECT_GT(q1->Value(), 0u);
+  EXPECT_GT(q2->Value(), 0u);
+  // No untagged metrics leak out of prefixed sessions.
+  EXPECT_EQ(registry.FindCounter("scheduler.work_orders"), nullptr);
+}
+
+TEST(EngineTest, TraceStaysPerQueryUnderConcurrency) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 8000, 16, Layout::kRowStore, 1024);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 4;
+  Engine engine(engine_config);
+
+  constexpr int kQueries = 3;
+  std::vector<std::unique_ptr<QueryPlan>> plans;
+  std::vector<std::unique_ptr<obs::TraceSession>> traces;
+  std::vector<ExecutionStats> stats(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    plans.push_back(MakeSelectAggPlan(&storage, *input, 0.0));
+    traces.push_back(std::make_unique<obs::TraceSession>());
+  }
+  StartGate gate(kQueries);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kQueries; ++i) {
+    threads.emplace_back([&, i] {
+      ExecConfig config;
+      config.uot = UotPolicy::LowUot(1);
+      config.trace = traces[static_cast<size_t>(i)].get();
+      gate.ArriveAndWait();
+      stats[static_cast<size_t>(i)] =
+          engine.Execute(plans[static_cast<size_t>(i)].get(), config);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kQueries; ++i) {
+    size_t query_spans = 0, work_order_spans = 0;
+    for (const obs::TraceEvent& e :
+         traces[static_cast<size_t>(i)]->SortedEvents()) {
+      if (e.type == obs::TraceEventType::kQuery) {
+        ++query_spans;
+        EXPECT_EQ(static_cast<uint64_t>(e.arg0),
+                  stats[static_cast<size_t>(i)].query_id);
+      }
+      if (e.type == obs::TraceEventType::kWorkOrder) ++work_order_spans;
+    }
+    // Every session's trace holds exactly its own query span and exactly
+    // its own work orders, no matter which pool worker executed them.
+    EXPECT_EQ(query_spans, 1u);
+    EXPECT_EQ(work_order_spans,
+              stats[static_cast<size_t>(i)].records.size());
+  }
+}
+
+TEST(EngineTest, ShutdownDrainsAndSurvivesDoubleCall) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 1000, 8, Layout::kRowStore, 1024);
+  EngineConfig engine_config;
+  engine_config.num_workers = 2;
+  Engine engine(engine_config);
+  auto plan = MakeSelectAggPlan(&storage, *input, 0.0);
+  ExecConfig config;
+  engine.Execute(plan.get(), config);
+  engine.Shutdown();
+  engine.Shutdown();  // idempotent
+  EXPECT_EQ(engine.queries_executed(), 1u);
+}
+
+}  // namespace
+}  // namespace uot

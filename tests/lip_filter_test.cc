@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "exec/query_executor.h"
 #include "test_util.h"
 #include "join/lip_filter.h"

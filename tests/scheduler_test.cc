@@ -3,10 +3,13 @@
 #include <algorithm>
 
 #include "exec/query_executor.h"
+#include "obs/metrics.h"
+#include "obs/trace_session.h"
 #include "operators/aggregate_operator.h"
 #include "operators/build_hash_operator.h"
 #include "operators/probe_hash_operator.h"
 #include "operators/select_operator.h"
+#include "operators/sort_merge_join_operator.h"
 #include "test_util.h"
 
 namespace uot {
@@ -436,6 +439,134 @@ TEST(SchedulerTest, DiamondPlanFeedsTwoConsumers) {
   const double expected = 2000.0 * 1999.0 / 2.0;
   EXPECT_DOUBLE_EQ(agg_outs[0]->GetValue(0, 0).AsDouble(), expected);
   EXPECT_DOUBLE_EQ(agg_outs[1]->GetValue(0, 0).AsDouble(), expected);
+}
+
+TEST(SchedulerTest, DropConsumedBlocksCoversEveryStreamingInput) {
+  // Regression: droppable producer tables were tracked one-per-consumer, so
+  // a consumer with two streaming inputs (sort-merge join) dropped only the
+  // blocks of whichever edge was registered last — the other intermediate
+  // leaked for the rest of the query.
+  StorageManager storage;
+  auto left_in = MakeKvTable(&storage, "left", 300, 10,
+                             Layout::kRowStore, 1024);
+  auto right_in = MakeKvTable(&storage, "right", 300, 10,
+                              Layout::kRowStore, 1024);
+  QueryPlan plan(&storage);
+
+  std::vector<Table*> sel_outs;
+  std::vector<int> sel_ops;
+  const Table* inputs[2] = {left_in.get(), right_in.get()};
+  for (int side = 0; side < 2; ++side) {
+    auto proj = Projection::Identity(inputs[side]->schema(), {0, 1});
+    Schema sel_schema = proj->output_schema();
+    Table* sel_out = plan.CreateTempTable("sel" + std::to_string(side),
+                                          sel_schema, Layout::kRowStore,
+                                          1024);
+    InsertDestination* sel_dest = plan.CreateDestination(sel_out);
+    auto select = std::make_unique<SelectOperator>(
+        "select" + std::to_string(side), std::make_unique<TruePredicate>(),
+        std::move(proj), sel_dest);
+    select->AttachBaseTable(inputs[side]);
+    const int op = plan.AddOperator(std::move(select));
+    plan.RegisterOutput(op, sel_dest);
+    sel_outs.push_back(sel_out);
+    sel_ops.push_back(op);
+  }
+
+  const Schema& left_schema = sel_outs[0]->schema();
+  const Schema& right_schema = sel_outs[1]->schema();
+  Schema join_schema = SortMergeJoinOperator::OutputSchema(
+      left_schema, {0, 1}, right_schema, {1});
+  Table* join_out = plan.CreateTempTable("join.out", join_schema,
+                                         Layout::kRowStore, 4096);
+  InsertDestination* join_dest = plan.CreateDestination(join_out);
+  auto join = std::make_unique<SortMergeJoinOperator>(
+      "smj", left_schema, right_schema, std::vector<int>{0},
+      std::vector<int>{0}, std::vector<int>{0, 1}, std::vector<int>{1},
+      join_dest);
+  const int join_op = plan.AddOperator(std::move(join));
+  plan.RegisterOutput(join_op, join_dest);
+  plan.AddStreamingEdge(sel_ops[0], join_op, /*consumer_input=*/0);
+  plan.AddStreamingEdge(sel_ops[1], join_op, /*consumer_input=*/1);
+  plan.SetResultTable(join_out);
+
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+  ASSERT_TRUE(config.drop_consumed_blocks);
+  QueryExecutor::Execute(&plan, config);
+
+  // 30 matches per key and 10 keys per side.
+  EXPECT_EQ(join_out->NumRows(), 10u * 30u * 30u);
+  // Both select intermediates must have been dropped, not just the one on
+  // the last-registered edge.
+  EXPECT_TRUE(sel_outs[0]->blocks().empty())
+      << "left select intermediate leaked";
+  EXPECT_TRUE(sel_outs[1]->blocks().empty())
+      << "right select intermediate leaked";
+}
+
+TEST(SchedulerTest, BudgetDeferralsCountOnlyBudgetForcedDeferrals) {
+  // Regression: with any memory budget set, every producer work order used
+  // to bump scheduler.budget.deferrals (and emit kBudgetDefer) even when
+  // the budget never constrained anything.
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 8000, 10,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 1024);
+
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+
+  std::string expected;
+  {
+    auto free_run = MakeSelectProbePlan(&storage, *probe_table, *build_table,
+                                        0.0, 1024);
+    QueryExecutor::Execute(free_run.plan.get(), config);
+    expected = CanonicalRows(*free_run.plan->result_table());
+  }
+
+  {
+    // A budget far above anything the query allocates: zero deferrals.
+    obs::MetricsRegistry metrics;
+    auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                  1024);
+    config.memory_budget_bytes = int64_t{1} << 40;
+    config.metrics = &metrics;
+    QueryExecutor::Execute(sp.plan.get(), config);
+    const obs::Counter* deferrals =
+        metrics.FindCounter("scheduler.budget.deferrals");
+    ASSERT_NE(deferrals, nullptr);
+    EXPECT_EQ(deferrals->Value(), 0u);
+    EXPECT_EQ(CanonicalRows(*sp.plan->result_table()), expected);
+  }
+
+  {
+    // A budget below even the base tables: every producer admission is a
+    // genuine budget deferral, and each one is traced exactly once.
+    obs::MetricsRegistry metrics;
+    obs::TraceSession trace;
+    auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                  1024);
+    config.memory_budget_bytes = 1;
+    config.metrics = &metrics;
+    config.trace = &trace;
+    QueryExecutor::Execute(sp.plan.get(), config);
+    const obs::Counter* deferrals =
+        metrics.FindCounter("scheduler.budget.deferrals");
+    ASSERT_NE(deferrals, nullptr);
+    EXPECT_GT(deferrals->Value(), 0u);
+    uint64_t defer_events = 0, release_events = 0;
+    for (const obs::TraceEvent& e : trace.SortedEvents()) {
+      if (e.type == obs::TraceEventType::kBudgetDefer) ++defer_events;
+      if (e.type == obs::TraceEventType::kBudgetRelease) ++release_events;
+    }
+    EXPECT_EQ(defer_events, deferrals->Value());
+    EXPECT_EQ(release_events, deferrals->Value());
+    EXPECT_EQ(CanonicalRows(*sp.plan->result_table()), expected);
+  }
 }
 
 }  // namespace

@@ -221,6 +221,60 @@ TEST(ThreadSafeQueueTest, ManyProducersManyConsumers) {
             int64_t{kProducers} * kPerProducer * (kPerProducer + 1) / 2);
 }
 
+TEST(ThreadSafeQueueTest, PushAfterCloseIsRejected) {
+  ThreadSafeQueue<int> q;
+  EXPECT_FALSE(q.closed());
+  EXPECT_TRUE(q.Push(1));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  // Post-close contract: both enqueue paths reject and report it; the
+  // item is dropped, never half-enqueued.
+  EXPECT_FALSE(q.Push(2));
+  EXPECT_FALSE(q.PushFront(3));
+  EXPECT_EQ(q.Size(), 1u);
+  // Items accepted before the close still drain in order...
+  EXPECT_EQ(q.Pop().value(), 1);
+  // ...and then the queue reports end-of-stream, not the rejected items.
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(ThreadSafeQueueTest, PushFrontOvertakesPush) {
+  ThreadSafeQueue<int> q;
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.PushFront(99));
+  EXPECT_EQ(q.Pop().value(), 99);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(ThreadSafeQueueTest, RacingPushersAgainstCloseNeverLoseAcceptedItems) {
+  // Every Push that returned true must be Pop-able; every Push after the
+  // close must have returned false. The sum of drained items therefore
+  // equals the number of accepted pushes, whatever the interleaving.
+  ThreadSafeQueue<int> q;
+  std::atomic<int> accepted{0};
+  constexpr int kPushers = 4, kPerPusher = 2000;
+  std::vector<std::thread> pushers;
+  for (int p = 0; p < kPushers; ++p) {
+    pushers.emplace_back([&q, &accepted] {
+      for (int i = 0; i < kPerPusher; ++i) {
+        if (q.Push(1)) accepted.fetch_add(1);
+      }
+    });
+  }
+  std::thread closer([&q] { q.Close(); });
+  int drained = 0;
+  while (q.Pop().has_value()) ++drained;
+  for (auto& t : pushers) t.join();
+  closer.join();
+  // The single consumer saw end-of-stream only after close; late-accepted
+  // items may still sit in the queue, so drain the remainder.
+  while (q.TryPop().has_value()) ++drained;
+  EXPECT_EQ(drained, accepted.load());
+}
+
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
   const int64_t t0 = timer.ElapsedNanos();
