@@ -48,9 +48,12 @@ std::unique_ptr<Table> MaterializingEngine::Select(const Table& input,
 std::unique_ptr<Table> MaterializingEngine::HashJoin(const Table& probe,
                                                      const Table& build,
                                                      const JoinSpec& spec) {
+  OperatorExecContext exec_ctx;
+  exec_ctx.join = spec.join;
   BuildHashOperator build_op("baseline.build", spec.build_keys,
                              spec.build_payload, spec.load_factor,
                              &storage_->tracker());
+  build_op.BindExecContext(exec_ctx);
   build_op.InitHashTable(build.schema());
   build_op.AttachBaseTable(&build);
   Drive(&build_op);
@@ -73,6 +76,7 @@ std::unique_ptr<Table> MaterializingEngine::HashJoin(const Table& probe,
   ProbeHashOperator probe_op("baseline.probe", &build_op, spec.probe_keys,
                              spec.probe_out, spec.kind, spec.residuals,
                              &dest);
+  probe_op.BindExecContext(exec_ctx);
   probe_op.AttachBaseTable(&probe);
   Drive(&probe_op);
   return out;

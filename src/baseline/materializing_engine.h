@@ -42,6 +42,9 @@ class MaterializingEngine {
     JoinKind kind = JoinKind::kInner;
     std::vector<ResidualCondition> residuals;
     double load_factor = 0.75;
+    /// Kernel selection + batching knobs bound to the build and probe
+    /// operators; tests A/B the scalar and batched kernels through this.
+    JoinKernelConfig join;
   };
   std::unique_ptr<Table> HashJoin(const Table& probe, const Table& build,
                                   const JoinSpec& spec);

@@ -5,6 +5,7 @@
 
 #include "expr/predicate.h"
 #include "types/date.h"
+#include "util/scratch_arena.h"
 
 namespace uot {
 
@@ -61,9 +62,12 @@ Arithmetic::Arithmetic(ArithmeticOp op, std::unique_ptr<Scalar> left,
 
 void Arithmetic::Eval(const Block& block, const uint32_t* rows, uint32_t n,
                       std::byte* out) const {
-  std::vector<double> lhs(n), rhs(n);
-  EvalAsDouble(*left_, block, rows, n, lhs.data());
-  EvalAsDouble(*right_, block, rows, n, rhs.data());
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(&arena);
+  double* lhs = arena.AllocArray<double>(n);
+  double* rhs = arena.AllocArray<double>(n);
+  EvalAsDouble(*left_, block, rows, n, lhs);
+  EvalAsDouble(*right_, block, rows, n, rhs);
   double* result = reinterpret_cast<double*>(out);
   switch (op_) {
     case ArithmeticOp::kAdd:
@@ -105,20 +109,26 @@ void CaseWhen::Eval(const Block& block, const uint32_t* rows, uint32_t n,
   // values (matching rows come back as a sorted subsequence of `rows`).
   double* result = reinterpret_cast<double*>(out);
   EvalAsDouble(*else_value_, block, rows, n, result);
-  std::vector<uint32_t> matched(rows, rows + n);
-  condition_->Filter(block, &matched);
-  if (matched.empty()) return;
-  std::vector<double> then_vals(matched.size());
-  EvalAsDouble(*then_value_, block, matched.data(),
-               static_cast<uint32_t>(matched.size()), then_vals.data());
+  // Filter requires a real vector (in-place compaction), so the selection
+  // scratch is a pooled thread-local vector rather than arena bytes; the
+  // pool hands nested evaluations distinct vectors.
+  ScratchSelVector matched;
+  matched->assign(rows, rows + n);
+  condition_->Filter(block, matched.get());
+  if (matched->empty()) return;
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(&arena);
+  double* then_vals = arena.AllocArray<double>(matched->size());
+  EvalAsDouble(*then_value_, block, matched->data(),
+               static_cast<uint32_t>(matched->size()), then_vals);
   size_t m = 0;
-  for (uint32_t i = 0; i < n && m < matched.size(); ++i) {
-    if (rows[i] == matched[m]) {
+  for (uint32_t i = 0; i < n && m < matched->size(); ++i) {
+    if (rows[i] == (*matched)[m]) {
       result[i] = then_vals[m];
       ++m;
     }
   }
-  UOT_DCHECK(m == matched.size());
+  UOT_DCHECK(m == matched->size());
 }
 
 std::string CaseWhen::ToString() const {
@@ -137,11 +147,13 @@ Substring::Substring(std::unique_ptr<Scalar> child, int start, int len)
 void Substring::Eval(const Block& block, const uint32_t* rows, uint32_t n,
                      std::byte* out) const {
   const uint16_t w = child_->result_type().width();
-  std::vector<std::byte> tmp(static_cast<size_t>(n) * w);
-  child_->Eval(block, rows, n, tmp.data());
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(&arena);
+  std::byte* tmp = arena.Alloc(static_cast<size_t>(n) * w);
+  child_->Eval(block, rows, n, tmp);
   for (uint32_t i = 0; i < n; ++i) {
     std::memcpy(out + static_cast<size_t>(i) * len_,
-                tmp.data() + static_cast<size_t>(i) * w + start_,
+                tmp + static_cast<size_t>(i) * w + start_,
                 static_cast<size_t>(len_));
   }
 }
@@ -158,11 +170,13 @@ ExtractYear::ExtractYear(std::unique_ptr<Scalar> child)
 
 void ExtractYear::Eval(const Block& block, const uint32_t* rows, uint32_t n,
                        std::byte* out) const {
-  std::vector<std::byte> dates(static_cast<size_t>(n) * 4);
-  child_->Eval(block, rows, n, dates.data());
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(&arena);
+  std::byte* dates = arena.Alloc(static_cast<size_t>(n) * 4);
+  child_->Eval(block, rows, n, dates);
   for (uint32_t i = 0; i < n; ++i) {
     int32_t days;
-    std::memcpy(&days, dates.data() + i * 4u, 4);
+    std::memcpy(&days, dates + i * 4u, 4);
     int y, m, d;
     CivilFromDays(days, &y, &m, &d);
     const int32_t year = y;
@@ -184,7 +198,7 @@ void EvalAsDouble(const Scalar& scalar, const Block& block,
   }
   // Fast path: direct strided widening for column references avoids the
   // intermediate packed buffer.
-  if (const auto* ref = dynamic_cast<const ColumnRef*>(&scalar)) {
+  if (const ColumnRef* ref = scalar.as_column_ref()) {
     const ColumnAccess access = block.Column(ref->col());
     if (type.width() == 4) {
       for (uint32_t i = 0; i < n; ++i) {
@@ -201,18 +215,20 @@ void EvalAsDouble(const Scalar& scalar, const Block& block,
     }
     return;
   }
-  std::vector<std::byte> tmp(static_cast<size_t>(n) * type.width());
-  scalar.Eval(block, rows, n, tmp.data());
+  ScratchArena& arena = ScratchArena::ForThread();
+  ScratchArena::Scope scope(&arena);
+  std::byte* tmp = arena.Alloc(static_cast<size_t>(n) * type.width());
+  scalar.Eval(block, rows, n, tmp);
   if (type.width() == 4) {
     for (uint32_t i = 0; i < n; ++i) {
       int32_t v;
-      std::memcpy(&v, tmp.data() + i * 4u, 4);
+      std::memcpy(&v, tmp + i * 4u, 4);
       out[i] = static_cast<double>(v);
     }
   } else {
     for (uint32_t i = 0; i < n; ++i) {
       int64_t v;
-      std::memcpy(&v, tmp.data() + i * 8u, 8);
+      std::memcpy(&v, tmp + i * 8u, 8);
       out[i] = static_cast<double>(v);
     }
   }

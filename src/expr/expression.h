@@ -11,6 +11,8 @@
 
 namespace uot {
 
+class ColumnRef;
+
 /// A scalar expression evaluated over the rows of one block.
 ///
 /// Evaluation is vectorized: given a selection vector (row indices into the
@@ -30,6 +32,12 @@ class Scalar {
   virtual void Eval(const Block& block, const uint32_t* rows, uint32_t n,
                     std::byte* out) const = 0;
 
+  /// Non-null iff this expression is a bare column reference. A virtual
+  /// accessor instead of `dynamic_cast` on the hot EvalAsDouble path: the
+  /// RTTI lookup cost scales with class-hierarchy depth, a vtable call is
+  /// constant.
+  virtual const ColumnRef* as_column_ref() const { return nullptr; }
+
   virtual std::string ToString() const = 0;
 };
 
@@ -43,6 +51,7 @@ class ColumnRef final : public Scalar {
   Type result_type() const override { return type_; }
   void Eval(const Block& block, const uint32_t* rows, uint32_t n,
             std::byte* out) const override;
+  const ColumnRef* as_column_ref() const override { return this; }
   std::string ToString() const override;
 
  private:

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "obs/trace_session.h"
+#include "operators/exec_context.h"
 
 namespace uot {
 namespace {
@@ -61,8 +62,13 @@ void JoinHashTable::Reserve(uint64_t num_entries) {
 
 void JoinHashTable::Insert(const uint64_t* key, const std::byte* payload) {
   UOT_DCHECK(slots_ != nullptr);
+  InsertWithHash(key, HashJoinKey(key, num_key_cols_), payload);
+}
+
+void JoinHashTable::InsertWithHash(const uint64_t* key, uint64_t hash,
+                                   const std::byte* payload) {
   const uint64_t mask = num_slots_ - 1;
-  uint64_t idx = HashJoinKey(key, num_key_cols_) & mask;
+  uint64_t idx = hash & mask;
   for (uint64_t attempts = 0; attempts < num_slots_; ++attempts) {
     uint8_t expected = 0;
     if (tags_[idx].compare_exchange_strong(expected, 1,
@@ -80,6 +86,95 @@ void JoinHashTable::Insert(const uint64_t* key, const std::byte* payload) {
     idx = (idx + 1) & mask;
   }
   UOT_CHECK(false);  // table over-full: Reserve() was called with too few rows
+}
+
+uint64_t JoinHashTable::InsertBatch(const uint64_t* keys,
+                                    const std::byte* payloads, uint32_t n,
+                                    int prefetch_distance,
+                                    std::vector<uint64_t>* hash_scratch) {
+  UOT_DCHECK(slots_ != nullptr);
+  if (n == 0) return 0;
+  if (hash_scratch->size() < n) hash_scratch->resize(n);
+  uint64_t* hashes = hash_scratch->data();
+  const int words = num_key_cols_;
+  for (uint32_t i = 0; i < n; ++i) {
+    hashes[i] = HashJoinKey(keys + static_cast<size_t>(i) * words, words);
+  }
+  const uint64_t mask = num_slots_ - 1;
+  const uint32_t dist =
+      (prefetch_distance > 0 && n >= JoinKernelConfig::kMinRowsForPrefetch)
+          ? static_cast<uint32_t>(prefetch_distance)
+          : 0;
+  uint64_t prefetches = 0;
+  if (dist > 0) {
+    const uint32_t warm = dist < n ? dist : n;
+    for (uint32_t i = 0; i < warm; ++i) {
+      const uint64_t idx = hashes[i] & mask;
+      UOT_PREFETCH_WRITE(&tags_[idx]);
+      UOT_PREFETCH_WRITE(SlotPtr(idx));
+    }
+    prefetches += warm;
+  }
+  const size_t payload_width = payload_schema_.row_width();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (dist > 0 && i + dist < n) {
+      const uint64_t idx = hashes[i + dist] & mask;
+      UOT_PREFETCH_WRITE(&tags_[idx]);
+      UOT_PREFETCH_WRITE(SlotPtr(idx));
+      ++prefetches;
+    }
+    InsertWithHash(keys + static_cast<size_t>(i) * words, hashes[i],
+                   payloads + i * payload_width);
+  }
+  return prefetches;
+}
+
+uint64_t JoinHashTable::ProbeBatch(const uint64_t* keys, uint32_t n,
+                                   int prefetch_distance,
+                                   std::vector<uint64_t>* hash_scratch,
+                                   std::vector<JoinMatch>* matches) const {
+  matches->clear();
+  if (n == 0) return 0;
+  UOT_DCHECK(slots_ != nullptr);
+  if (hash_scratch->size() < n) hash_scratch->resize(n);
+  uint64_t* hashes = hash_scratch->data();
+  const int words = num_key_cols_;
+  for (uint32_t i = 0; i < n; ++i) {
+    hashes[i] = HashJoinKey(keys + static_cast<size_t>(i) * words, words);
+  }
+  const uint64_t mask = num_slots_ - 1;
+  const uint32_t dist =
+      (prefetch_distance > 0 && n >= JoinKernelConfig::kMinRowsForPrefetch)
+          ? static_cast<uint32_t>(prefetch_distance)
+          : 0;
+  uint64_t prefetches = 0;
+  if (dist > 0) {
+    const uint32_t warm = dist < n ? dist : n;
+    for (uint32_t i = 0; i < warm; ++i) PrefetchSlot(hashes[i] & mask);
+    prefetches += warm;
+  }
+  const size_t payload_offset = static_cast<size_t>(words) * 8;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (dist > 0 && i + dist < n) {
+      PrefetchSlot(hashes[i + dist] & mask);
+      ++prefetches;
+    }
+    const uint64_t* key = keys + static_cast<size_t>(i) * words;
+    uint64_t idx = hashes[i] & mask;
+    while (true) {
+      const uint8_t tag = tags_[idx].load(std::memory_order_acquire);
+      if (tag == 0) break;  // empty slot terminates the probe chain
+      if (tag == 2) {
+        const std::byte* slot = SlotPtr(idx);
+        const uint64_t* slot_key = reinterpret_cast<const uint64_t*>(slot);
+        bool match = slot_key[0] == key[0];
+        if (words == 2) match = match && slot_key[1] == key[1];
+        if (match) matches->push_back(JoinMatch{i, slot + payload_offset});
+      }
+      idx = (idx + 1) & mask;
+    }
+  }
+  return prefetches;
 }
 
 }  // namespace uot

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "types/schema.h"
 #include "util/macros.h"
@@ -19,6 +20,13 @@ inline uint64_t HashJoinKey(const uint64_t* key, int words) {
   h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
   return h ^ (h >> 31);
 }
+
+/// One probe hit produced by JoinHashTable::ProbeBatch: the batch-relative
+/// row of the probe key and the matching entry's payload.
+struct JoinMatch {
+  uint32_t row;              // index into the probed key batch [0, n)
+  const std::byte* payload;  // packed payload_schema tuple in the slot
+};
 
 /// A non-partitioned hash table for hash joins (paper Section III):
 /// one shared table built concurrently by all build work orders, probed
@@ -49,6 +57,18 @@ class JoinHashTable {
   /// payload. Thread-safe. CHECK-fails if Reserve was too small.
   void Insert(const uint64_t* key, const std::byte* payload);
 
+  /// Batched insert of `n` keys (packed at stride `num_key_cols` words)
+  /// with `n` packed payloads (stride `payload_schema().row_width()`).
+  /// Hashes the whole batch first, software-prefetches home slots
+  /// `prefetch_distance` keys ahead of the inserting key, then claims
+  /// slots in batch order — equivalent to calling Insert per row.
+  /// `hash_scratch` is caller-owned so repeated calls allocate nothing;
+  /// it holds the batch hashes on return (LIP filters reuse them).
+  /// Thread-safe. Returns the number of prefetches issued.
+  uint64_t InsertBatch(const uint64_t* keys, const std::byte* payloads,
+                       uint32_t n, int prefetch_distance,
+                       std::vector<uint64_t>* hash_scratch);
+
   /// Invokes `fn(payload_ptr)` for every entry whose key equals `key`.
   template <typename Fn>
   void Probe(const uint64_t* key, Fn&& fn) const {
@@ -67,6 +87,21 @@ class JoinHashTable {
       idx = (idx + 1) & mask;
     }
   }
+
+  /// Batched probe of `n` keys (packed at stride `num_key_cols` words):
+  /// computes all hashes, issues home-slot prefetches `prefetch_distance`
+  /// keys ahead of the resolving key (group prefetching — the batch's
+  /// independent memory accesses overlap instead of serializing on one
+  /// dependent miss per tuple), then appends every match to `matches`.
+  /// Matches are grouped by probe row in ascending row order with chain
+  /// order preserved inside a row — exactly the order per-row Probe calls
+  /// would observe, so scalar and batched probes are byte-parity
+  /// equivalent. Batches below JoinKernelConfig::kMinRowsForPrefetch (or
+  /// `prefetch_distance` <= 0) resolve without prefetching.
+  /// Returns the number of prefetches issued.
+  uint64_t ProbeBatch(const uint64_t* keys, uint32_t n, int prefetch_distance,
+                      std::vector<uint64_t>* hash_scratch,
+                      std::vector<JoinMatch>* matches) const;
 
   const Schema& payload_schema() const { return payload_schema_; }
   int num_key_cols() const { return num_key_cols_; }
@@ -88,6 +123,18 @@ class JoinHashTable {
   const std::byte* SlotPtr(uint64_t idx) const {
     return slots_.get() + idx * slot_stride_;
   }
+
+  /// Warms the tag byte and the slot's first line for an upcoming probe or
+  /// insert of the slot at `idx`.
+  void PrefetchSlot(uint64_t idx) const {
+    UOT_PREFETCH_READ(&tags_[idx]);
+    UOT_PREFETCH_READ(SlotPtr(idx));
+  }
+
+  /// One claim-and-publish insert starting the linear probe at the slot
+  /// for `hash`; shared by Insert and InsertBatch.
+  void InsertWithHash(const uint64_t* key, uint64_t hash,
+                      const std::byte* payload);
 
   const Schema payload_schema_;
   const int num_key_cols_;

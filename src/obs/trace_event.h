@@ -39,7 +39,22 @@ enum class TraceEventType : uint8_t {
   /// Counter track: tracked memory per category. arg0 = MemoryCategory
   /// index, value = current bytes.
   kMemoryBytes,
+  /// One stage of a batched join kernel over one batch (worker).
+  /// arg0 = operator index, arg1 = JoinBatchStage, value = rows in batch.
+  kJoinBatchStage,
 };
+
+/// Stages of the batched join kernels, recorded in kJoinBatchStage::arg1.
+enum class JoinBatchStage : uint8_t {
+  kExtract = 0,   // columnar key/residual extraction
+  kProbe = 1,     // hash + prefetch + chain resolution
+  kResidual = 2,  // residual-condition filtering of candidate matches
+  kEmit = 3,      // output row assembly and append
+  kInsert = 4,    // hash + prefetch + slot claim (build side)
+};
+
+/// Stage name for kJoinBatchStage args ("extract", "probe", ...).
+const char* JoinBatchStageName(int32_t stage);
 
 /// Chrome trace_event phases the exporter knows how to render.
 enum class TracePhase : uint8_t {

@@ -41,6 +41,18 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kOperatorFinish: return "operator_finish";
     case TraceEventType::kQueueDepth: return "queue_depth";
     case TraceEventType::kMemoryBytes: return "memory_bytes";
+    case TraceEventType::kJoinBatchStage: return "join_batch_stage";
+  }
+  return "unknown";
+}
+
+const char* JoinBatchStageName(int32_t stage) {
+  switch (static_cast<JoinBatchStage>(stage)) {
+    case JoinBatchStage::kExtract: return "extract";
+    case JoinBatchStage::kProbe: return "probe";
+    case JoinBatchStage::kResidual: return "residual";
+    case JoinBatchStage::kEmit: return "emit";
+    case JoinBatchStage::kInsert: return "insert";
   }
   return "unknown";
 }
@@ -54,7 +66,8 @@ const char* TraceEventTypeCategory(TraceEventType type) {
     case TraceEventType::kBudgetDefer:
     case TraceEventType::kBudgetRelease:
     case TraceEventType::kMemoryBytes: return "memory";
-    case TraceEventType::kHashTableReserve: return "join";
+    case TraceEventType::kHashTableReserve:
+    case TraceEventType::kJoinBatchStage: return "join";
     case TraceEventType::kOperatorFinish: return "scheduler";
     case TraceEventType::kQueueDepth: return "scheduler";
   }
@@ -280,6 +293,11 @@ void TraceSession::ExportChromeJson(std::ostream& os) const {
     } else if (e.type == TraceEventType::kQueueDepth) {
       AppendJsonString(&line, e.arg0 == 0 ? std::string("queue.work_orders")
                                           : std::string("queue.events"));
+    } else if (e.type == TraceEventType::kJoinBatchStage) {
+      // Per-stage span names ("join.probe") so the trace viewer colors the
+      // extract/probe/residual/emit/insert stages distinctly.
+      AppendJsonString(&line,
+                       std::string("join.") + JoinBatchStageName(e.arg1));
     } else {
       AppendJsonString(&line, TraceEventTypeName(e.type));
     }
@@ -350,6 +368,17 @@ void TraceSession::ExportChromeJson(std::ostream& os) const {
         break;
       case TraceEventType::kMemoryBytes:
         AppendKeyValue(&line, "bytes", e.value, &first_arg);
+        break;
+      case TraceEventType::kJoinBatchStage:
+        AppendKeyValue(&line, "op", e.arg0, &first_arg);
+        if (e.arg0 >= 0 &&
+            static_cast<size_t>(e.arg0) < op_names.size()) {
+          line += ",\"op_name\":";
+          AppendJsonString(&line, op_names[static_cast<size_t>(e.arg0)]);
+        }
+        line += ",\"stage\":";
+        AppendJsonString(&line, JoinBatchStageName(e.arg1));
+        AppendKeyValue(&line, "rows", e.value, &first_arg);
         break;
     }
     line += "}}";

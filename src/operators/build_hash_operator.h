@@ -26,6 +26,10 @@ class BuildHashOperator final : public Operator {
   /// Binds the input to a materialized base table (instead of a stream).
   void AttachBaseTable(const Table* table) { input_.AttachTable(table); }
 
+  void BindExecContext(const OperatorExecContext& ctx) override {
+    exec_ctx_ = ctx;
+  }
+
   void ReceiveInputBlocks(int input_index,
                           const std::vector<Block*>& blocks) override;
   void InputDone(int input_index) override;
@@ -64,28 +68,37 @@ class BuildHashOperator final : public Operator {
   int lip_bits_per_entry_ = 0;  // 0 = LIP disabled
   std::unique_ptr<LipFilter> lip_filter_;
   bool generated_ = false;
+  OperatorExecContext exec_ctx_;  // defaults until the scheduler binds one
 };
 
-/// Inserts one block's rows into the shared hash table.
+/// Inserts one block's rows into the shared hash table, either row at a
+/// time (scalar kernel) or via the batched extract -> hash+prefetch ->
+/// insert pipeline; both build identical tables.
 class BuildHashWorkOrder final : public WorkOrder {
  public:
   BuildHashWorkOrder(const Block* block, const std::vector<int>* key_cols,
                      const std::vector<int>* payload_cols,
-                     JoinHashTable* hash_table, LipFilter* lip_filter)
+                     JoinHashTable* hash_table, LipFilter* lip_filter,
+                     const OperatorExecContext* ctx)
       : block_(block),
         key_cols_(key_cols),
         payload_cols_(payload_cols),
         hash_table_(hash_table),
-        lip_filter_(lip_filter) {}
+        lip_filter_(lip_filter),
+        ctx_(ctx) {}
 
   void Execute() override;
 
  private:
+  void ExecuteScalar();
+  void ExecuteBatched();
+
   const Block* const block_;
   const std::vector<int>* const key_cols_;
   const std::vector<int>* const payload_cols_;
   JoinHashTable* const hash_table_;
   LipFilter* const lip_filter_;  // may be null
+  const OperatorExecContext* const ctx_;
 };
 
 }  // namespace uot

@@ -1,0 +1,62 @@
+#ifndef UOT_OPERATORS_EXEC_CONTEXT_H_
+#define UOT_OPERATORS_EXEC_CONTEXT_H_
+
+#include <cstdint>
+
+namespace uot {
+
+namespace obs {
+class Counter;
+class TraceSession;
+}  // namespace obs
+
+/// Which hash-join kernel the build/probe work orders run.
+enum class JoinKernel : uint8_t {
+  /// Tuple-at-a-time: extract one key, hash, walk the table, emit. Each
+  /// probe takes a dependent cache miss on the home slot (the paper's
+  /// Table VI baseline). Kept for A/B comparison and byte-parity testing.
+  kScalar = 0,
+  /// Batch-at-a-time: extract a batch of keys columnar, hash them all,
+  /// software-prefetch the home slots ahead of resolution (group
+  /// prefetching, cf. the paper's Table VI experiment), then resolve
+  /// matches through selection vectors. The default.
+  kBatched = 1,
+};
+
+/// Knobs of the batched join kernels, wired through ExecConfig::join.
+struct JoinKernelConfig {
+  JoinKernel kernel = JoinKernel::kBatched;
+  /// Rows per probe/build batch (clamped to [1, 65536]).
+  int batch_size = 256;
+  /// How many keys ahead of the resolving key home-slot prefetches are
+  /// issued. <= 0 disables prefetching (batching alone still applies).
+  int prefetch_distance = 16;
+
+  /// Batches smaller than this resolve without prefetching: the prefetch
+  /// lead-in cannot hide latency when the whole batch fits in flight.
+  static constexpr uint32_t kMinRowsForPrefetch = 16;
+
+  uint32_t clamped_batch_size() const {
+    if (batch_size < 1) return 1;
+    if (batch_size > 65536) return 65536;
+    return static_cast<uint32_t>(batch_size);
+  }
+};
+
+/// Per-execution context handed to operators by the scheduler (or by a
+/// standalone driver) before work-order generation: kernel knobs plus
+/// pre-resolved observability handles so work orders update metrics
+/// lock-free and emit per-batch trace spans. All pointers may be null
+/// (the default context traces/counts nothing but runs the same kernels).
+struct OperatorExecContext {
+  JoinKernelConfig join;
+  obs::TraceSession* trace = nullptr;
+  obs::Counter* join_probe_batches = nullptr;
+  obs::Counter* join_probe_prefetch_issued = nullptr;
+  obs::Counter* join_build_batches = nullptr;
+  obs::Counter* join_build_prefetch_issued = nullptr;
+};
+
+}  // namespace uot
+
+#endif  // UOT_OPERATORS_EXEC_CONTEXT_H_

@@ -76,6 +76,87 @@ inline void ExtractKey(const Block& block, const std::vector<int>& key_cols,
   }
 }
 
+/// Columnar batch form of ExtractKey: widens the composite keys of rows
+/// `[row_begin, row_begin + n)` into `out[i * words + k]` (row-major, one
+/// group of `key_cols.size()` words per row). The type dispatch and column
+/// base/stride are hoisted out of the row loop, so the inner loops are
+/// tight strided copies — the extract stage of the batched join kernels.
+inline void ExtractKeys(const Block& block, const std::vector<int>& key_cols,
+                        uint32_t row_begin, uint32_t n, uint64_t* out) {
+  const size_t words = key_cols.size();
+  for (size_t k = 0; k < words; ++k) {
+    const int col = key_cols[k];
+    const Type& type = block.schema().column(col).type;
+    const ColumnAccess access = block.Column(col);
+    uint64_t* dst = out + k;
+    switch (type.id()) {
+      case TypeId::kInt32:
+      case TypeId::kDate:
+        for (uint32_t i = 0; i < n; ++i) {
+          int32_t v;
+          std::memcpy(&v, access.at(row_begin + i), 4);
+          dst[static_cast<size_t>(i) * words] =
+              static_cast<uint64_t>(static_cast<int64_t>(v));
+        }
+        break;
+      case TypeId::kInt64:
+        for (uint32_t i = 0; i < n; ++i) {
+          int64_t v;
+          std::memcpy(&v, access.at(row_begin + i), 8);
+          dst[static_cast<size_t>(i) * words] = static_cast<uint64_t>(v);
+        }
+        break;
+      case TypeId::kChar: {
+        UOT_DCHECK(type.width() <= 8);
+        const uint16_t w = type.width();
+        for (uint32_t i = 0; i < n; ++i) {
+          uint64_t v = 0;
+          std::memcpy(&v, access.at(row_begin + i), w);
+          dst[static_cast<size_t>(i) * words] = v;
+        }
+        break;
+      }
+      case TypeId::kDouble:
+        UOT_CHECK(false);  // doubles are not key material
+    }
+  }
+}
+
+/// Columnar batch form of ExtractColumns: packs rows
+/// `[row_begin, row_begin + n)` of the given columns into `n` consecutive
+/// packed rows of `out_schema` starting at `out`. Per-column widths and
+/// offsets are hoisted out of the row loop.
+inline void ExtractRows(const Block& block, const std::vector<int>& cols,
+                        const Schema& out_schema, uint32_t row_begin,
+                        uint32_t n, std::byte* out) {
+  const size_t stride = out_schema.row_width();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    const uint16_t w = out_schema.column(static_cast<int>(c)).type.width();
+    const size_t off = out_schema.offset(static_cast<int>(c));
+    const ColumnAccess access = block.Column(cols[c]);
+    std::byte* dst = out + off;
+    switch (w) {
+      case 4:
+        for (uint32_t i = 0; i < n; ++i) {
+          std::memcpy(dst + static_cast<size_t>(i) * stride,
+                      access.at(row_begin + i), 4);
+        }
+        break;
+      case 8:
+        for (uint32_t i = 0; i < n; ++i) {
+          std::memcpy(dst + static_cast<size_t>(i) * stride,
+                      access.at(row_begin + i), 8);
+        }
+        break;
+      default:
+        for (uint32_t i = 0; i < n; ++i) {
+          std::memcpy(dst + static_cast<size_t>(i) * stride,
+                      access.at(row_begin + i), w);
+        }
+    }
+  }
+}
+
 /// Copies the given columns of row `row` into a packed row of the
 /// sub-schema formed by those columns, written at `out`.
 inline void ExtractColumns(const Block& block, const std::vector<int>& cols,

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "operators/exec_context.h"
 #include "storage/block.h"
 #include "storage/table.h"
 
@@ -21,6 +22,10 @@ class WorkOrder {
 
   /// Set by the scheduler at dispatch time.
   int operator_index = -1;
+
+  /// Worker executing this order, set just before Execute(); 0 for
+  /// standalone drivers. Used as the trace track (tid = 1 + worker_id).
+  int worker_id = 0;
 
   /// The transient intermediate blocks this work order consumes, if any.
   /// The scheduler may drop them once the work order completes (temporary
@@ -51,6 +56,13 @@ class Operator {
   UOT_DISALLOW_COPY_AND_ASSIGN(Operator);
 
   const std::string& name() const { return name_; }
+
+  /// Installs the execution context (kernel knobs + observability handles)
+  /// before work-order generation starts. Operators that never get bound
+  /// run with the default-constructed context. Called from the scheduler
+  /// thread (or a standalone driver); the referenced sinks must outlive
+  /// every work order of this operator.
+  virtual void BindExecContext(const OperatorExecContext& ctx) { (void)ctx; }
 
   /// Streaming input delivery. `input_index` identifies the edge for
   /// operators with several streaming inputs.

@@ -1,8 +1,12 @@
 #include "operators/probe_hash_operator.h"
 
+#include <algorithm>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace_session.h"
 #include "operators/key_util.h"
+#include "util/timer.h"
 
 namespace uot {
 namespace {
@@ -51,6 +55,47 @@ double LoadNumeric(const Type& type, const std::byte* src) {
   return 0.0;
 }
 
+/// Columnar LoadNumeric over rows `[row_begin, row_begin + n)`: the type
+/// dispatch is hoisted out of the row loop (batched extract stage).
+void LoadNumericColumn(const Type& type, const ColumnAccess& access,
+                       uint32_t row_begin, uint32_t n, double* out) {
+  switch (type.id()) {
+    case TypeId::kInt32:
+    case TypeId::kDate:
+      for (uint32_t i = 0; i < n; ++i) {
+        int32_t v;
+        std::memcpy(&v, access.at(row_begin + i), 4);
+        out[i] = static_cast<double>(v);
+      }
+      return;
+    case TypeId::kInt64:
+      for (uint32_t i = 0; i < n; ++i) {
+        int64_t v;
+        std::memcpy(&v, access.at(row_begin + i), 8);
+        out[i] = static_cast<double>(v);
+      }
+      return;
+    case TypeId::kDouble:
+      for (uint32_t i = 0; i < n; ++i) {
+        std::memcpy(&out[i], access.at(row_begin + i), 8);
+      }
+      return;
+    case TypeId::kChar:
+      UOT_CHECK(false);  // residuals compare numeric columns
+  }
+}
+
+/// Emits one kJoinBatchStage span when tracing is on. `start_ns` is read
+/// only when `trace` is non-null, so untraced runs never call NowNanos.
+inline void TraceStage(obs::TraceSession* trace, uint32_t tid, int op,
+                       obs::JoinBatchStage stage, int64_t start_ns,
+                       uint32_t rows) {
+  if (trace == nullptr) return;
+  trace->EmitComplete(obs::TraceEventType::kJoinBatchStage, tid, start_ns,
+                      NowNanos(), op, static_cast<int32_t>(stage),
+                      static_cast<int64_t>(rows));
+}
+
 }  // namespace
 
 ProbeHashOperator::ProbeHashOperator(
@@ -89,7 +134,7 @@ bool ProbeHashOperator::GenerateWorkOrders(
   for (Block* block : input_.TakePending()) {
     auto wo = std::make_unique<ProbeHashWorkOrder>(
         block, table, &probe_key_cols_, &probe_output_cols_, kind_,
-        &residuals_, destination_);
+        &residuals_, destination_, &exec_ctx_);
     if (!input_.from_base_table()) wo->consumed_blocks.push_back(block);
     out->push_back(std::move(wo));
   }
@@ -112,6 +157,14 @@ Schema ProbeHashOperator::OutputSchema(const Schema& probe_schema,
 }
 
 void ProbeHashWorkOrder::Execute() {
+  if (ctx_ != nullptr && ctx_->join.kernel == JoinKernel::kBatched) {
+    ExecuteBatched();
+  } else {
+    ExecuteScalar();
+  }
+}
+
+void ProbeHashWorkOrder::ExecuteScalar() {
   const Schema& out_schema = destination_->schema();
   const Schema& payload_schema = hash_table_->payload_schema();
   const Schema probe_part = SubSchema(block_->schema(), *probe_output_cols_);
@@ -166,6 +219,123 @@ void ProbeHashWorkOrder::Execute() {
       ExtractColumns(*block_, *probe_output_cols_, probe_part, r, row.data());
       writer.AppendRow(row.data());
     }
+  }
+}
+
+void ProbeHashWorkOrder::ExecuteBatched() {
+  const Schema& payload_schema = hash_table_->payload_schema();
+  const Schema probe_part = SubSchema(block_->schema(), *probe_output_cols_);
+  const uint32_t probe_width = probe_part.row_width();
+  const size_t payload_width = payload_schema.row_width();
+  UOT_DCHECK(kind_ != JoinKind::kInner ||
+             probe_width + payload_width ==
+                 destination_->schema().row_width());
+
+  const uint32_t batch = ctx_->join.clamped_batch_size();
+  const int dist = ctx_->join.prefetch_distance;
+  const size_t words = probe_key_cols_->size();
+  const size_t num_res = residuals_->size();
+  obs::TraceSession* trace = ctx_->trace;
+  const uint32_t tid = 1 + static_cast<uint32_t>(worker_id);
+  const int32_t op = operator_index;
+
+  // Per-work-order scratch, sized once and reused by every batch — the
+  // steady-state loop performs no heap allocation (`matches` and `hashes`
+  // grow to their high-water marks and stay there).
+  std::vector<uint64_t> keys(static_cast<size_t>(batch) * words);
+  std::vector<uint64_t> hashes;
+  std::vector<JoinMatch> matches;
+  std::vector<double> residual_vals(num_res * batch);  // [rc * batch + row]
+  std::vector<uint8_t> row_has_match(kind_ == JoinKind::kInner ? 0 : batch);
+  std::vector<std::byte> row(destination_->schema().row_width());
+  InsertDestination::Writer writer(destination_);
+
+  uint64_t num_batches = 0;
+  uint64_t prefetches = 0;
+  const uint32_t num_rows = block_->num_rows();
+  for (uint32_t base = 0; base < num_rows; base += batch) {
+    const uint32_t m = std::min(batch, num_rows - base);
+    ++num_batches;
+
+    // Stage: columnar extraction of keys and probe-side residual values.
+    int64_t t0 = trace != nullptr ? NowNanos() : 0;
+    ExtractKeys(*block_, *probe_key_cols_, base, m, keys.data());
+    for (size_t rc = 0; rc < num_res; ++rc) {
+      const ResidualCondition& cond = (*residuals_)[rc];
+      LoadNumericColumn(block_->schema().column(cond.probe_col).type,
+                        block_->Column(cond.probe_col), base, m,
+                        residual_vals.data() + rc * batch);
+    }
+    TraceStage(trace, tid, op, obs::JoinBatchStage::kExtract, t0, m);
+
+    // Stage: hash the whole batch, prefetch home slots ahead of the
+    // resolving key, collect candidate matches.
+    t0 = trace != nullptr ? NowNanos() : 0;
+    prefetches +=
+        hash_table_->ProbeBatch(keys.data(), m, dist, &hashes, &matches);
+    TraceStage(trace, tid, op, obs::JoinBatchStage::kProbe, t0, m);
+
+    // Stage: residual filter — compact `matches` in place, preserving
+    // order so emission matches the scalar path byte for byte.
+    if (num_res > 0 && !matches.empty()) {
+      t0 = trace != nullptr ? NowNanos() : 0;
+      size_t kept = 0;
+      for (const JoinMatch& match : matches) {
+        bool ok = true;
+        for (size_t rc = 0; rc < num_res; ++rc) {
+          const ResidualCondition& cond = (*residuals_)[rc];
+          const double build_val =
+              cond.scale *
+              LoadNumeric(
+                  payload_schema.column(cond.payload_col).type,
+                  match.payload + payload_schema.offset(cond.payload_col));
+          if (!CompareValues(cond.op, residual_vals[rc * batch + match.row],
+                             build_val)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) matches[kept++] = match;
+      }
+      matches.resize(kept);
+      TraceStage(trace, tid, op, obs::JoinBatchStage::kResidual, t0, m);
+    }
+
+    // Stage: emit. Matches arrive grouped by probe row ascending, so the
+    // probe part is packed once per distinct matching row.
+    t0 = trace != nullptr ? NowNanos() : 0;
+    if (kind_ == JoinKind::kInner) {
+      uint32_t ready_row = UINT32_MAX;  // no probe part packed yet
+      for (const JoinMatch& match : matches) {
+        if (match.row != ready_row) {
+          ExtractColumns(*block_, *probe_output_cols_, probe_part,
+                         base + match.row, row.data());
+          ready_row = match.row;
+        }
+        if (payload_width > 0) {
+          std::memcpy(row.data() + probe_width, match.payload, payload_width);
+        }
+        writer.AppendRow(row.data());
+      }
+    } else {
+      std::fill(row_has_match.begin(), row_has_match.begin() + m, uint8_t{0});
+      for (const JoinMatch& match : matches) row_has_match[match.row] = 1;
+      const uint8_t want = kind_ == JoinKind::kLeftSemi ? 1 : 0;
+      for (uint32_t i = 0; i < m; ++i) {
+        if (row_has_match[i] != want) continue;
+        ExtractColumns(*block_, *probe_output_cols_, probe_part, base + i,
+                       row.data());
+        writer.AppendRow(row.data());
+      }
+    }
+    TraceStage(trace, tid, op, obs::JoinBatchStage::kEmit, t0, m);
+  }
+
+  if (ctx_->join_probe_batches != nullptr) {
+    ctx_->join_probe_batches->Add(num_batches);
+  }
+  if (ctx_->join_probe_prefetch_issued != nullptr && prefetches > 0) {
+    ctx_->join_probe_prefetch_issued->Add(prefetches);
   }
 }
 

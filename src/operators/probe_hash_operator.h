@@ -50,6 +50,10 @@ class ProbeHashOperator final : public Operator {
   /// Probe input is a materialized table rather than a stream.
   void AttachBaseTable(const Table* table) { input_.AttachTable(table); }
 
+  void BindExecContext(const OperatorExecContext& ctx) override {
+    exec_ctx_ = ctx;
+  }
+
   void ReceiveInputBlocks(int input_index,
                           const std::vector<Block*>& blocks) override;
   void InputDone(int input_index) override;
@@ -72,29 +76,38 @@ class ProbeHashOperator final : public Operator {
   const JoinKind kind_;
   const std::vector<ResidualCondition> residuals_;
   InsertDestination* const destination_;
+  OperatorExecContext exec_ctx_;  // defaults until the scheduler binds one
 
   StreamingInput input_;
 };
 
-/// Probes one block against the shared hash table.
+/// Probes one block against the shared hash table. Runs either the scalar
+/// tuple-at-a-time loop or the batched extract -> hash+prefetch -> match ->
+/// residual-filter -> emit pipeline, per the bound execution context; both
+/// produce byte-identical output.
 class ProbeHashWorkOrder final : public WorkOrder {
  public:
   ProbeHashWorkOrder(const Block* block, const JoinHashTable* hash_table,
                      const std::vector<int>* probe_key_cols,
                      const std::vector<int>* probe_output_cols, JoinKind kind,
                      const std::vector<ResidualCondition>* residuals,
-                     InsertDestination* destination)
+                     InsertDestination* destination,
+                     const OperatorExecContext* ctx)
       : block_(block),
         hash_table_(hash_table),
         probe_key_cols_(probe_key_cols),
         probe_output_cols_(probe_output_cols),
         kind_(kind),
         residuals_(residuals),
-        destination_(destination) {}
+        destination_(destination),
+        ctx_(ctx) {}
 
   void Execute() override;
 
  private:
+  void ExecuteScalar();
+  void ExecuteBatched();
+
   const Block* const block_;
   const JoinHashTable* const hash_table_;
   const std::vector<int>* const probe_key_cols_;
@@ -102,6 +115,7 @@ class ProbeHashWorkOrder final : public WorkOrder {
   const JoinKind kind_;
   const std::vector<ResidualCondition>* const residuals_;
   InsertDestination* const destination_;
+  const OperatorExecContext* const ctx_;
 };
 
 }  // namespace uot

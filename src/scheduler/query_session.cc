@@ -44,6 +44,9 @@ void QuerySession::InitObservability() {
   op_work_orders_.clear();
   edge_transfers_metric_.clear();
   edge_blocks_metric_.clear();
+  op_ctx_ = OperatorExecContext{};
+  op_ctx_.join = config_.join;
+  op_ctx_.trace = trace_;
   if (metrics_ == nullptr) {
     work_order_count_ = nullptr;
     work_order_latency_ns_ = nullptr;
@@ -52,6 +55,14 @@ void QuerySession::InitObservability() {
     budget_deferrals_ = nullptr;
     return;
   }
+  op_ctx_.join_probe_batches =
+      metrics_->GetCounter(MetricName("join.probe.batches"));
+  op_ctx_.join_probe_prefetch_issued =
+      metrics_->GetCounter(MetricName("join.probe.prefetch_issued"));
+  op_ctx_.join_build_batches =
+      metrics_->GetCounter(MetricName("join.build.batches"));
+  op_ctx_.join_build_prefetch_issued =
+      metrics_->GetCounter(MetricName("join.build.prefetch_issued"));
   work_order_count_ = metrics_->GetCounter(MetricName("scheduler.work_orders"));
   work_order_latency_ns_ =
       metrics_->GetHistogram(MetricName("scheduler.work_order_latency_ns"));
@@ -145,6 +156,7 @@ ExecutionStats QuerySession::Run() {
   }
 
   InitObservability();
+  for (int i = 0; i < n; ++i) plan_->op(i)->BindExecContext(op_ctx_);
 
   plan_->storage()->tracker().ResetPeaks();
   stats_.query_start_ns = NowNanos();
@@ -195,6 +207,7 @@ void QuerySession::ExecuteWorkOrder(std::unique_ptr<WorkOrder> work_order,
   WorkOrderRecord record;
   record.op = work_order->operator_index;
   record.worker = worker_id;
+  work_order->worker_id = worker_id;
   record.start_ns = NowNanos();
   work_order->Execute();
   record.end_ns = NowNanos();

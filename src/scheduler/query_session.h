@@ -164,6 +164,10 @@ class QuerySession {
   obs::Gauge* work_queue_depth_ = nullptr;
   obs::Gauge* event_queue_depth_ = nullptr;
   obs::Counter* budget_deferrals_ = nullptr;
+  // Execution context bound to every operator before generation: kernel
+  // knobs from the config plus the sinks above, pre-resolved so batched
+  // join work orders update counters lock-free.
+  OperatorExecContext op_ctx_;
   std::vector<obs::Counter*> op_task_ns_;
   std::vector<obs::Counter*> op_work_orders_;
   std::vector<obs::Counter*> edge_transfers_metric_;

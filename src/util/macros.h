@@ -29,4 +29,15 @@
   TypeName(const TypeName&) = delete;          \
   TypeName& operator=(const TypeName&) = delete
 
+/// Software prefetch hints (no-ops on compilers without the builtin).
+/// The locality argument 1 keeps the line in L2/LLC but not necessarily
+/// L1 — batched kernels touch each prefetched slot exactly once.
+#if defined(__GNUC__) || defined(__clang__)
+#define UOT_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 1)
+#define UOT_PREFETCH_WRITE(addr) __builtin_prefetch((addr), 1, 1)
+#else
+#define UOT_PREFETCH_READ(addr) ((void)(addr))
+#define UOT_PREFETCH_WRITE(addr) ((void)(addr))
+#endif
+
 #endif  // UOT_UTIL_MACROS_H_

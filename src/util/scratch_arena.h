@@ -1,0 +1,160 @@
+#ifndef UOT_UTIL_SCRATCH_ARENA_H_
+#define UOT_UTIL_SCRATCH_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace uot {
+
+/// A thread-local bump allocator for transient per-batch scratch (the
+/// operand buffers of vectorized expression evaluation). Expression Eval
+/// runs once per block batch on hot paths — select, residual filters,
+/// aggregates — and previously allocated `std::vector` scratch per call.
+/// With the arena, the first batches grow a per-thread chunk list to its
+/// high-water mark and every later batch reuses it allocation-free.
+///
+/// Usage is region-style: open a Scope, allocate freely, and let the Scope
+/// rewind the arena on destruction. Scopes nest (expressions recurse —
+/// a CaseWhen inside a Predicate inside another CaseWhen), and chunks never
+/// move, so allocations made in an outer scope stay valid while inner
+/// scopes come and go.
+///
+/// Not thread-safe by design: each thread gets its own arena via
+/// ForThread(), and scratch never crosses threads.
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  UOT_DISALLOW_COPY_AND_ASSIGN(ScratchArena);
+
+  /// The calling thread's arena.
+  static ScratchArena& ForThread() {
+    thread_local ScratchArena arena;
+    return arena;
+  }
+
+  /// A RAII region: restores the arena's allocation point on destruction,
+  /// releasing everything allocated inside the scope at once.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena* arena)
+        : arena_(arena),
+          saved_chunk_(arena->current_chunk_),
+          saved_offset_(arena->offset_) {}
+    ~Scope() {
+      arena_->current_chunk_ = saved_chunk_;
+      arena_->offset_ = saved_offset_;
+    }
+    UOT_DISALLOW_COPY_AND_ASSIGN(Scope);
+
+   private:
+    ScratchArena* const arena_;
+    const size_t saved_chunk_;
+    const size_t saved_offset_;
+  };
+
+  /// Returns `bytes` of 16-aligned scratch valid until the enclosing Scope
+  /// closes. Never relocates earlier allocations (new space comes from a
+  /// fresh chunk, the old chunk stays in place).
+  std::byte* Alloc(size_t bytes) {
+    const size_t need = (bytes + 15) & ~size_t{15};
+    while (current_chunk_ < chunks_.size()) {
+      Chunk& chunk = chunks_[current_chunk_];
+      if (offset_ + need <= chunk.size) {
+        std::byte* p = chunk.data.get() + offset_;
+        offset_ += need;
+        return p;
+      }
+      // Advance to the next retained chunk; the tail of this one is
+      // wasted until the scope rewinds (bounded by one allocation).
+      ++current_chunk_;
+      offset_ = 0;
+    }
+    const size_t chunk_size = need > kDefaultChunkBytes ? need
+                                                        : kDefaultChunkBytes;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(chunk_size),
+                            chunk_size});
+    current_chunk_ = chunks_.size() - 1;
+    offset_ = need;
+    return chunks_.back().data.get();
+  }
+
+  /// Typed array allocation. T must be trivially destructible (scratch is
+  /// released by rewinding, destructors never run).
+  template <typename T>
+  T* AllocArray(size_t n) {
+    static_assert(std::is_trivially_destructible<T>::value,
+                  "arena scratch is rewound, not destroyed");
+    return reinterpret_cast<T*>(Alloc(n * sizeof(T)));
+  }
+
+  /// Bytes of chunk storage this arena retains (high-water mark).
+  size_t retained_bytes() const {
+    size_t total = 0;
+    for (const Chunk& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size;
+  };
+
+  static constexpr size_t kDefaultChunkBytes = 256 * 1024;
+
+  std::vector<Chunk> chunks_;
+  size_t current_chunk_ = 0;
+  size_t offset_ = 0;
+};
+
+/// A RAII lease of a thread-local `std::vector<uint32_t>` for APIs that
+/// require a real vector (Predicate::Filter compacts a selection vector in
+/// place). Vectors come from a per-thread pool, so nested users (a
+/// CaseWhen evaluated inside a Predicate evaluated inside another
+/// CaseWhen) each get their own vector, and steady state allocates nothing
+/// once the pool vectors reach their high-water capacity.
+class ScratchSelVector {
+ public:
+  ScratchSelVector() : vec_(Acquire()) { vec_->clear(); }
+  ~ScratchSelVector() { Release(vec_); }
+  UOT_DISALLOW_COPY_AND_ASSIGN(ScratchSelVector);
+
+  std::vector<uint32_t>& operator*() { return *vec_; }
+  std::vector<uint32_t>* operator->() { return vec_; }
+  std::vector<uint32_t>* get() { return vec_; }
+
+ private:
+  struct Pool {
+    std::vector<std::unique_ptr<std::vector<uint32_t>>> free;
+  };
+
+  static Pool& ThreadPool() {
+    thread_local Pool pool;
+    return pool;
+  }
+
+  static std::vector<uint32_t>* Acquire() {
+    Pool& pool = ThreadPool();
+    if (pool.free.empty()) {
+      return new std::vector<uint32_t>();
+    }
+    std::vector<uint32_t>* v = pool.free.back().release();
+    pool.free.pop_back();
+    return v;
+  }
+
+  static void Release(std::vector<uint32_t>* v) {
+    ThreadPool().free.emplace_back(v);
+  }
+
+  std::vector<uint32_t>* const vec_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_UTIL_SCRATCH_ARENA_H_

@@ -317,6 +317,41 @@ TEST_P(ExprTest, CaseWhenOnRowSubset) {
   EXPECT_DOUBLE_EQ(out[3], 7.0);
 }
 
+/// Nested CASE WHEN inside a predicate inside another CASE WHEN: the
+/// deepest recursion the expression scratch (thread-local arena scopes and
+/// pooled selection vectors) must survive without the levels clobbering
+/// each other's buffers.
+TEST_P(ExprTest, NestedCaseWhenRecursionKeepsScratchIntact) {
+  // inner = CASE WHEN id < 10 THEN 1 ELSE 0 END
+  auto inner = std::make_unique<CaseWhen>(
+      Cmp(CompareOp::kLt, Col(0, Type::Int32()),
+          Lit(TypedValue::Int32(10), Type::Int32())),
+      LitDouble(1.0), LitDouble(0.0));
+  // outer = CASE WHEN inner > 0.5 THEN price + 1 ELSE -price END
+  auto expr = std::make_unique<CaseWhen>(
+      Cmp(CompareOp::kGt, std::move(inner), LitDouble(0.5)),
+      Add(Col(1, Type::Double()), LitDouble(1.0)),
+      Sub(LitDouble(0.0), Col(1, Type::Double())));
+  const auto vals = EvalDoubles(*expr);
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (i < 10) {
+      EXPECT_DOUBLE_EQ(vals[i], 10.0 * i + 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(vals[i], -10.0 * static_cast<double>(i));
+    }
+  }
+}
+
+TEST_P(ExprTest, AsColumnRefIdentifiesBareColumns) {
+  auto col = Col(2, Type::Date());
+  ASSERT_NE(col->as_column_ref(), nullptr);
+  EXPECT_EQ(col->as_column_ref()->col(), 2);
+  auto lit = LitDouble(1.0);
+  EXPECT_EQ(lit->as_column_ref(), nullptr);
+  auto arith = Add(Col(0, Type::Int32()), LitDouble(1.0));
+  EXPECT_EQ(arith->as_column_ref(), nullptr);
+}
+
 TEST_P(ExprTest, ToStringRendersTree) {
   auto pred = Cmp(CompareOp::kGe, Col(1, Type::Double()), LitDouble(3.5));
   EXPECT_EQ(pred->ToString(), "($1 >= 3.5000)");

@@ -279,8 +279,15 @@ TEST(ObsIntegrationTest, TpchQueryTraceIsValidAndConsistent) {
   const Status status = ParseChromeTraceJson(json, &summary);
   ASSERT_TRUE(status.ok()) << status.ToString();
   EXPECT_TRUE(summary.timestamps_monotonic);
-  // One span per work order plus the query span.
-  EXPECT_EQ(summary.num_complete, stats.records.size() + 1);
+  // One span per work order plus the query span, plus one span per batched
+  // join-kernel stage (the default kernel emits those per batch).
+  size_t join_stage_spans = 0;
+  for (const TraceEvent& e : trace.SortedEvents()) {
+    if (e.type == TraceEventType::kJoinBatchStage) ++join_stage_spans;
+  }
+  EXPECT_GT(join_stage_spans, 0u);
+  EXPECT_EQ(summary.num_complete,
+            stats.records.size() + 1 + join_stage_spans);
   EXPECT_GT(summary.num_counter, 0u);   // queue depth + memory tracks
   EXPECT_GT(summary.num_instant, 0u);   // transfers, flushes, finishes
   EXPECT_GT(summary.num_metadata, 0u);  // thread names
@@ -310,6 +317,13 @@ TEST(ObsIntegrationTest, TpchQueryTraceIsValidAndConsistent) {
   const Gauge* ht = metrics.FindGauge("memory.hash_table.bytes");
   ASSERT_NE(ht, nullptr);
   EXPECT_GT(ht->Max(), 0);
+  // The batched join kernels counted their batches.
+  const Counter* probe_batches = metrics.FindCounter("join.probe.batches");
+  ASSERT_NE(probe_batches, nullptr);
+  EXPECT_GT(probe_batches->Value(), 0u);
+  const Counter* build_batches = metrics.FindCounter("join.build.batches");
+  ASSERT_NE(build_batches, nullptr);
+  EXPECT_GT(build_batches->Value(), 0u);
 
   // Round-trip through a file, as the benches and trace_explorer write it.
   const std::string path = ::testing::TempDir() + "/uot_q7.trace.json";

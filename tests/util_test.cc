@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstring>
 #include <set>
 #include <thread>
 
 #include "util/memory_tracker.h"
 #include "util/random.h"
+#include "util/scratch_arena.h"
 #include "util/status.h"
 #include "util/thread_safe_queue.h"
 #include "util/timer.h"
@@ -285,6 +287,69 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(timer.ElapsedNanos(), t0);
   timer.Restart();
   EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+TEST(ScratchArenaTest, ScopesRewindAndReuseStorage) {
+  ScratchArena arena;
+  std::byte* first = nullptr;
+  {
+    ScratchArena::Scope scope(&arena);
+    first = arena.Alloc(100);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(first) % 16, 0u);
+  }
+  const size_t retained = arena.retained_bytes();
+  {
+    // After the rewind the same storage is handed out again, and the
+    // steady state retains no extra memory.
+    ScratchArena::Scope scope(&arena);
+    EXPECT_EQ(arena.Alloc(100), first);
+  }
+  EXPECT_EQ(arena.retained_bytes(), retained);
+}
+
+TEST(ScratchArenaTest, NestedScopesDoNotClobberOuterAllocations) {
+  ScratchArena arena;
+  ScratchArena::Scope outer(&arena);
+  int64_t* a = arena.AllocArray<int64_t>(64);
+  for (int i = 0; i < 64; ++i) a[i] = i;
+  {
+    ScratchArena::Scope inner(&arena);
+    int64_t* b = arena.AllocArray<int64_t>(64);
+    EXPECT_NE(a, b);
+    for (int i = 0; i < 64; ++i) b[i] = -1;
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a[i], i);  // outer survived
+}
+
+TEST(ScratchArenaTest, OversizedAllocationGetsOwnChunkWithoutRelocation) {
+  ScratchArena arena;
+  ScratchArena::Scope scope(&arena);
+  std::byte* small = arena.Alloc(64);
+  std::memset(small, 0xAB, 64);
+  // Larger than the default chunk: must come from a fresh chunk while the
+  // first allocation stays valid and intact.
+  std::byte* big = arena.Alloc(1 << 20);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, 1 << 20);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(small[i], std::byte{0xAB});
+  }
+}
+
+TEST(ScratchSelVectorTest, NestedLeasesAreDistinct) {
+  ScratchSelVector a;
+  a->assign({1, 2, 3});
+  {
+    ScratchSelVector b;  // nested: must not alias `a`
+    EXPECT_TRUE(b->empty());
+    b->assign({9, 9});
+    EXPECT_EQ(a->size(), 3u);
+  }
+  EXPECT_EQ((*a)[0], 1u);
+  // Released vectors are recycled with cleared contents.
+  ScratchSelVector c;
+  EXPECT_TRUE(c->empty());
 }
 
 }  // namespace
