@@ -1,0 +1,413 @@
+// Per-edge UoT policy A/B under a constrained shared memory budget:
+// fixed pipelining (1 block) vs a static low-UoT granule (4 blocks) vs
+// fixed whole-table vs the CostModelUotChooser's static per-edge picks vs
+// the runtime AdaptiveUotPolicy.
+//
+// Two scenarios:
+//  1. Solo: each arm runs TPC-H Q3 and Q7 alone under a budget derived
+//     from a calibration run. Shows the static spectrum trade-off
+//     (transfers vs footprint) and that the adaptive policy converges to
+//     the narrow end when the budget is tight.
+//  2. Shared: three companion Q3 queries run concurrently on one Engine
+//     and a measured Q3 starts mid-flight, all under one shared budget.
+//     The measured query's scan admissions defer whenever the companions'
+//     buffered intermediates hold the budget at its start — a static
+//     low-UoT granule keeps edges buffering regardless of pressure, while
+//     the adaptive policy narrows the companions and frees the headroom.
+//
+// Emits BENCH_adaptive_uot.json for the CI perf trajectory.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "exec/adaptive_uot_policy.h"
+#include "exec/engine.h"
+#include "model/uot_chooser.h"
+
+namespace {
+
+using namespace uot;
+using namespace uot::bench;
+
+constexpr uint64_t kLowUotBlocks = 4;  // the "static low-UoT" granule
+
+struct ArmResult {
+  double best_ms = 1e300;
+  uint64_t deferrals = 0;
+  uint64_t stalls = 0;
+  uint64_t adaptations = 0;
+  uint64_t transfers = 0;
+  int64_t peak_temp_bytes = 0;
+};
+
+uint64_t TotalTransfers(const ExecutionStats& stats) {
+  uint64_t total = 0;
+  for (uint64_t t : stats.edge_transfers) total += t;
+  return total;
+}
+
+double EnvPercent(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) / 100.0 : def;
+}
+
+/// Which UoT configuration an arm runs with.
+struct ArmSpec {
+  const char* key;    // JSON key fragment
+  const char* label;  // console label
+  // Exactly one of: scalar fixed value, plan annotations, or adaptive.
+  bool adaptive = false;
+  const std::vector<UotChoice>* annotations = nullptr;
+  UotPolicy fixed = UotPolicy();
+};
+
+/// Applies `spec` to a freshly built plan + exec config. Returns the
+/// adaptive policy when one was installed (so the caller can share it).
+std::shared_ptr<AdaptiveUotPolicy> ApplyArm(
+    const ArmSpec& spec, QueryPlan* plan, ExecConfig* exec,
+    std::shared_ptr<AdaptiveUotPolicy> shared_policy) {
+  if (spec.adaptive) {
+    if (shared_policy == nullptr) {
+      // Model choices seed the starting granule; plan annotations would
+      // pin the edges (they take precedence over any session policy), so
+      // the adaptive arm leaves the plan unannotated.
+      AdaptiveUotPolicy::Options options;
+      std::vector<uint64_t> seeds;
+      if (spec.annotations != nullptr) {
+        seeds = AdaptiveUotPolicy::SeedsFromChoices(*spec.annotations,
+                                                    options.max_blocks);
+      }
+      shared_policy =
+          std::make_shared<AdaptiveUotPolicy>(options, std::move(seeds));
+    }
+    exec->uot_policy = shared_policy;
+    return shared_policy;
+  }
+  if (spec.annotations != nullptr) {
+    CostModelUotChooser::AnnotatePlan(plan, *spec.annotations);
+  } else {
+    exec->uot = spec.fixed;
+  }
+  return nullptr;
+}
+
+/// Solo scenario: best-of-`runs` executions of one query under `exec_base`.
+void RunSoloArm(int query, const TpchDatabase& db,
+                const TpchPlanConfig& plan_config, const ExecConfig& exec_base,
+                const ArmSpec& spec, int runs, ArmResult* arm) {
+  for (int r = 0; r < runs; ++r) {
+    auto plan = BuildTpchPlan(query, db, plan_config);
+    ExecConfig exec = exec_base;
+    // Fresh policy per run: per-(query_id, edge) state must not carry
+    // over between what are independent queries to the policy.
+    ApplyArm(spec, plan.get(), &exec, nullptr);
+    obs::MetricsRegistry metrics;
+    exec.metrics = &metrics;
+    const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+
+    if (stats.QueryMillis() < arm->best_ms) {
+      arm->best_ms = stats.QueryMillis();
+      arm->deferrals = stats.budget_deferrals;
+      arm->stalls = stats.budget_stalls;
+      arm->adaptations = stats.uot_adaptations;
+      arm->transfers = TotalTransfers(stats);
+      const obs::Gauge* temp =
+          metrics.FindGauge("memory.temporary_table.bytes");
+      arm->peak_temp_bytes = temp != nullptr ? temp->Max() : 0;
+    }
+  }
+}
+
+/// Shared scenario: `kCompanions` Q3 queries start on one Engine, then the
+/// measured Q3 starts `delay_ms` later under the same shared budget. The
+/// reported run is the one with the median measured deferral count, so a
+/// single lucky or unlucky interleaving does not decide the headline.
+constexpr int kCompanions = 3;
+
+void RunSharedArm(const TpchDatabase& db, StorageManager* storage,
+                  const TpchPlanConfig& plan_config, const ArmSpec& spec,
+                  int64_t shared_budget, double delay_ms, int workers,
+                  int runs, ArmResult* arm) {
+  struct RunSample {
+    double ms;
+    ExecutionStats stats;
+    int64_t peak_temp;
+  };
+  std::vector<RunSample> samples;
+  for (int r = 0; r < runs; ++r) {
+    // System-wide temp peak across companions + measured, straight from
+    // the shared tracker: concurrent sessions clobber each other's
+    // per-session gauge observers, and the aggregate footprint is the
+    // quantity the shared budget actually constrains.
+    storage->tracker().ResetPeaks();
+    Engine engine(EngineConfig{workers, 0, 0});
+    ExecConfig exec_base;
+    exec_base.memory_budget_bytes = shared_budget;
+
+    // One policy instance shared by companions and the measured query:
+    // adapting to *global* pressure is the point of the scenario.
+    std::shared_ptr<AdaptiveUotPolicy> shared_policy;
+
+    std::vector<std::unique_ptr<QueryPlan>> companion_plans;
+    std::vector<ExecConfig> companion_execs;
+    for (int c = 0; c < kCompanions; ++c) {
+      companion_plans.push_back(BuildTpchPlan(3, db, plan_config));
+      ExecConfig exec = exec_base;
+      // Returns the installed policy for the adaptive arm (first call
+      // creates it, later calls reuse it) and nullptr otherwise.
+      shared_policy =
+          ApplyArm(spec, companion_plans.back().get(), &exec, shared_policy);
+      companion_execs.push_back(exec);
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(kCompanions);
+    for (int c = 0; c < kCompanions; ++c) {
+      threads.emplace_back([&engine, &companion_plans, &companion_execs, c] {
+        engine.Execute(companion_plans[static_cast<size_t>(c)].get(),
+                       companion_execs[static_cast<size_t>(c)]);
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        static_cast<int64_t>(delay_ms * 1000.0)));
+
+    auto measured_plan = BuildTpchPlan(3, db, plan_config);
+    ExecConfig measured_exec = exec_base;
+    ApplyArm(spec, measured_plan.get(), &measured_exec, shared_policy);
+    const ExecutionStats stats =
+        engine.Execute(measured_plan.get(), measured_exec);
+    for (auto& t : threads) t.join();
+
+    samples.push_back(
+        RunSample{stats.QueryMillis(), stats,
+                  storage->tracker().Peak(MemoryCategory::kTemporaryTable)});
+  }
+
+  std::sort(samples.begin(), samples.end(),
+            [](const RunSample& a, const RunSample& b) {
+              return a.stats.budget_deferrals < b.stats.budget_deferrals;
+            });
+  const RunSample& median = samples[samples.size() / 2];
+  arm->best_ms = median.ms;
+  arm->deferrals = median.stats.budget_deferrals;
+  arm->stalls = median.stats.budget_stalls;
+  arm->adaptations = median.stats.uot_adaptations;
+  arm->transfers = TotalTransfers(median.stats);
+  arm->peak_temp_bytes = median.peak_temp;
+}
+
+void Report(BenchJson* json, const std::string& prefix, const char* label,
+            const ArmResult& arm) {
+  std::printf("  %-12s %9.2f ms  %6llu deferrals  %6llu stalls  "
+              "%6llu transfers  %4llu adaptations  %8.1f KB temp peak\n",
+              label, arm.best_ms,
+              static_cast<unsigned long long>(arm.deferrals),
+              static_cast<unsigned long long>(arm.stalls),
+              static_cast<unsigned long long>(arm.transfers),
+              static_cast<unsigned long long>(arm.adaptations),
+              static_cast<double>(arm.peak_temp_bytes) / 1024.0);
+  json->Set(prefix + "_ms", arm.best_ms);
+  json->Set(prefix + "_deferrals", static_cast<double>(arm.deferrals));
+  json->Set(prefix + "_stalls", static_cast<double>(arm.stalls));
+  json->Set(prefix + "_transfers", static_cast<double>(arm.transfers));
+  json->Set(prefix + "_adaptations", static_cast<double>(arm.adaptations));
+  json->Set(prefix + "_peak_temp_bytes",
+            static_cast<double>(arm.peak_temp_bytes));
+}
+
+}  // namespace
+
+int main() {
+  const double sf = ScaleFactor();
+  const int workers = Threads();
+  const int runs = Runs();
+
+  std::printf("Adaptive per-edge UoT under a constrained memory budget "
+              "(SF=%.3f, %d workers, %d runs)\n",
+              sf, workers, runs);
+
+  TpchFixture fixture(sf, Layout::kColumnStore, MidBlockBytes());
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = SmallBlockBytes();
+
+  BenchJson json("adaptive_uot");
+  json.Set("scale_factor", sf);
+  json.Set("workers", workers);
+
+  // Saved Q3 calibration outputs for the shared-budget scenario below.
+  std::vector<UotChoice> q3_choices;
+  int64_t q3_base = 0, q3_hash = 0, q3_temp = 0;
+  double q3_low_ms = 0.0;
+
+  for (const int query : {3, 7}) {
+    const std::string q = "q" + std::to_string(query);
+
+    // Calibration: one unconstrained materializing run with intermediates
+    // kept, yielding (a) oracle per-edge cardinalities for the chooser and
+    // (b) the footprint ceiling the budget is derived from.
+    ExecConfig calib;
+    calib.num_workers = workers;
+    calib.uot = UotPolicy::HighUot();
+    calib.drop_consumed_blocks = false;
+    fixture.storage()->tracker().ResetPeaks();  // per-query ceilings
+    auto calib_plan = BuildTpchPlan(query, fixture.db(), plan_config);
+    QueryExecutor::Execute(calib_plan.get(), calib);
+    const std::vector<EdgeEstimate> estimates =
+        CostModelUotChooser::EstimatesFromExecutedPlan(*calib_plan);
+
+    // Peaks straight from the tracker: the base tables were allocated
+    // before any query ran, so the per-run gauges never see them.
+    const MemoryTracker& tracker = fixture.storage()->tracker();
+    const int64_t base_peak = tracker.Peak(MemoryCategory::kBaseTable);
+    const int64_t hash_peak = tracker.Peak(MemoryCategory::kHashTable);
+    const int64_t temp_peak = tracker.Peak(MemoryCategory::kTemporaryTable);
+    // Free the calibration run's kept intermediates before any arm runs:
+    // they would otherwise sit in the temporary-table category for the
+    // whole A/B, inflating every arm's footprint by a constant and eating
+    // most of the budget headroom the arms are supposed to compete for.
+    calib_plan.reset();
+    // The budget admits the structural footprint (base tables + hash
+    // tables have no UoT-dependent alternative in this engine) plus a
+    // slice of the materializing strategy's intermediate peak: wide
+    // transfers must defer, narrow ones mostly fit. UOT_BUDGET_SLACK
+    // overrides the slice (percent of the materializing temp peak).
+    const double slack_frac = EnvPercent("UOT_BUDGET_SLACK", 0.55);
+    const int64_t budget =
+        base_peak + hash_peak +
+        static_cast<int64_t>(static_cast<double>(temp_peak) * slack_frac);
+
+    std::printf("\nQ%d solo: base %.1f KB, hash %.1f KB, temp(materializing) "
+                "%.1f KB -> budget %.1f KB\n",
+                query, base_peak / 1024.0, hash_peak / 1024.0,
+                temp_peak / 1024.0, budget / 1024.0);
+    json.Set(q + "_budget_bytes", static_cast<double>(budget));
+
+    // The chooser's budget is the memory its choices can actually spend:
+    // the slack above the structural footprint. Handing it the raw engine
+    // budget would let the base tables inflate every edge's cap.
+    CostModelUotChooser::Options chooser_options;
+    chooser_options.threads = workers;
+    chooser_options.memory_budget_bytes = budget - base_peak - hash_peak;
+    const CostModelUotChooser chooser(chooser_options);
+    auto shape_plan = BuildTpchPlan(query, fixture.db(), plan_config);
+    const std::vector<UotChoice> choices =
+        chooser.ChoosePlan(*shape_plan, estimates);
+    for (size_t e = 0; e < choices.size(); ++e) {
+      std::printf("  edge %zu: %s\n", e, choices[e].ToString().c_str());
+    }
+
+    ExecConfig exec;
+    exec.num_workers = workers;
+    exec.memory_budget_bytes = budget;
+
+    const ArmSpec arms[] = {
+        {"pipeline", "fixed(1)", false, nullptr, UotPolicy::LowUot(1)},
+        {"fixed_low", "fixed(4)", false, nullptr,
+         UotPolicy::LowUot(kLowUotBlocks)},
+        {"whole", "fixed(whole)", false, nullptr, UotPolicy::HighUot()},
+        {"model", "model", false, &choices, UotPolicy()},
+        {"adaptive", "adaptive", true, &choices, UotPolicy()},
+    };
+    ArmResult results[5];
+    for (int a = 0; a < 5; ++a) {
+      RunSoloArm(query, fixture.db(), plan_config, exec, arms[a], runs,
+                 &results[a]);
+      Report(&json, q + "_" + arms[a].key, arms[a].label, results[a]);
+    }
+    const ArmResult& fixed_low = results[1];
+    const ArmResult& whole = results[2];
+    const ArmResult& adaptive = results[4];
+
+    // Solo headline deltas: adaptive vs the static low granule and vs the
+    // materializing end.
+    json.Set(q + "_adaptive_vs_fixed_low_peak_temp_delta_bytes",
+             static_cast<double>(fixed_low.peak_temp_bytes) -
+                 static_cast<double>(adaptive.peak_temp_bytes));
+    json.Set(q + "_adaptive_vs_whole_peak_temp_ratio",
+             adaptive.peak_temp_bytes > 0
+                 ? static_cast<double>(whole.peak_temp_bytes) /
+                       static_cast<double>(adaptive.peak_temp_bytes)
+                 : 0.0);
+
+    if (query == 3) {
+      q3_choices = choices;
+      q3_base = base_peak;
+      q3_hash = hash_peak;
+      q3_temp = temp_peak;
+      q3_low_ms = fixed_low.best_ms;
+    }
+  }
+
+  // Shared-budget scenario: kCompanions Q3 queries occupy one Engine, the
+  // measured Q3 starts mid-flight. The budget covers the structural
+  // footprint of all queries (base tables + every query's hash tables)
+  // plus a margin of buffered intermediates; whether the measured query's
+  // scans are admitted or deferred depends on how much of that margin the
+  // companions' transfer buffers hold at its start. UOT_SHARED_MARGIN
+  // overrides the margin (percent of the companions' combined
+  // materializing temp peak); UOT_SHARED_DELAY the start offset (percent
+  // of the solo fixed-low runtime).
+  const double margin_frac = EnvPercent("UOT_SHARED_MARGIN", 0.08);
+  const double delay_frac = EnvPercent("UOT_SHARED_DELAY", 0.35);
+  const int64_t margin = static_cast<int64_t>(
+      margin_frac * static_cast<double>(kCompanions) *
+      static_cast<double>(q3_temp));
+  const int64_t shared_budget =
+      q3_base + (kCompanions + 1) * q3_hash + margin;
+  const double delay_ms = delay_frac * q3_low_ms;
+
+  std::printf("\nQ3 shared: %d companions + measured, margin %.1f KB, "
+              "budget %.1f KB, start delay %.2f ms\n",
+              kCompanions, margin / 1024.0, shared_budget / 1024.0, delay_ms);
+  json.Set("q3_shared_budget_bytes", static_cast<double>(shared_budget));
+
+  const ArmSpec shared_arms[] = {
+      {"pipeline", "fixed(1)", false, nullptr, UotPolicy::LowUot(1)},
+      {"fixed_low", "fixed(4)", false, nullptr,
+       UotPolicy::LowUot(kLowUotBlocks)},
+      {"whole", "fixed(whole)", false, nullptr, UotPolicy::HighUot()},
+      {"model", "model", false, &q3_choices, UotPolicy()},
+      {"adaptive", "adaptive", true, &q3_choices, UotPolicy()},
+  };
+  ArmResult shared_results[5];
+  for (int a = 0; a < 5; ++a) {
+    RunSharedArm(fixture.db(), fixture.storage(), plan_config,
+                 shared_arms[a], shared_budget, delay_ms, workers, runs,
+                 &shared_results[a]);
+    Report(&json, std::string("q3_shared_") + shared_arms[a].key,
+           shared_arms[a].label, shared_results[a]);
+  }
+
+  // The acceptance headlines: the measured Q3 under the adaptive policy
+  // vs the static low-UoT granule (deferrals, stalls — the duration-like
+  // budget-pressure signal — and the system footprint the shared budget
+  // constrains), plus vs the materializing end whose buffered
+  // intermediates force the measured query's scans to defer outright.
+  json.Set("q3_shared_adaptive_vs_fixed_low_deferral_delta",
+           static_cast<double>(shared_results[1].deferrals) -
+               static_cast<double>(shared_results[4].deferrals));
+  json.Set("q3_shared_adaptive_vs_fixed_low_stall_delta",
+           static_cast<double>(shared_results[1].stalls) -
+               static_cast<double>(shared_results[4].stalls));
+  json.Set("q3_shared_adaptive_vs_fixed_low_peak_temp_delta_bytes",
+           static_cast<double>(shared_results[1].peak_temp_bytes) -
+               static_cast<double>(shared_results[4].peak_temp_bytes));
+  json.Set("q3_shared_adaptive_vs_whole_deferral_delta",
+           static_cast<double>(shared_results[2].deferrals) -
+               static_cast<double>(shared_results[4].deferrals));
+
+  json.Write();
+  std::printf("\nTarget: under the shared budget the measured Q3 completes "
+              "with a lower system footprint and fewer budget stalls than "
+              "the static low-UoT granule, without the forced scan "
+              "deferrals of the materializing end.\n");
+  return 0;
+}

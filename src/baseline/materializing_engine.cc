@@ -114,6 +114,9 @@ double MaterializingEngine::ExecutePlan(QueryPlan* plan) {
   ExecConfig config;
   config.num_workers = 1;
   config.uot = UotPolicy::HighUot();
+  // The baseline is the materializing extreme of the spectrum, expressed
+  // through the policy interface like every other execution mode.
+  config.uot_policy = std::make_shared<FixedUotPolicy>(UotPolicy::HighUot());
   Timer timer;
   EngineConfig engine_config;
   engine_config.num_workers = config.num_workers;

@@ -1,0 +1,137 @@
+#include "model/uot_chooser.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "model/memory_model.h"
+
+namespace uot {
+
+std::string UotChoice::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s (%s, %.0f B/transfer, cost %.0f ns)",
+                uot.ToString().c_str(), reason, uot_bytes, chosen_cost_ns);
+  return buf;
+}
+
+CostModelUotChooser::CostModelUotChooser(Options options)
+    : options_(options), model_(options.cost_params) {
+  UOT_CHECK(options_.threads >= 1);
+  UOT_CHECK(options_.max_blocks >= 1);
+  UOT_CHECK(options_.budget_cap_fraction > 0.0);
+}
+
+UotChoice CostModelUotChooser::ChooseEdge(const EdgeEstimate& estimate,
+                                          size_t block_bytes) const {
+  UOT_CHECK(block_bytes > 0);
+  UotChoice choice;
+
+  // How many blocks the producer will emit under this estimate. An edge
+  // estimated empty carries no data either way: 1-block pipelining is the
+  // no-risk default (no buffering, no materialized footprint).
+  const double est_bytes = estimate.bytes();
+  const uint64_t est_blocks = static_cast<uint64_t>(std::max(
+      1.0, std::ceil(est_bytes / static_cast<double>(block_bytes))));
+
+  // Section VI: materializing holds the whole sigma live (the high-UoT
+  // overhead of a one-edge cascade); a k-block UoT holds only the granule.
+  choice.materialized_bytes =
+      MemoryModel::LeafJoinCascade({}, est_bytes).high_uot_overhead_bytes;
+  choice.materializing_cost_ns = model_.NonPipeliningExtraCost(
+      est_blocks, static_cast<double>(block_bytes));
+
+  // The budget cap on one edge's live transfer granule.
+  const double cap =
+      options_.memory_budget_bytes > 0
+          ? options_.budget_cap_fraction *
+                static_cast<double>(options_.memory_budget_bytes)
+          : 0.0;
+
+  // Candidates 1, 2, 4, ... blocks: Section V pipelining cost at UoT size
+  // k * block_bytes over ceil(est_blocks / k) transfers.
+  double best_cost = 0.0;
+  uint64_t best_k = 0;
+  bool capped = false;
+  for (uint64_t k = 1; k <= options_.max_blocks; k *= 2) {
+    const double uot_bytes = static_cast<double>(k * block_bytes);
+    if (cap > 0.0 && uot_bytes > cap && k > 1) {
+      capped = true;  // larger granules would breach the per-edge cap
+      break;
+    }
+    const uint64_t num_uots = (est_blocks + k - 1) / k;
+    const double cost =
+        model_.PipeliningExtraCost(num_uots, uot_bytes, options_.threads);
+    if (best_k == 0 || cost < best_cost) {
+      best_cost = cost;
+      best_k = k;
+    }
+    if (k >= est_blocks) break;  // larger k's behave like whole-table
+  }
+
+  // Whole-table competes only when its materialized footprint fits under
+  // the cap (Section VI is the constraint, Section V the objective).
+  const bool whole_allowed =
+      cap <= 0.0 || choice.materialized_bytes <= cap;
+  if (whole_allowed && choice.materializing_cost_ns < best_cost) {
+    choice.uot = UotPolicy::HighUot();
+    choice.uot_bytes = est_bytes;
+    choice.chosen_cost_ns = choice.materializing_cost_ns;
+    choice.reason = "cost-model";
+    return choice;
+  }
+
+  choice.uot = UotPolicy::LowUot(best_k);
+  choice.uot_bytes = static_cast<double>(best_k * block_bytes);
+  choice.chosen_cost_ns = best_cost;
+  choice.reason =
+      (capped || (!whole_allowed &&
+                  choice.materializing_cost_ns < best_cost))
+          ? "memory-cap"
+          : "cost-model";
+  return choice;
+}
+
+std::vector<UotChoice> CostModelUotChooser::ChoosePlan(
+    const QueryPlan& plan, const std::vector<EdgeEstimate>& estimates) const {
+  const auto& edges = plan.streaming_edges();
+  UOT_CHECK(estimates.size() == edges.size());
+  std::vector<UotChoice> choices;
+  choices.reserve(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const InsertDestination* dest = plan.destination_of(edges[i].producer);
+    // Producers without a registered destination (no materialized output
+    // table, e.g. hash-table builds) fall back to a 1 MiB granule.
+    const size_t block_bytes =
+        dest != nullptr ? dest->output()->block_bytes() : (1u << 20);
+    choices.push_back(ChooseEdge(estimates[i], block_bytes));
+  }
+  return choices;
+}
+
+void CostModelUotChooser::AnnotatePlan(QueryPlan* plan,
+                                       const std::vector<UotChoice>& choices) {
+  UOT_CHECK(plan != nullptr);
+  UOT_CHECK(choices.size() == plan->streaming_edges().size());
+  for (size_t i = 0; i < choices.size(); ++i) {
+    plan->AnnotateEdgeUot(static_cast<int>(i), choices[i].uot);
+  }
+}
+
+std::vector<EdgeEstimate> CostModelUotChooser::EstimatesFromExecutedPlan(
+    const QueryPlan& plan) {
+  std::vector<EdgeEstimate> estimates;
+  for (const QueryPlan::StreamingEdge& e : plan.streaming_edges()) {
+    EdgeEstimate est;
+    const InsertDestination* dest = plan.destination_of(e.producer);
+    if (dest != nullptr) {
+      const Table* out = dest->output();
+      est.rows = out->NumRows();
+      est.row_bytes = static_cast<double>(out->schema().row_width());
+    }
+    estimates.push_back(est);
+  }
+  return estimates;
+}
+
+}  // namespace uot

@@ -1,0 +1,108 @@
+#ifndef UOT_MODEL_UOT_CHOOSER_H_
+#define UOT_MODEL_UOT_CHOOSER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/cost_model.h"
+#include "plan/query_plan.h"
+#include "scheduler/uot_policy.h"
+
+namespace uot {
+
+/// Cardinality estimate for one streaming edge: how much output its
+/// producer is expected to emit. Estimates come from the analysis layer
+/// (tpch/tpch_analysis.h selectivity/projectivity products) or from a
+/// profiled prior run (EstimatesFromExecutedPlan).
+struct EdgeEstimate {
+  uint64_t rows = 0;
+  double row_bytes = 0.0;
+
+  double bytes() const { return static_cast<double>(rows) * row_bytes; }
+};
+
+/// The chooser's verdict for one edge.
+struct UotChoice {
+  /// The chosen point on the UoT spectrum.
+  UotPolicy uot = UotPolicy();
+  /// Transfer granule of the choice, bytes (whole output for kWholeTable).
+  double uot_bytes = 0.0;
+  /// Modeled extra cost (ns) of the chosen UoT vs. of materializing.
+  double chosen_cost_ns = 0.0;
+  double materializing_cost_ns = 0.0;
+  /// Section VI footprint of materializing this edge (the sigma bytes the
+  /// whole-table strategy holds live).
+  double materialized_bytes = 0.0;
+  /// Why this UoT won: "cost-model" (pure Section V argmin) or
+  /// "memory-cap" (the Section VI footprint hit the budget cap and forced
+  /// a smaller granule than the cost argmin).
+  const char* reason = "cost-model";
+
+  std::string ToString() const;
+};
+
+/// Static per-edge UoT selection at plan bind time (tentpole part 3): for
+/// every streaming edge, evaluates the Section V cost model over candidate
+/// UoT values (1, 2, 4, ... blocks, and whole-table) using the edge's
+/// cardinality estimate, caps the candidates with the Section VI memory
+/// footprint against the shared budget, and picks the cheapest. The
+/// choices can be applied as plan annotations (AnnotatePlan) or used to
+/// seed an AdaptiveUotPolicy.
+class CostModelUotChooser {
+ public:
+  struct Options {
+    CostModelParams cost_params;
+    /// Worker threads the query will run with (the model's T).
+    int threads = 4;
+    /// Memory available to the query's intermediates (0 = unconstrained).
+    /// Pass the headroom above the structural footprint (base tables,
+    /// hash tables), not the engine's raw budget: the chooser caps edge
+    /// granules against this number, and bytes it cannot reclaim would
+    /// only inflate every cap.
+    int64_t memory_budget_bytes = 0;
+    /// Fraction of the budget one edge's live transfer granule may occupy;
+    /// whole-table is only eligible when the edge's full materialized
+    /// footprint fits under this cap.
+    double budget_cap_fraction = 0.25;
+    /// Largest finite candidate, in blocks.
+    uint64_t max_blocks = 64;
+  };
+
+  CostModelUotChooser() : CostModelUotChooser(Options{}) {}
+  explicit CostModelUotChooser(Options options);
+
+  /// The cost-model choice for one edge whose producer emits `estimate`
+  /// into blocks of `block_bytes`.
+  UotChoice ChooseEdge(const EdgeEstimate& estimate,
+                       size_t block_bytes) const;
+
+  /// Choices for every streaming edge of `plan` (estimates[i] pairs with
+  /// plan.streaming_edges()[i]; block sizes come from the producers'
+  /// output tables).
+  std::vector<UotChoice> ChoosePlan(
+      const QueryPlan& plan, const std::vector<EdgeEstimate>& estimates) const;
+
+  /// Applies `choices` (from ChoosePlan) as per-edge plan annotations.
+  static void AnnotatePlan(QueryPlan* plan,
+                           const std::vector<UotChoice>& choices);
+
+  /// Oracle estimates measured from an already-executed plan's intermediate
+  /// tables — per-edge actual output cardinalities, for benchmarking the
+  /// chooser against a profiled run of the same query shape. The profile
+  /// run must execute with ExecConfig::drop_consumed_blocks = false, or the
+  /// consumed intermediates measure as empty.
+  static std::vector<EdgeEstimate> EstimatesFromExecutedPlan(
+      const QueryPlan& plan);
+
+  const Options& options() const { return options_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  Options options_;
+  CostModel model_;
+};
+
+}  // namespace uot
+
+#endif  // UOT_MODEL_UOT_CHOOSER_H_

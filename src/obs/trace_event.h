@@ -42,6 +42,16 @@ enum class TraceEventType : uint8_t {
   /// One stage of a batched join kernel over one batch (worker).
   /// arg0 = operator index, arg1 = JoinBatchStage, value = rows in batch.
   kJoinBatchStage,
+  /// Counter track: the effective UoT of one streaming edge as resolved by
+  /// the policy layer, in blocks per transfer. arg0 = edge index,
+  /// value = blocks (0 stands in for whole-table; 0 blocks is otherwise
+  /// invalid). Emitted at session start and whenever the value changes, so
+  /// the track draws each edge's UoT trajectory.
+  kUotEffective,
+  /// The policy layer changed an edge's effective UoT mid-query.
+  /// arg0 = edge index, arg1 = previous blocks (saturated to int32),
+  /// value = new blocks; 0 stands in for whole-table on both sides.
+  kUotAdapt,
 };
 
 /// Stages of the batched join kernels, recorded in kJoinBatchStage::arg1.

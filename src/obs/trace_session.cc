@@ -42,6 +42,8 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kQueueDepth: return "queue_depth";
     case TraceEventType::kMemoryBytes: return "memory_bytes";
     case TraceEventType::kJoinBatchStage: return "join_batch_stage";
+    case TraceEventType::kUotEffective: return "uot_effective";
+    case TraceEventType::kUotAdapt: return "uot_adapt";
   }
   return "unknown";
 }
@@ -62,7 +64,9 @@ const char* TraceEventTypeCategory(TraceEventType type) {
     case TraceEventType::kQuery: return "exec";
     case TraceEventType::kWorkOrder: return "scheduler";
     case TraceEventType::kBlockTransfer:
-    case TraceEventType::kEdgeFlush: return "transfer";
+    case TraceEventType::kEdgeFlush:
+    case TraceEventType::kUotEffective:
+    case TraceEventType::kUotAdapt: return "transfer";
     case TraceEventType::kBudgetDefer:
     case TraceEventType::kBudgetRelease:
     case TraceEventType::kMemoryBytes: return "memory";
@@ -293,6 +297,11 @@ void TraceSession::ExportChromeJson(std::ostream& os) const {
     } else if (e.type == TraceEventType::kQueueDepth) {
       AppendJsonString(&line, e.arg0 == 0 ? std::string("queue.work_orders")
                                           : std::string("queue.events"));
+    } else if (e.type == TraceEventType::kUotEffective) {
+      // One counter track per edge ("uot.edge0.effective_blocks", ...) so
+      // Perfetto plots each edge's UoT trajectory separately.
+      AppendJsonString(&line, "uot.edge" + std::to_string(e.arg0) +
+                                  ".effective_blocks");
     } else if (e.type == TraceEventType::kJoinBatchStage) {
       // Per-stage span names ("join.probe") so the trace viewer colors the
       // extract/probe/residual/emit/insert stages distinctly.
@@ -368,6 +377,14 @@ void TraceSession::ExportChromeJson(std::ostream& os) const {
         break;
       case TraceEventType::kMemoryBytes:
         AppendKeyValue(&line, "bytes", e.value, &first_arg);
+        break;
+      case TraceEventType::kUotEffective:
+        AppendKeyValue(&line, "blocks", e.value, &first_arg);
+        break;
+      case TraceEventType::kUotAdapt:
+        AppendKeyValue(&line, "edge", e.arg0, &first_arg);
+        AppendKeyValue(&line, "from_blocks", e.arg1, &first_arg);
+        AppendKeyValue(&line, "to_blocks", e.value, &first_arg);
         break;
       case TraceEventType::kJoinBatchStage:
         AppendKeyValue(&line, "op", e.arg0, &first_arg);

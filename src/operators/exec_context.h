@@ -2,6 +2,7 @@
 #define UOT_OPERATORS_EXEC_CONTEXT_H_
 
 #include <cstdint>
+#include <string>
 
 namespace uot {
 
@@ -40,6 +41,13 @@ struct JoinKernelConfig {
     if (batch_size < 1) return 1;
     if (batch_size > 65536) return 65536;
     return static_cast<uint32_t>(batch_size);
+  }
+
+  /// "scalar" or "batched(batch=256,prefetch=16)", for config summaries.
+  std::string ToString() const {
+    if (kernel == JoinKernel::kScalar) return "scalar";
+    return "batched(batch=" + std::to_string(clamped_batch_size()) +
+           ",prefetch=" + std::to_string(prefetch_distance) + ")";
   }
 };
 

@@ -152,6 +152,27 @@ class PlanBuilder {
     return Src{idx, out, out};
   }
 
+  /// Pins the streaming edge `producer` -> `consumer` (wired earlier by a
+  /// Select/Probe/Aggregate/Sort call whose input was `producer`) to a
+  /// fixed UoT, overriding the session's policy for that edge.
+  PlanBuilder& AnnotateEdgeUot(const Src& producer, const Src& consumer,
+                               UotPolicy uot) {
+    const int edge = plan_->FindStreamingEdge(producer.op, consumer.op);
+    UOT_CHECK(edge >= 0);  // no streaming edge between these operators
+    plan_->AnnotateEdgeUot(edge, uot);
+    return *this;
+  }
+
+  /// Same, for an edge feeding a hash-table build operator.
+  PlanBuilder& AnnotateEdgeUot(const Src& producer,
+                               const BuildHashOperator* build, UotPolicy uot) {
+    const int edge =
+        plan_->FindStreamingEdge(producer.op, build_index_.at(build));
+    UOT_CHECK(edge >= 0);  // no streaming edge between these operators
+    plan_->AnnotateEdgeUot(edge, uot);
+    return *this;
+  }
+
   std::unique_ptr<QueryPlan> Finish(const Src& result) {
     UOT_CHECK(result.temp != nullptr);
     plan_->SetResultTable(result.temp);

@@ -48,6 +48,57 @@ void QueryPlan::RegisterOutput(int producer, InsertDestination* destination) {
   UOT_CHECK(false);  // destination not created by this plan
 }
 
+void QueryPlan::AnnotateEdgeUot(int edge_index, UotPolicy uot) {
+  UOT_CHECK(edge_index >= 0 &&
+            edge_index < static_cast<int>(streaming_edges_.size()));
+  streaming_edges_[static_cast<size_t>(edge_index)].uot_blocks =
+      uot.blocks_per_transfer();
+}
+
+std::optional<UotPolicy> QueryPlan::edge_uot(int edge_index) const {
+  UOT_CHECK(edge_index >= 0 &&
+            edge_index < static_cast<int>(streaming_edges_.size()));
+  const uint64_t blocks =
+      streaming_edges_[static_cast<size_t>(edge_index)].uot_blocks;
+  if (blocks == 0) return std::nullopt;
+  return UotPolicy(blocks);
+}
+
+int QueryPlan::FindStreamingEdge(int producer, int consumer,
+                                 int consumer_input) const {
+  for (size_t i = 0; i < streaming_edges_.size(); ++i) {
+    const StreamingEdge& e = streaming_edges_[i];
+    if (e.producer == producer && e.consumer == consumer &&
+        e.consumer_input == consumer_input) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::string QueryPlan::ToString() const {
+  std::string out = "QueryPlan{\n";
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    out += "  op[" + std::to_string(i) + "] " + operators_[i]->name() + "\n";
+  }
+  for (size_t i = 0; i < streaming_edges_.size(); ++i) {
+    const StreamingEdge& e = streaming_edges_[i];
+    out += "  stream[" + std::to_string(i) + "] " +
+           std::to_string(e.producer) + " -> " + std::to_string(e.consumer) +
+           " (input " + std::to_string(e.consumer_input) + ")";
+    if (e.uot_blocks != 0) {
+      out += " [" + UotPolicy(e.uot_blocks).ToString() + "]";
+    }
+    out += "\n";
+  }
+  for (const BlockingEdge& e : blocking_edges_) {
+    out += "  block " + std::to_string(e.producer) + " => " +
+           std::to_string(e.consumer) + "\n";
+  }
+  out += "}";
+  return out;
+}
+
 InsertDestination* QueryPlan::destination_of(int producer) const {
   for (const OwnedDestination& d : destinations_) {
     if (d.producer == producer) return d.destination.get();

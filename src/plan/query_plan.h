@@ -2,10 +2,12 @@
 #define UOT_PLAN_QUERY_PLAN_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "operators/operator.h"
+#include "scheduler/uot_policy.h"
 #include "storage/insert_destination.h"
 #include "storage/storage_manager.h"
 #include "storage/table.h"
@@ -32,6 +34,11 @@ class QueryPlan {
     int producer;
     int consumer;
     int consumer_input;
+    /// Per-edge UoT annotation in blocks per transfer
+    /// (UotPolicy::kWholeTable = materialize). 0 = unannotated: the edge
+    /// follows the session's UoT policy. An annotation pins the edge — it
+    /// overrides both the session default and any runtime-adaptive policy.
+    uint64_t uot_blocks = 0;
   };
   struct BlockingEdge {
     int producer;
@@ -78,6 +85,23 @@ class QueryPlan {
   const std::vector<BlockingEdge>& blocking_edges() const {
     return blocking_edges_;
   }
+
+  /// Pins streaming edge `edge_index` to a fixed UoT, overriding the
+  /// session's policy for that edge.
+  void AnnotateEdgeUot(int edge_index, UotPolicy uot);
+
+  /// The UoT annotation of streaming edge `edge_index`, or nullopt when
+  /// the edge is unannotated.
+  std::optional<UotPolicy> edge_uot(int edge_index) const;
+
+  /// Index of the streaming edge producer -> consumer (input slot
+  /// `consumer_input`), or -1 if no such edge exists.
+  int FindStreamingEdge(int producer, int consumer,
+                        int consumer_input = 0) const;
+
+  /// Renders the DAG: operators, streaming edges (with UoT annotations)
+  /// and blocking edges.
+  std::string ToString() const;
 
   /// The destination registered for `producer`, or nullptr.
   InsertDestination* destination_of(int producer) const;

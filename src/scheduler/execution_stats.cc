@@ -35,6 +35,7 @@ double ExecutionStats::AverageDop(int op) const {
 std::string ExecutionStats::ToString() const {
   std::string out;
   char line[256];
+  if (!config_summary.empty()) out += config_summary + "\n";
   std::snprintf(line, sizeof(line), "query: %.3f ms, %zu work orders\n",
                 QueryMillis(), records.size());
   out += line;
@@ -65,6 +66,15 @@ std::string ExecutionStats::ToString() const {
       out += line;
     }
     out += "\n";
+  }
+  if (budget_deferrals > 0 || budget_stalls > 0 || uot_adaptations > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  budget deferrals=%llu stalls=%llu, uot adaptations=%llu"
+                  "\n",
+                  static_cast<unsigned long long>(budget_deferrals),
+                  static_cast<unsigned long long>(budget_stalls),
+                  static_cast<unsigned long long>(uot_adaptations));
+    out += line;
   }
   return out;
 }

@@ -60,6 +60,20 @@ struct ExecutionStats {
   std::vector<uint64_t> edge_transfers;
   /// Peak memory during execution, per category.
   int64_t peak_bytes[kNumMemoryCategories] = {};
+  /// Producer work orders deferred because tracked memory exceeded the
+  /// budget at dispatch time (mirrors the scheduler.budget.deferrals
+  /// metric).
+  uint64_t budget_deferrals = 0;
+  /// Denied release attempts while over budget with deferred work waiting:
+  /// the duration-like measure of budget pressure (each completion event
+  /// that could not re-admit work counts once).
+  uint64_t budget_stalls = 0;
+  /// Mid-query effective-UoT changes across all streaming edges (0 for
+  /// fixed policies).
+  uint64_t uot_adaptations = 0;
+  /// ExecConfig::ToString() of the session that ran the query, so failure
+  /// output and logs show which policy actually executed.
+  std::string config_summary;
 
   double QueryMillis() const {
     return static_cast<double>(query_end_ns - query_start_ns) / 1e6;

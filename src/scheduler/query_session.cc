@@ -47,12 +47,16 @@ void QuerySession::InitObservability() {
   op_ctx_ = OperatorExecContext{};
   op_ctx_.join = config_.join;
   op_ctx_.trace = trace_;
+  edge_uot_gauge_.clear();
+  edge_uot_adaptations_.clear();
   if (metrics_ == nullptr) {
     work_order_count_ = nullptr;
     work_order_latency_ns_ = nullptr;
     work_queue_depth_ = nullptr;
     event_queue_depth_ = nullptr;
     budget_deferrals_ = nullptr;
+    budget_stalls_ = nullptr;
+    uot_adaptations_ = nullptr;
     return;
   }
   op_ctx_.join_probe_batches =
@@ -72,6 +76,9 @@ void QuerySession::InitObservability() {
       metrics_->GetGauge(MetricName("scheduler.queue.events.depth"));
   budget_deferrals_ =
       metrics_->GetCounter(MetricName("scheduler.budget.deferrals"));
+  budget_stalls_ =
+      metrics_->GetCounter(MetricName("scheduler.budget.stalls"));
+  uot_adaptations_ = metrics_->GetCounter(MetricName("uot.adaptations"));
   for (int i = 0; i < n; ++i) {
     const std::string prefix =
         MetricName("scheduler.op.") + std::to_string(i);
@@ -84,6 +91,12 @@ void QuerySession::InitObservability() {
     edge_transfers_metric_.push_back(
         metrics_->GetCounter(prefix + ".transfers"));
     edge_blocks_metric_.push_back(metrics_->GetCounter(prefix + ".blocks"));
+    const std::string uot_prefix =
+        MetricName("uot.edge.") + std::to_string(e);
+    edge_uot_gauge_.push_back(
+        metrics_->GetGauge(uot_prefix + ".effective_blocks"));
+    edge_uot_adaptations_.push_back(
+        metrics_->GetCounter(uot_prefix + ".adaptations"));
   }
 }
 
@@ -110,7 +123,22 @@ ExecutionStats QuerySession::Run() {
   total_running_ = 0;
   stats_ = ExecutionStats{};
   stats_.query_id = query_id_;
+  stats_.config_summary = config_.ToString();
   stats_.operators.resize(static_cast<size_t>(n));
+
+  // Resolve the UoT policy chain: plan annotations pin individual edges;
+  // otherwise the config's policy decides; otherwise the scalar session
+  // default, wrapped so the consultation path is always the interface.
+  default_policy_ = std::make_unique<FixedUotPolicy>(config_.uot);
+  uot_policy_ = config_.uot_policy != nullptr ? config_.uot_policy.get()
+                                              : default_policy_.get();
+  // The structural floor policies measure pressure against: whatever is
+  // already tracked (base tables, concurrent queries) when we start.
+  baseline_tracked_bytes_ = plan_->storage()->tracker().TotalCurrent();
+  edge_pin_.clear();
+  for (const QueryPlan::StreamingEdge& e : plan_->streaming_edges()) {
+    edge_pin_.push_back(e.uot_blocks);
+  }
   for (int i = 0; i < n; ++i) {
     stats_.operators[static_cast<size_t>(i)].name = plan_->op(i)->name();
   }
@@ -160,6 +188,12 @@ ExecutionStats QuerySession::Run() {
 
   plan_->storage()->tracker().ResetPeaks();
   stats_.query_start_ns = NowNanos();
+
+  // Record each edge's starting UoT so metrics/traces show the full
+  // trajectory (adaptive policies may move it on later consultations).
+  for (size_t e = 0; e < plan_->streaming_edges().size(); ++e) {
+    ResolveEdgeUot(static_cast<int>(e));
+  }
 
   for (int i = 0; i < n; ++i) TryGenerate(i);
   ReleaseDeferred();
@@ -323,6 +357,7 @@ void QuerySession::Dispatch(int op, std::unique_ptr<WorkOrder> wo) {
                               plan_->storage()->tracker().TotalCurrent());
         }
         if (budget_deferrals_ != nullptr) budget_deferrals_->Increment();
+        ++stats_.budget_deferrals;
       }
       deferred_.push_back(DeferredWorkOrder{op, over_budget, std::move(wo)});
       return;
@@ -340,8 +375,15 @@ void QuerySession::ReleaseDeferred() {
         config_.memory_budget_bytes;
     // Over budget: only release if nothing is running (progress
     // guarantee). Under budget: admit producers only up to the pool
-    // size, so allocations stay paced against completions.
-    if (over_budget && total_running_ > 0) return;
+    // size, so allocations stay paced against completions. Each denied
+    // release while deferred work waits is a stall — the duration-like
+    // signal of budget pressure (deferral counts alone only record the
+    // first admission refusal of each work order).
+    if (over_budget && total_running_ > 0) {
+      if (budget_stalls_ != nullptr) budget_stalls_->Increment();
+      ++stats_.budget_stalls;
+      return;
+    }
     if (!over_budget && total_running_ >= pool_workers_) return;
     DeferredWorkOrder deferred = std::move(deferred_.front());
     deferred_.pop_front();
@@ -378,14 +420,78 @@ void QuerySession::CheckOperatorDone(int op) {
   event_queue_.Push(Event{Event::Kind::kOperatorFlushed, op, nullptr, {}, {}});
 }
 
+uint64_t QuerySession::ResolveEdgeUot(int edge_index) {
+  const size_t e = static_cast<size_t>(edge_index);
+  EdgeState& state = edge_states_[e];
+  uint64_t blocks;
+  if (edge_pin_[e] != 0) {
+    blocks = edge_pin_[e];
+  } else {
+    const QueryPlan::StreamingEdge& edge = plan_->streaming_edges()[e];
+    EdgeRuntimeState rt;
+    rt.edge_index = edge_index;
+    rt.producer = edge.producer;
+    rt.consumer = edge.consumer;
+    rt.query_id = query_id_;
+    rt.buffered_blocks = state.buffer.size();
+    rt.produced_blocks = state.produced;
+    rt.transfers = state.transfers;
+    const OpState& producer = op_states_[static_cast<size_t>(edge.producer)];
+    rt.producer_finished = producer.finished || producer.finishing;
+    rt.tracked_bytes = plan_->storage()->tracker().TotalCurrent();
+    rt.memory_budget_bytes = config_.memory_budget_bytes;
+    rt.baseline_tracked_bytes = baseline_tracked_bytes_;
+    rt.deferred_work_orders = deferred_.size();
+    rt.producer_work_orders_done = producer.completed;
+    rt.consumer_work_orders_done =
+        op_states_[static_cast<size_t>(edge.consumer)].completed;
+    blocks = uot_policy_->BlocksPerTransfer(rt);
+  }
+  UOT_CHECK(blocks != 0);  // a zero UoT is a policy bug, not a request
+  if (blocks != state.effective_uot) {
+    // Gauge/counter-track value: blocks per transfer, with 0 standing in
+    // for whole-table (0 is otherwise invalid, so the sentinel is
+    // unambiguous and keeps the track plottable).
+    const int64_t plotted =
+        blocks == UotPolicy::kWholeTable ? 0
+                                         : static_cast<int64_t>(blocks);
+    if (metrics_ != nullptr) edge_uot_gauge_[e]->Set(plotted);
+    if (trace_ != nullptr) {
+      trace_->EmitCounter(obs::TraceEventType::kUotEffective, edge_index,
+                          plotted);
+    }
+    if (state.effective_uot != 0) {  // a mid-query change: an adaptation
+      ++stats_.uot_adaptations;
+      if (metrics_ != nullptr) {
+        uot_adaptations_->Increment();
+        edge_uot_adaptations_[e]->Increment();
+      }
+      if (trace_ != nullptr) {
+        const int64_t previous =
+            state.effective_uot == UotPolicy::kWholeTable
+                ? 0
+                : static_cast<int64_t>(state.effective_uot);
+        trace_->EmitInstant(obs::TraceEventType::kUotAdapt, /*tid=*/0,
+                            edge_index,
+                            static_cast<int32_t>(std::min<int64_t>(
+                                previous, INT32_MAX)),
+                            plotted);
+      }
+    }
+    state.effective_uot = blocks;
+  }
+  return blocks;
+}
+
 void QuerySession::HandleBlockReady(int op, Block* block) {
   const auto& edges = plan_->streaming_edges();
   for (size_t i = 0; i < edges.size(); ++i) {
     if (edges[i].producer != op) continue;
     EdgeState& edge = edge_states_[i];
     edge.buffer.push_back(block);
-    if (!config_.uot.IsWholeTable() &&
-        edge.buffer.size() >= config_.uot.blocks_per_transfer()) {
+    ++edge.produced;
+    const uint64_t blocks = ResolveEdgeUot(static_cast<int>(i));
+    if (blocks != UotPolicy::kWholeTable && edge.buffer.size() >= blocks) {
       DeliverEdge(static_cast<int>(i), /*final_flush=*/false);
     }
   }

@@ -106,6 +106,11 @@ class QuerySession {
   struct EdgeState {
     std::vector<Block*> buffer;
     uint64_t transfers = 0;
+    uint64_t produced = 0;  // total blocks completed by the producer
+    // Last UoT value the policy resolved for this edge (0 = never
+    // consulted; UotPolicy::kWholeTable = materializing). Changes are
+    // counted/traced as adaptations.
+    uint64_t effective_uot = 0;
   };
 
   struct DeferredWorkOrder {
@@ -121,6 +126,11 @@ class QuerySession {
   std::string MetricName(const char* name) const;
   /// Samples queue-depth gauges/counter tracks (observability only).
   void SampleQueueDepths();
+  /// Consults the UoT policy layer for `edge_index` (plan annotation >
+  /// config.uot_policy > FixedUotPolicy(config.uot)) and returns the
+  /// blocks-per-transfer threshold. Records effective-UoT gauges/counter
+  /// tracks and counts/traces mid-query changes as adaptations.
+  uint64_t ResolveEdgeUot(int edge_index);
   void TryGenerate(int op);
   void Dispatch(int op, std::unique_ptr<WorkOrder> wo);
   /// Re-dispatches budget-deferred work orders when allowed.
@@ -155,6 +165,15 @@ class QuerySession {
   int total_running_ = 0;
   ExecutionStats stats_;
 
+  // The resolved UoT policy chain: `uot_policy_` points at the config's
+  // shared policy, or at `default_policy_` (wrapping the scalar
+  // config.uot) when none is set. `edge_pin_` holds per-edge plan
+  // annotations (0 = unpinned).
+  std::unique_ptr<FixedUotPolicy> default_policy_;
+  EdgeUotPolicy* uot_policy_ = nullptr;
+  int64_t baseline_tracked_bytes_ = 0;  // tracked bytes at session start
+  std::vector<uint64_t> edge_pin_;
+
   // Observability sinks and pre-resolved metric handles, all null when the
   // corresponding ExecConfig option is unset.
   obs::TraceSession* trace_ = nullptr;
@@ -164,6 +183,10 @@ class QuerySession {
   obs::Gauge* work_queue_depth_ = nullptr;
   obs::Gauge* event_queue_depth_ = nullptr;
   obs::Counter* budget_deferrals_ = nullptr;
+  obs::Counter* budget_stalls_ = nullptr;
+  obs::Counter* uot_adaptations_ = nullptr;
+  std::vector<obs::Gauge*> edge_uot_gauge_;
+  std::vector<obs::Counter*> edge_uot_adaptations_;
   // Execution context bound to every operator before generation: kernel
   // knobs from the config plus the sinks above, pre-resolved so batched
   // join work orders update counters lock-free.

@@ -2,6 +2,7 @@
 #define UOT_SCHEDULER_SCHEDULER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "operators/exec_context.h"
@@ -30,8 +31,16 @@ struct ExecConfig {
   /// pool; sessions submitted to a shared Engine use the engine's pool and
   /// ignore this field.
   int num_workers = 4;
-  /// The unit of transfer applied to every streaming edge.
+  /// The session-default unit of transfer. When `uot_policy` is null the
+  /// session wraps this value in a FixedUotPolicy, preserving the
+  /// historical scalar semantics: the same UoT on every streaming edge.
   UotPolicy uot;
+  /// Optional per-edge UoT policy (shared so one adaptive policy instance
+  /// can serve many concurrent sessions). When set, it is consulted on
+  /// every block-completion event of every streaming edge and overrides
+  /// `uot`. Per-edge plan annotations (QueryPlan::AnnotateEdgeUot) pin an
+  /// edge and take precedence over both.
+  std::shared_ptr<EdgeUotPolicy> uot_policy;
   /// Optional cap on concurrently executing work orders per operator
   /// (0 = unlimited). One of the "sophisticated scheduling policies" the
   /// paper mentions in Section III-C.
@@ -66,6 +75,11 @@ struct ExecConfig {
   /// Lets concurrent sessions share one MetricsRegistry without their
   /// counters colliding; empty (the default) keeps the historical names.
   std::string metrics_prefix;
+
+  /// One-line summary of the resolved execution configuration (worker
+  /// count, effective UoT policy, join kernel, caps and budget) for logs,
+  /// traces and test-failure output.
+  std::string ToString() const;
 };
 
 }  // namespace uot

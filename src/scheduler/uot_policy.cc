@@ -1,3 +1,25 @@
 #include "scheduler/uot_policy.h"
 
-// Header-only implementation; this file anchors the translation unit.
+#include "scheduler/scheduler.h"
+
+namespace uot {
+
+std::string ExecConfig::ToString() const {
+  std::string out = "ExecConfig{workers=" + std::to_string(num_workers);
+  out += ", uot=";
+  out += uot_policy != nullptr ? uot_policy->ToString()
+                               : FixedUotPolicy(uot).ToString();
+  out += ", join=" + join.ToString();
+  if (max_concurrent_per_op > 0) {
+    out += ", max_concurrent_per_op=" + std::to_string(max_concurrent_per_op);
+  }
+  if (memory_budget_bytes > 0) {
+    out += ", budget=" + std::to_string(memory_budget_bytes) + "B";
+  }
+  if (!drop_consumed_blocks) out += ", keep_consumed_blocks";
+  if (!metrics_prefix.empty()) out += ", metrics_prefix=" + metrics_prefix;
+  out += "}";
+  return out;
+}
+
+}  // namespace uot

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "exec/adaptive_uot_policy.h"
 #include "exec/query_executor.h"
+#include "scheduler/scheduler.h"
 #include "scheduler/uot_policy.h"
 #include "operators/select_operator.h"
 #include "test_util.h"
@@ -16,9 +18,47 @@ TEST(UotPolicyTest, DefaultsToOneBlock) {
   EXPECT_EQ(policy.blocks_per_transfer(), 1u);
 }
 
-TEST(UotPolicyTest, ZeroClampsToOne) {
-  UotPolicy policy(0);
-  EXPECT_EQ(policy.blocks_per_transfer(), 1u);
+TEST(UotPolicyDeathTest, ZeroBlocksIsInvalid) {
+  // A UoT of zero blocks is meaningless; a chooser/policy bug producing it
+  // must abort loudly instead of silently degrading to pipelining.
+  EXPECT_DEATH(UotPolicy policy(0), "blocks_per_transfer != 0");
+}
+
+TEST(UotPolicyTest, FixedPolicyReturnsItsValueForAnyEdgeState) {
+  FixedUotPolicy one(UotPolicy::LowUot(1));
+  FixedUotPolicy eight(UotPolicy::LowUot(8));
+  FixedUotPolicy whole(UotPolicy::HighUot());
+  EdgeRuntimeState edge;
+  for (int i = 0; i < 3; ++i) {
+    edge.edge_index = i;
+    edge.buffered_blocks = static_cast<uint64_t>(100 * i);
+    edge.deferred_work_orders = static_cast<uint64_t>(i);
+    edge.tracked_bytes = 1 << 30;
+    edge.memory_budget_bytes = 1;
+    EXPECT_EQ(one.BlocksPerTransfer(edge), 1u);
+    EXPECT_EQ(eight.BlocksPerTransfer(edge), 8u);
+    EXPECT_EQ(whole.BlocksPerTransfer(edge), UotPolicy::kWholeTable);
+  }
+  EXPECT_EQ(one.ToString(), "fixed(UoT=1-block(s))");
+  EXPECT_EQ(whole.ToString(), "fixed(UoT=whole-table)");
+}
+
+TEST(ExecConfigTest, ToStringShowsResolvedPolicyAndJoinKernel) {
+  ExecConfig config;
+  config.num_workers = 3;
+  config.uot = UotPolicy::LowUot(2);
+  const std::string scalar = config.ToString();
+  EXPECT_NE(scalar.find("workers=3"), std::string::npos);
+  EXPECT_NE(scalar.find("fixed(UoT=2-block(s))"), std::string::npos);
+  EXPECT_NE(scalar.find("join=batched"), std::string::npos);
+
+  config.uot_policy = std::make_shared<AdaptiveUotPolicy>();
+  config.memory_budget_bytes = 123456;
+  config.join.kernel = JoinKernel::kScalar;
+  const std::string adaptive = config.ToString();
+  EXPECT_NE(adaptive.find("adaptive("), std::string::npos);
+  EXPECT_NE(adaptive.find("budget=123456B"), std::string::npos);
+  EXPECT_NE(adaptive.find("join=scalar"), std::string::npos);
 }
 
 TEST(UotPolicyTest, WholeTableSentinel) {
@@ -99,6 +139,11 @@ TEST(ExecutorTest, PlanWithOnlyLeafOperator) {
   EXPECT_EQ(out->NumRows(), 100u);
   EXPECT_EQ(stats.operators.size(), 1u);
   EXPECT_EQ(stats.edge_transfers.size(), 0u);
+  // Startup logging satellite: stats carry the resolved config so failures
+  // show which policy actually ran.
+  EXPECT_NE(stats.config_summary.find("fixed(UoT=1-block(s))"),
+            std::string::npos);
+  EXPECT_NE(stats.ToString().find("ExecConfig{"), std::string::npos);
   // No records for nonexistent op: AverageDop of an op with no work.
   EXPECT_DOUBLE_EQ(stats.AverageDop(0), stats.AverageDop(0));
   EXPECT_GT(stats.AverageDop(0), 0.0);

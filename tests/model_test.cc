@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "exec/query_executor.h"
 #include "model/cost_model.h"
 #include "model/memory_model.h"
+#include "model/uot_chooser.h"
+#include "operators/aggregate_operator.h"
+#include "operators/select_operator.h"
+#include "test_util.h"
 
 namespace uot {
 namespace {
@@ -136,6 +141,123 @@ TEST(MemoryModelTest, EitherStrategyCanWin) {
   // (LIP) shrinks sigma(R).
   const auto q7 = MemoryModel::LeafJoinCascade({1e6, 2.4e9, 1e6}, 224e6);
   EXPECT_GT(q7.low_uot_overhead_bytes, q7.high_uot_overhead_bytes);
+}
+
+TEST(UotChooserTest, UnconstrainedChoiceComesFromTheCostModel) {
+  CostModelUotChooser chooser;  // no budget
+  EdgeEstimate estimate{/*rows=*/1u << 20, /*row_bytes=*/64.0};
+  const UotChoice choice = chooser.ChooseEdge(estimate, 1u << 16);
+  EXPECT_STREQ(choice.reason, "cost-model");
+  EXPECT_GT(choice.uot_bytes, 0.0);
+  EXPECT_GE(choice.chosen_cost_ns, 0.0);
+  // Section VI: materializing this edge holds the whole sigma live.
+  EXPECT_DOUBLE_EQ(choice.materialized_bytes, estimate.bytes());
+  EXPECT_NE(choice.ToString().find("cost-model"), std::string::npos);
+}
+
+TEST(UotChooserTest, BudgetCapForcesSmallGranule) {
+  CostModelUotChooser::Options options;
+  options.memory_budget_bytes = 4096;  // cap = 1024 B per edge granule
+  options.budget_cap_fraction = 0.25;
+  CostModelUotChooser chooser(options);
+  // A 64 MiB edge in 64 KiB blocks: whole-table and every multi-block
+  // granule breach the cap, so the chooser must fall back to 1 block.
+  EdgeEstimate estimate{/*rows=*/1u << 20, /*row_bytes=*/64.0};
+  const UotChoice choice = chooser.ChooseEdge(estimate, 1u << 16);
+  EXPECT_FALSE(choice.uot.IsWholeTable());
+  EXPECT_EQ(choice.uot.blocks_per_transfer(), 1u);
+  EXPECT_STREQ(choice.reason, "memory-cap");
+}
+
+TEST(UotChooserTest, GenerousBudgetDoesNotCap) {
+  CostModelUotChooser::Options options;
+  options.memory_budget_bytes = int64_t{1} << 40;
+  CostModelUotChooser chooser(options);
+  EdgeEstimate estimate{/*rows=*/1u << 20, /*row_bytes=*/64.0};
+  const UotChoice capped_free = chooser.ChooseEdge(estimate, 1u << 16);
+  const UotChoice unbounded =
+      CostModelUotChooser().ChooseEdge(estimate, 1u << 16);
+  EXPECT_STREQ(capped_free.reason, "cost-model");
+  EXPECT_EQ(capped_free.uot.blocks_per_transfer(),
+            unbounded.uot.blocks_per_transfer());
+}
+
+TEST(UotChooserTest, EmptyEstimateStaysValid) {
+  CostModelUotChooser chooser;
+  const UotChoice choice = chooser.ChooseEdge(EdgeEstimate{}, 4096);
+  EXPECT_NE(choice.uot.blocks_per_transfer(), 0u);
+  EXPECT_DOUBLE_EQ(choice.materialized_bytes, 0.0);
+}
+
+/// select -> agg over synthetic data (one streaming edge), for the
+/// plan-level chooser APIs.
+std::unique_ptr<QueryPlan> MakeChooserPlan(StorageManager* storage,
+                                           const Table& input) {
+  auto plan = std::make_unique<QueryPlan>(storage);
+  auto proj = Projection::Identity(input.schema(), {0, 1});
+  Schema sel_schema = proj->output_schema();
+  Table* sel_out = plan->CreateTempTable("sel.out", sel_schema,
+                                         Layout::kRowStore, 1024);
+  InsertDestination* sel_dest = plan->CreateDestination(sel_out);
+  auto select = std::make_unique<SelectOperator>(
+      "select", std::make_unique<TruePredicate>(), std::move(proj),
+      sel_dest);
+  select->AttachBaseTable(&input);
+  const int select_op = plan->AddOperator(std::move(select));
+  plan->RegisterOutput(select_op, sel_dest);
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1, Type::Double()), "sum"});
+  Schema agg_schema = AggregateOperator::OutputSchema(sel_schema, {0}, aggs);
+  Table* agg_out = plan->CreateTempTable("agg.out", agg_schema,
+                                         Layout::kRowStore, 1024);
+  InsertDestination* agg_dest = plan->CreateDestination(agg_out);
+  auto agg = std::make_unique<AggregateOperator>(
+      "agg", sel_schema, std::vector<int>{0}, std::move(aggs), nullptr,
+      agg_dest);
+  const int agg_op = plan->AddOperator(std::move(agg));
+  plan->RegisterOutput(agg_op, agg_dest);
+  plan->AddStreamingEdge(select_op, agg_op);
+  plan->SetResultTable(agg_out);
+  return plan;
+}
+
+TEST(UotChooserTest, ProfiledPlanRoundTripAnnotates) {
+  StorageManager storage;
+  auto input = testing::MakeKvTable(&storage, "in", 2000, 20,
+                                    Layout::kRowStore, 1024);
+
+  // Profile run: execute once, then measure the edge's actual output. The
+  // intermediates must survive the run to be measurable.
+  auto profiled = MakeChooserPlan(&storage, *input);
+  ExecConfig config;
+  config.num_workers = 2;
+  config.drop_consumed_blocks = false;
+  QueryExecutor::Execute(profiled.get(), config);
+  const std::vector<EdgeEstimate> estimates =
+      CostModelUotChooser::EstimatesFromExecutedPlan(*profiled);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0].rows, 2000u);
+  EXPECT_GT(estimates[0].row_bytes, 0.0);
+
+  // Bind-time choice applied as a plan annotation on a fresh plan.
+  CostModelUotChooser chooser;
+  auto fresh = MakeChooserPlan(&storage, *input);
+  const std::vector<UotChoice> choices = chooser.ChoosePlan(*fresh, estimates);
+  ASSERT_EQ(choices.size(), 1u);
+  CostModelUotChooser::AnnotatePlan(fresh.get(), choices);
+  ASSERT_TRUE(fresh->edge_uot(0).has_value());
+  EXPECT_EQ(fresh->edge_uot(0)->blocks_per_transfer(),
+            choices[0].uot.blocks_per_transfer());
+
+  // The annotated plan still executes and the annotation drove the edge.
+  ExecutionStats stats = QueryExecutor::Execute(fresh.get(), config);
+  ASSERT_EQ(stats.edge_transfers.size(), 1u);
+  if (choices[0].uot.IsWholeTable()) {
+    EXPECT_EQ(stats.edge_transfers[0], 1u);
+  } else {
+    EXPECT_GE(stats.edge_transfers[0], 1u);
+  }
 }
 
 }  // namespace

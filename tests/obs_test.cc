@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/adaptive_uot_policy.h"
 #include "exec/query_executor.h"
 #include "obs/metrics.h"
 #include "obs/trace_json.h"
@@ -361,6 +362,66 @@ TEST(ObsIntegrationTest, DisabledTracingLeavesNoFootprint) {
   EXPECT_GT(stats.records.size(), 0u);
   EXPECT_EQ(exec.trace, nullptr);
   EXPECT_EQ(exec.metrics, nullptr);
+}
+
+TEST(ObsIntegrationTest, UotTrajectoryIsVisibleInTraceAndMetrics) {
+  // Per-edge UoT observability: the exported trace carries one counter
+  // track per edge (the UoT trajectory Perfetto renders as a step graph)
+  // and an instant per adaptation; metrics mirror both.
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  config.layout = Layout::kColumnStore;
+  config.block_bytes = 16 * 1024;
+  db.Generate(config);
+
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = 8 * 1024;
+  auto plan = BuildTpchPlan(3, db, plan_config);
+
+  TraceSession trace;
+  MetricsRegistry metrics;
+  ExecConfig exec;
+  exec.num_workers = 4;
+  exec.uot_policy = std::make_shared<AdaptiveUotPolicy>();
+  exec.memory_budget_bytes = 1;  // constant pressure -> adaptations
+  exec.trace = &trace;
+  exec.metrics = &metrics;
+  const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+
+  size_t effective_events = 0, adapt_events = 0;
+  for (const TraceEvent& e : trace.SortedEvents()) {
+    if (e.type == TraceEventType::kUotEffective) ++effective_events;
+    if (e.type == TraceEventType::kUotAdapt) ++adapt_events;
+  }
+  // Every streaming edge announces its starting UoT, then each adaptation
+  // re-emits the counter: counter events strictly outnumber adaptations.
+  ASSERT_GT(stats.edge_transfers.size(), 0u);
+  EXPECT_GE(effective_events,
+            stats.edge_transfers.size() + stats.uot_adaptations);
+  EXPECT_GT(stats.uot_adaptations, 0u);
+  EXPECT_EQ(adapt_events, stats.uot_adaptations);
+
+  // The Chrome JSON still parses and carries the per-edge counter track.
+  const std::string json = trace.ToChromeJson();
+  ChromeTraceSummary summary;
+  ASSERT_TRUE(ParseChromeTraceJson(json, &summary).ok());
+  EXPECT_TRUE(summary.timestamps_monotonic);
+  EXPECT_NE(json.find("uot.edge0.effective_blocks"), std::string::npos);
+  EXPECT_NE(json.find("uot_adapt"), std::string::npos);
+  EXPECT_NE(json.find("from_blocks"), std::string::npos);
+
+  // Metrics mirror the trace: a gauge per edge plus adaptation counters.
+  for (size_t e = 0; e < stats.edge_transfers.size(); ++e) {
+    const Gauge* gauge = metrics.FindGauge(
+        "uot.edge." + std::to_string(e) + ".effective_blocks");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_GT(gauge->Max(), 0);
+  }
+  const Counter* adaptations = metrics.FindCounter("uot.adaptations");
+  ASSERT_NE(adaptations, nullptr);
+  EXPECT_EQ(adaptations->Value(), stats.uot_adaptations);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "exec/adaptive_uot_policy.h"
 #include "exec/query_executor.h"
 #include "obs/metrics.h"
 #include "obs/trace_session.h"
@@ -567,6 +568,366 @@ TEST(SchedulerTest, BudgetDeferralsCountOnlyBudgetForcedDeferrals) {
     EXPECT_EQ(release_events, deferrals->Value());
     EXPECT_EQ(CanonicalRows(*sp.plan->result_table()), expected);
   }
+}
+
+/// MakeSelectProbePlan plus a group-by aggregation consuming the probe
+/// output: select -> probe -> agg, two streaming edges
+/// (0: select->probe, 1: probe->agg).
+struct ChainPlan {
+  std::unique_ptr<QueryPlan> plan;
+  int select_op = -1;
+  int probe_op = -1;
+  int agg_op = -1;
+};
+
+ChainPlan MakeSelectProbeAggPlan(StorageManager* storage,
+                                 const Table& probe_table,
+                                 const Table& build_table, double threshold,
+                                 size_t temp_block_bytes) {
+  SelectProbePlan sp = MakeSelectProbePlan(storage, probe_table, build_table,
+                                           threshold, temp_block_bytes);
+  ChainPlan out;
+  out.plan = std::move(sp.plan);
+  out.select_op = sp.select_op;
+  out.probe_op = sp.probe_op;
+  QueryPlan* plan = out.plan.get();
+
+  const Schema& probe_schema = plan->result_table()->schema();
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1, Type::Double()), "sum_v"});
+  Schema agg_schema =
+      AggregateOperator::OutputSchema(probe_schema, {0}, aggs);
+  Table* agg_out = plan->CreateTempTable("agg.out", agg_schema,
+                                         Layout::kRowStore,
+                                         temp_block_bytes);
+  InsertDestination* agg_dest = plan->CreateDestination(agg_out);
+  auto agg = std::make_unique<AggregateOperator>(
+      "agg", probe_schema, std::vector<int>{0}, std::move(aggs), nullptr,
+      agg_dest);
+  out.agg_op = plan->AddOperator(std::move(agg));
+  plan->RegisterOutput(out.agg_op, agg_dest);
+  plan->AddStreamingEdge(out.probe_op, out.agg_op);
+  plan->SetResultTable(agg_out);
+  return out;
+}
+
+TEST(PerEdgeUotTest, AnnotationOverridesSessionDefault) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 4000, 40,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 40, 40,
+                                 Layout::kRowStore, 1024);
+
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+
+  auto reference = MakeSelectProbePlan(&storage, *probe_table, *build_table,
+                                       0.0, 1024);
+  ExecutionStats ref_stats =
+      QueryExecutor::Execute(reference.plan.get(), config);
+  const std::string expected =
+      CanonicalRows(*reference.plan->result_table());
+  ASSERT_FALSE(expected.empty());
+  ASSERT_GT(ref_stats.edge_transfers[0], 1u);  // many 1-block transfers
+
+  auto pinned = MakeSelectProbePlan(&storage, *probe_table, *build_table,
+                                    0.0, 1024);
+  pinned.plan->AnnotateEdgeUot(0, UotPolicy::HighUot());
+  ASSERT_TRUE(pinned.plan->edge_uot(0).has_value());
+  EXPECT_TRUE(pinned.plan->edge_uot(0)->IsWholeTable());
+  EXPECT_NE(pinned.plan->ToString().find("UoT=whole-table"),
+            std::string::npos);
+  ExecutionStats stats = QueryExecutor::Execute(pinned.plan.get(), config);
+  // The pinned edge materialized (one transfer at producer finish) even
+  // though the session default is 1-block pipelining.
+  EXPECT_EQ(stats.edge_transfers[0], 1u);
+  EXPECT_EQ(CanonicalRows(*pinned.plan->result_table()), expected);
+}
+
+TEST(PerEdgeUotTest, MixedPoliciesAreByteIdenticalAcrossChain) {
+  // Whole-table producer feeding a 1-block consumer, and vice versa: every
+  // mix over the select -> probe -> agg chain must give identical results.
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 5000, 50,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 50, 50,
+                                 Layout::kRowStore, 1024);
+
+  ExecConfig config;
+  config.num_workers = 4;
+  config.uot = UotPolicy::LowUot(1);
+
+  std::string expected;
+  {
+    auto reference = MakeSelectProbeAggPlan(&storage, *probe_table,
+                                            *build_table, 0.0, 1024);
+    QueryExecutor::Execute(reference.plan.get(), config);
+    expected = CanonicalRows(*reference.plan->result_table());
+    ASSERT_FALSE(expected.empty());
+  }
+
+  const uint64_t kWhole = UotPolicy::kWholeTable;
+  const struct {
+    uint64_t edge0;  // select -> probe
+    uint64_t edge1;  // probe -> agg
+  } mixes[] = {{kWhole, 1}, {1, kWhole}, {4, kWhole}, {kWhole, kWhole},
+               {2, 8}};
+  for (const auto& mix : mixes) {
+    auto chain = MakeSelectProbeAggPlan(&storage, *probe_table, *build_table,
+                                        0.0, 1024);
+    chain.plan->AnnotateEdgeUot(0, UotPolicy(mix.edge0));
+    chain.plan->AnnotateEdgeUot(1, UotPolicy(mix.edge1));
+    ExecutionStats stats = QueryExecutor::Execute(chain.plan.get(), config);
+    EXPECT_EQ(CanonicalRows(*chain.plan->result_table()), expected)
+        << "mix " << UotPolicy(mix.edge0).ToString() << " / "
+        << UotPolicy(mix.edge1).ToString() << "\n"
+        << stats.ToString();
+    if (mix.edge0 == kWhole) EXPECT_EQ(stats.edge_transfers[0], 1u);
+    if (mix.edge1 == kWhole) EXPECT_EQ(stats.edge_transfers[1], 1u);
+  }
+}
+
+TEST(PerEdgeUotTest, ZeroOutputProducerCompletesUnderEveryMix) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 1000, 10,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 1024);
+
+  ExecConfig config;
+  config.num_workers = 2;
+  const uint64_t kWhole = UotPolicy::kWholeTable;
+  const struct {
+    uint64_t edge0;
+    uint64_t edge1;
+  } mixes[] = {{kWhole, 1}, {1, kWhole}, {kWhole, kWhole}};
+  for (const auto& mix : mixes) {
+    // Threshold no value reaches: the select produces zero blocks.
+    auto chain = MakeSelectProbeAggPlan(&storage, *probe_table, *build_table,
+                                        1e12, 1024);
+    chain.plan->AnnotateEdgeUot(0, UotPolicy(mix.edge0));
+    chain.plan->AnnotateEdgeUot(1, UotPolicy(mix.edge1));
+    ExecutionStats stats = QueryExecutor::Execute(chain.plan.get(), config);
+    EXPECT_EQ(chain.plan->result_table()->NumRows(), 0u);
+    // An empty stream delivers no transfers, only the final flush.
+    EXPECT_EQ(stats.edge_transfers[0], 0u);
+    EXPECT_EQ(stats.edge_transfers[1], 0u);
+  }
+}
+
+TEST(PerEdgeUotTest, MultiInputConsumerWithMixedEdgeUot) {
+  // A sort-merge join with one materializing input edge and one pipelining
+  // input edge: results match the all-pipelining run and both consumed
+  // intermediates are still dropped.
+  StorageManager storage;
+  auto left_in = MakeKvTable(&storage, "left", 300, 10,
+                             Layout::kRowStore, 1024);
+  auto right_in = MakeKvTable(&storage, "right", 300, 10,
+                              Layout::kRowStore, 1024);
+
+  auto make_plan = [&](uint64_t left_uot, uint64_t right_uot) {
+    auto plan = std::make_unique<QueryPlan>(&storage);
+    std::vector<Table*> sel_outs;
+    std::vector<int> sel_ops;
+    const Table* inputs[2] = {left_in.get(), right_in.get()};
+    for (int side = 0; side < 2; ++side) {
+      auto proj = Projection::Identity(inputs[side]->schema(), {0, 1});
+      Schema sel_schema = proj->output_schema();
+      Table* sel_out = plan->CreateTempTable("sel" + std::to_string(side),
+                                             sel_schema, Layout::kRowStore,
+                                             1024);
+      InsertDestination* sel_dest = plan->CreateDestination(sel_out);
+      auto select = std::make_unique<SelectOperator>(
+          "select" + std::to_string(side), std::make_unique<TruePredicate>(),
+          std::move(proj), sel_dest);
+      select->AttachBaseTable(inputs[side]);
+      const int op = plan->AddOperator(std::move(select));
+      plan->RegisterOutput(op, sel_dest);
+      sel_outs.push_back(sel_out);
+      sel_ops.push_back(op);
+    }
+    Schema join_schema = SortMergeJoinOperator::OutputSchema(
+        sel_outs[0]->schema(), {0, 1}, sel_outs[1]->schema(), {1});
+    Table* join_out = plan->CreateTempTable("join.out", join_schema,
+                                            Layout::kRowStore, 4096);
+    InsertDestination* join_dest = plan->CreateDestination(join_out);
+    auto join = std::make_unique<SortMergeJoinOperator>(
+        "smj", sel_outs[0]->schema(), sel_outs[1]->schema(),
+        std::vector<int>{0}, std::vector<int>{0}, std::vector<int>{0, 1},
+        std::vector<int>{1}, join_dest);
+    const int join_op = plan->AddOperator(std::move(join));
+    plan->RegisterOutput(join_op, join_dest);
+    plan->AddStreamingEdge(sel_ops[0], join_op, /*consumer_input=*/0);
+    plan->AddStreamingEdge(sel_ops[1], join_op, /*consumer_input=*/1);
+    plan->SetResultTable(join_out);
+    if (left_uot != 0) plan->AnnotateEdgeUot(0, UotPolicy(left_uot));
+    if (right_uot != 0) plan->AnnotateEdgeUot(1, UotPolicy(right_uot));
+    struct Out {
+      std::unique_ptr<QueryPlan> plan;
+      Table* left_intermediate;
+      Table* right_intermediate;
+    };
+    return Out{std::move(plan), sel_outs[0], sel_outs[1]};
+  };
+
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+
+  auto reference = make_plan(0, 0);
+  QueryExecutor::Execute(reference.plan.get(), config);
+  const std::string expected = CanonicalRows(*reference.plan->result_table());
+  ASSERT_FALSE(expected.empty());
+
+  const uint64_t kWhole = UotPolicy::kWholeTable;
+  const struct {
+    uint64_t left;
+    uint64_t right;
+  } mixes[] = {{kWhole, 1}, {1, kWhole}, {kWhole, kWhole}};
+  for (const auto& mix : mixes) {
+    auto mixed = make_plan(mix.left, mix.right);
+    ExecutionStats stats = QueryExecutor::Execute(mixed.plan.get(), config);
+    EXPECT_EQ(CanonicalRows(*mixed.plan->result_table()), expected);
+    if (mix.left == kWhole) EXPECT_EQ(stats.edge_transfers[0], 1u);
+    if (mix.right == kWhole) EXPECT_EQ(stats.edge_transfers[1], 1u);
+    EXPECT_TRUE(mixed.left_intermediate->blocks().empty());
+    EXPECT_TRUE(mixed.right_intermediate->blocks().empty());
+  }
+}
+
+/// A per-edge policy expressed through the interface instead of plan
+/// annotations: edge 0 materializes, every other edge pipelines.
+class FirstEdgeMaterializesPolicy final : public EdgeUotPolicy {
+ public:
+  uint64_t BlocksPerTransfer(const EdgeRuntimeState& edge) override {
+    return edge.edge_index == 0 ? UotPolicy::kWholeTable : 1;
+  }
+  std::string ToString() const override { return "first-edge-whole"; }
+};
+
+TEST(PerEdgeUotTest, InterfacePolicyMatchesEquivalentAnnotations) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 4000, 40,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 40, 40,
+                                 Layout::kRowStore, 1024);
+
+  auto annotated = MakeSelectProbeAggPlan(&storage, *probe_table,
+                                          *build_table, 0.0, 1024);
+  annotated.plan->AnnotateEdgeUot(0, UotPolicy::HighUot());
+  annotated.plan->AnnotateEdgeUot(1, UotPolicy::LowUot(1));
+  ExecConfig config;
+  config.num_workers = 2;
+  ExecutionStats annotated_stats =
+      QueryExecutor::Execute(annotated.plan.get(), config);
+
+  auto via_policy = MakeSelectProbeAggPlan(&storage, *probe_table,
+                                           *build_table, 0.0, 1024);
+  ExecConfig policy_config;
+  policy_config.num_workers = 2;
+  policy_config.uot_policy =
+      std::make_shared<FirstEdgeMaterializesPolicy>();
+  ExecutionStats policy_stats =
+      QueryExecutor::Execute(via_policy.plan.get(), policy_config);
+
+  EXPECT_EQ(CanonicalRows(*via_policy.plan->result_table()),
+            CanonicalRows(*annotated.plan->result_table()));
+  EXPECT_EQ(policy_stats.edge_transfers, annotated_stats.edge_transfers);
+  EXPECT_NE(policy_stats.config_summary.find("first-edge-whole"),
+            std::string::npos);
+}
+
+/// A broken policy: returns 0 blocks per transfer.
+class ZeroUotPolicy final : public EdgeUotPolicy {
+ public:
+  uint64_t BlocksPerTransfer(const EdgeRuntimeState&) override { return 0; }
+  std::string ToString() const override { return "zero"; }
+};
+
+TEST(PerEdgeUotDeathTest, PolicyReturningZeroAbortsLoudly) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 200, 10,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 1024);
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                1024);
+  ExecConfig config;
+  config.num_workers = 1;
+  config.uot_policy = std::make_shared<ZeroUotPolicy>();
+  EXPECT_DEATH(QueryExecutor::Execute(sp.plan.get(), config),
+               "blocks != 0");
+}
+
+TEST(PerEdgeUotTest, AdaptivePolicyNarrowsUnderBudgetPressure) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 8000, 10,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 1024);
+
+  ExecConfig config;
+  config.num_workers = 2;
+  std::string expected;
+  {
+    auto free_run = MakeSelectProbePlan(&storage, *probe_table, *build_table,
+                                        0.0, 1024);
+    QueryExecutor::Execute(free_run.plan.get(), config);
+    expected = CanonicalRows(*free_run.plan->result_table());
+  }
+
+  obs::MetricsRegistry metrics;
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                1024);
+  auto adaptive = std::make_shared<AdaptiveUotPolicy>();
+  config.uot_policy = adaptive;
+  config.memory_budget_bytes = 1;  // every consultation sees pressure
+  config.metrics = &metrics;
+  ExecutionStats stats = QueryExecutor::Execute(sp.plan.get(), config);
+
+  EXPECT_EQ(CanonicalRows(*sp.plan->result_table()), expected);
+  // Seeded at 4 blocks, pressure narrows toward 1: at least one adaptation,
+  // mirrored in the policy, the stats and the metrics registry.
+  EXPECT_GE(adaptive->adaptations(), 1u);
+  EXPECT_GE(stats.uot_adaptations, 1u);
+  const obs::Counter* adaptations = metrics.FindCounter("uot.adaptations");
+  ASSERT_NE(adaptations, nullptr);
+  EXPECT_EQ(adaptations->Value(), stats.uot_adaptations);
+  const obs::Gauge* gauge =
+      metrics.FindGauge("uot.edge.0.effective_blocks");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->Value(), 1);  // narrowed all the way down
+  EXPECT_NE(stats.config_summary.find("adaptive("), std::string::npos);
+}
+
+TEST(PerEdgeUotTest, BudgetStallsCountDeniedReleases) {
+  StorageManager storage;
+  auto probe_table = MakeKvTable(&storage, "probe", 8000, 10,
+                                 Layout::kRowStore, 1024);
+  auto build_table = MakeKvTable(&storage, "build", 10, 10,
+                                 Layout::kRowStore, 1024);
+
+  obs::MetricsRegistry metrics;
+  auto sp = MakeSelectProbePlan(&storage, *probe_table, *build_table, 0.0,
+                                1024);
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+  config.memory_budget_bytes = 1;  // permanently over budget
+  config.metrics = &metrics;
+  ExecutionStats stats = QueryExecutor::Execute(sp.plan.get(), config);
+
+  const obs::Counter* stalls =
+      metrics.FindCounter("scheduler.budget.stalls");
+  ASSERT_NE(stalls, nullptr);
+  EXPECT_GT(stalls->Value(), 0u);
+  EXPECT_EQ(stalls->Value(), stats.budget_stalls);
+  const obs::Counter* deferrals =
+      metrics.FindCounter("scheduler.budget.deferrals");
+  ASSERT_NE(deferrals, nullptr);
+  EXPECT_EQ(deferrals->Value(), stats.budget_deferrals);
 }
 
 }  // namespace

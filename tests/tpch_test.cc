@@ -212,6 +212,41 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.workers);
     });
 
+TEST_F(TpchTest, FixedPolicyMatchesScalarUotAcrossSuite) {
+  // Tentpole backward-compatibility gate: routing the scalar ExecConfig::uot
+  // through the EdgeUotPolicy interface (the default FixedUotPolicy) must
+  // leave every query byte-identical with identical per-edge transfer
+  // counts, across the whole UoT spectrum.
+  TpchPlanConfig plan_config;
+  plan_config.block_bytes = 16 * 1024;
+  for (uint64_t blocks : {uint64_t{1}, uint64_t{4},
+                          UotPolicy::kWholeTable}) {
+    const UotPolicy uot(blocks);
+    for (int query : SupportedTpchQueries()) {
+      auto scalar_plan = BuildTpchPlan(query, *db_, plan_config);
+      ExecConfig scalar;
+      scalar.num_workers = 2;
+      scalar.uot = uot;
+      const ExecutionStats scalar_stats =
+          QueryExecutor::Execute(scalar_plan.get(), scalar);
+
+      auto policy_plan = BuildTpchPlan(query, *db_, plan_config);
+      ExecConfig via_policy;
+      via_policy.num_workers = 2;
+      via_policy.uot_policy = std::make_shared<FixedUotPolicy>(uot);
+      const ExecutionStats policy_stats =
+          QueryExecutor::Execute(policy_plan.get(), via_policy);
+
+      EXPECT_TRUE(testing::CanonicalRowsNear(
+          CanonicalRows(*policy_plan->result_table()),
+          CanonicalRows(*scalar_plan->result_table())))
+          << "Q" << query << " " << uot.ToString();
+      EXPECT_EQ(policy_stats.edge_transfers, scalar_stats.edge_transfers)
+          << "Q" << query << " " << uot.ToString();
+    }
+  }
+}
+
 TEST_F(TpchTest, RowStoreAndColumnStoreAgree) {
   StorageManager storage_row;
   TpchDatabase db_row(&storage_row);
