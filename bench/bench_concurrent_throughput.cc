@@ -88,6 +88,11 @@ int main() {
 
   EngineConfig engine_config;
   engine_config.num_workers = workers;
+  // Engine telemetry across every shared-engine run: per-query latency
+  // percentiles come from the engine's own histogram instead of
+  // hand-rolled sorting here.
+  obs::MetricsRegistry engine_metrics;
+  engine_config.metrics = &engine_metrics;
   Engine engine(engine_config);
   for (const int concurrency : {1, 2, 4}) {
     double best_ms = 1e300;
@@ -101,6 +106,20 @@ int main() {
                 concurrency, best_ms, speedup);
     json.Set("shared_" + std::to_string(concurrency) + "_ms", best_ms);
     json.Set("speedup_" + std::to_string(concurrency), speedup);
+  }
+  const obs::Histogram* latency =
+      engine_metrics.FindHistogram("engine.query_latency_ns");
+  if (latency != nullptr && latency->TotalCount() > 0) {
+    const obs::HistogramSnapshot snap = latency->TakeSnapshot();
+    std::printf("\nper-query latency over all shared-engine runs: "
+                "p50 %.2f ms, p95 %.2f ms, p99 %.2f ms (%llu queries)\n",
+                static_cast<double>(snap.p50) / 1e6,
+                static_cast<double>(snap.p95) / 1e6,
+                static_cast<double>(snap.p99) / 1e6,
+                static_cast<unsigned long long>(snap.count));
+    json.Set("latency_p50_ms", static_cast<double>(snap.p50) / 1e6);
+    json.Set("latency_p95_ms", static_cast<double>(snap.p95) / 1e6);
+    json.Set("latency_p99_ms", static_cast<double>(snap.p99) / 1e6);
   }
   json.Set("queries_executed",
            static_cast<double>(engine.queries_executed()));

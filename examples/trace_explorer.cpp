@@ -7,13 +7,26 @@
 // or chrome://tracing — work-order spans per worker, UoT transfer instants,
 // queue-depth and per-category memory counter tracks), plus
 // `<out_prefix>.metrics.csv` and `<out_prefix>.metrics.json`.
+//
+// With `--profile`, the run additionally closes the observe-model-act
+// loop: a calibration pass measures oracle per-edge cardinalities, the
+// cost model's predictions are attached to the plan, the traced run
+// executes with ExecConfig::profile on and a background metrics sampler,
+// and the tool writes `<out_prefix>.profile.json` (validated),
+// `<out_prefix>.profile.txt` (the annotated plan + calibration report),
+// and `<out_prefix>.timeseries.json` / `.csv` — with the
+// `model.residual.edge.*` gauges exported into the metrics files.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "exec/query_executor.h"
+#include "model/uot_chooser.h"
 #include "obs/metrics.h"
+#include "obs/metrics_sampler.h"
+#include "obs/query_profile.h"
 #include "obs/trace_json.h"
 #include "obs/trace_session.h"
 #include "tpch/tpch_generator.h"
@@ -26,8 +39,15 @@ int main(int argc, char** argv) {
   const double sf = sf_env != nullptr ? std::atof(sf_env) : 0.01;
   const char* query_env = std::getenv("UOT_QUERY");
   const int query = query_env != nullptr ? std::atoi(query_env) : 7;
-  const std::string prefix =
-      argc > 1 ? argv[1] : ("q" + std::to_string(query));
+  bool profile_mode = false;
+  std::string prefix = "q" + std::to_string(query);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile_mode = true;
+    } else {
+      prefix = argv[i];
+    }
+  }
 
   StorageManager storage;
   TpchDatabase db(&storage);
@@ -49,10 +69,88 @@ int main(int argc, char** argv) {
   exec.trace = &trace;
   exec.metrics = &metrics;
 
-  std::printf("Running TPC-H Q%d at SF %.3f with tracing enabled...\n",
-              query, sf);
+  if (profile_mode) {
+    // Calibration pass: measure oracle per-edge cardinalities, then attach
+    // the cost model's predictions to the traced plan (without pinning its
+    // UoTs, so the traced run behaves exactly like the unprofiled one and
+    // the residuals grade the model, not a changed execution).
+    ExecConfig calib = exec;
+    calib.trace = nullptr;
+    calib.metrics = nullptr;
+    calib.drop_consumed_blocks = false;
+    auto calib_plan = BuildTpchPlan(query, db, plan_config);
+    QueryExecutor::Execute(calib_plan.get(), calib);
+    const std::vector<EdgeEstimate> estimates =
+        CostModelUotChooser::EstimatesFromExecutedPlan(*calib_plan);
+    CostModelUotChooser chooser;
+    CostModelUotChooser::AnnotatePredictions(
+        plan.get(), chooser.ChoosePlan(*plan, estimates));
+    exec.profile = true;
+  }
+
+  obs::MetricsSampler::Options sampler_options;
+  sampler_options.interval_ms = 1;
+  sampler_options.capacity = 4096;
+  obs::MetricsSampler sampler(&metrics, sampler_options);
+  if (profile_mode) sampler.Start();
+
+  std::printf("Running TPC-H Q%d at SF %.3f with tracing%s enabled...\n",
+              query, sf, profile_mode ? " and profiling" : "");
   const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+  if (profile_mode) sampler.Stop();
   std::printf("%s\n", stats.ToString().c_str());
+
+  if (profile_mode) {
+    const obs::QueryProfile profile = obs::QueryProfile::FromRun(
+        plan.get(), stats, {"q" + std::to_string(query)});
+    profile.ExportResidualMetrics(&metrics);
+    std::printf("%s\n", profile.ToString().c_str());
+    const std::string report = profile.CalibrationReport();
+    if (!report.empty()) std::printf("%s\n", report.c_str());
+
+    const std::string json = profile.ToJson();
+    obs::QueryProfileSummary profile_summary;
+    Status profile_status =
+        obs::ParseQueryProfileJson(json, &profile_summary);
+    if (!profile_status.ok()) {
+      std::fprintf(stderr, "profile JSON failed validation: %s\n",
+                   profile_status.ToString().c_str());
+      return 1;
+    }
+    profile_status = profile.WriteJson(prefix + ".profile.json");
+    if (profile_status.ok()) {
+      std::FILE* txt =
+          std::fopen((prefix + ".profile.txt").c_str(), "w");
+      if (txt == nullptr) {
+        profile_status =
+            Status::InvalidArgument("cannot open " + prefix + ".profile.txt");
+      } else {
+        std::fputs(profile.ToString().c_str(), txt);
+        if (!report.empty()) std::fputs(report.c_str(), txt);
+        std::fclose(txt);
+      }
+    }
+    if (profile_status.ok()) {
+      profile_status = sampler.WriteJson(prefix + ".timeseries.json");
+    }
+    if (profile_status.ok()) {
+      profile_status = sampler.WriteCsv(prefix + ".timeseries.csv");
+    }
+    if (!profile_status.ok()) {
+      std::fprintf(stderr, "profile export failed: %s\n",
+                   profile_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("Profile: %s.profile.json (%zu operators, %zu edges, %zu "
+                "predicted, %zu UoT decisions), %s.profile.txt\n",
+                prefix.c_str(), profile_summary.num_operators,
+                profile_summary.num_edges,
+                profile_summary.num_predicted_edges,
+                profile_summary.num_uot_decisions, prefix.c_str());
+    std::printf("Time-series: %s.timeseries.json/.csv (%llu samples)\n",
+                prefix.c_str(),
+                static_cast<unsigned long long>(sampler.total_samples()));
+  }
 
   const std::string trace_path = prefix + ".trace.json";
   Status status = trace.WriteChromeJson(trace_path);

@@ -30,11 +30,18 @@ uint64_t AdaptiveUotPolicy::SeedFor(int edge_index) const {
 }
 
 uint64_t AdaptiveUotPolicy::BlocksPerTransfer(const EdgeRuntimeState& edge) {
+  return BlocksPerTransfer(edge, nullptr);
+}
+
+uint64_t AdaptiveUotPolicy::BlocksPerTransfer(const EdgeRuntimeState& edge,
+                                              UotAdaptCause* cause) {
+  if (cause != nullptr) *cause = UotAdaptCause::kNone;
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = edges_.try_emplace(
       std::make_pair(edge.query_id, edge.edge_index),
       EdgeControl{SeedFor(edge.edge_index)});
   EdgeControl& control = it->second;
+  if (inserted && cause != nullptr) *cause = UotAdaptCause::kSeed;
 
   const bool budgeted = edge.memory_budget_bytes > 0;
   // Usage of the *headroom* above the session's structural floor: with
@@ -59,6 +66,11 @@ uint64_t AdaptiveUotPolicy::BlocksPerTransfer(const EdgeRuntimeState& edge) {
     if (control.blocks > options_.min_blocks) {
       control.blocks = std::max(options_.min_blocks, control.blocks / 2);
       adaptations_.fetch_add(1, std::memory_order_relaxed);
+      if (cause != nullptr) {
+        *cause = edge.deferred_work_orders > 0
+                     ? UotAdaptCause::kDeferralDepth
+                     : UotAdaptCause::kHeadroomWatermark;
+      }
     }
   } else if (!budgeted || usage <= options_.widen_watermark) {
     ++control.calm_streak;
@@ -77,6 +89,10 @@ uint64_t AdaptiveUotPolicy::BlocksPerTransfer(const EdgeRuntimeState& edge) {
       control.blocks = std::min(options_.max_blocks, control.blocks * 2);
       control.calm_streak = 0;
       adaptations_.fetch_add(1, std::memory_order_relaxed);
+      if (cause != nullptr) {
+        *cause = producer_ahead ? UotAdaptCause::kRateImbalance
+                                : UotAdaptCause::kCalmStreak;
+      }
     }
   }
   return control.blocks;

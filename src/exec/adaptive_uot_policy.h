@@ -66,6 +66,12 @@ class AdaptiveUotPolicy final : public EdgeUotPolicy {
 
   uint64_t BlocksPerTransfer(const EdgeRuntimeState& edge) override;
 
+  /// The decision plus its cause: kSeed on an edge's first consultation,
+  /// kDeferralDepth/kHeadroomWatermark for narrows, kCalmStreak/
+  /// kRateImbalance for widens, kNone when the value is unchanged.
+  uint64_t BlocksPerTransfer(const EdgeRuntimeState& edge,
+                             UotAdaptCause* cause) override;
+
   std::string ToString() const override;
 
   /// Widen/narrow steps taken across all queries and edges so far.

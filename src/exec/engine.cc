@@ -8,10 +8,34 @@ namespace uot {
 
 Engine::Engine(EngineConfig config) : config_(config) {
   UOT_CHECK(config_.num_workers >= 1);
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  queries_executed_counter_ = metrics_->GetCounter("engine.queries_executed");
+  inflight_gauge_ = metrics_->GetGauge("engine.inflight_queries");
+  queue_depth_gauge_ = metrics_->GetGauge("engine.work_queue_depth");
+  if (config_.memory_budget_bytes > 0) {
+    budget_headroom_gauge_ = metrics_->GetGauge("engine.budget_headroom_bytes");
+    budget_headroom_gauge_->Set(config_.memory_budget_bytes);
+  }
+  query_latency_hist_ = metrics_->GetHistogram("engine.query_latency_ns");
+  admission_wait_hist_ = metrics_->GetHistogram("engine.admission_wait_ns");
+  if (config_.sampler_interval_ms > 0) {
+    obs::MetricsSampler::Options sampler_options;
+    sampler_options.interval_ms = config_.sampler_interval_ms;
+    sampler_options.capacity = std::max<size_t>(1, config_.sampler_capacity);
+    sampler_options.pre_sample = [this] { RefreshGauges(); };
+    sampler_ =
+        std::make_unique<obs::MetricsSampler>(metrics_, sampler_options);
+  }
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int w = 0; w < config_.num_workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
+  if (sampler_ != nullptr) sampler_->Start();
 }
 
 Engine::~Engine() { Shutdown(); }
@@ -27,6 +51,8 @@ void Engine::Shutdown() {
   work_queue_.Close();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
+  // After the pool is quiet, so the final sample is the true end state.
+  if (sampler_ != nullptr) sampler_->Stop();
 }
 
 bool Engine::CanAdmitLocked(const StorageManager* storage) const {
@@ -48,6 +74,27 @@ bool Engine::CanAdmitLocked(const StorageManager* storage) const {
     if (total > config_.memory_budget_bytes) return false;
   }
   return true;
+}
+
+int64_t Engine::TrackedBytesLocked() const {
+  int64_t total = 0;
+  std::vector<const StorageManager*> seen;
+  for (const StorageManager* s : active_storages_) {
+    if (std::find(seen.begin(), seen.end(), s) != seen.end()) continue;
+    seen.push_back(s);
+    total += s->tracker().TotalCurrent();
+  }
+  return total;
+}
+
+void Engine::RefreshGauges() {
+  queue_depth_gauge_->Set(static_cast<int64_t>(WorkQueueDepth()));
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  inflight_gauge_->Set(active_);
+  if (budget_headroom_gauge_ != nullptr) {
+    budget_headroom_gauge_->Set(config_.memory_budget_bytes -
+                                TrackedBytesLocked());
+  }
 }
 
 ExecutionStats Engine::Execute(QueryPlan* plan, const ExecConfig& config) {
@@ -76,6 +123,9 @@ ExecutionStats Engine::Execute(QueryPlan* plan, const ExecConfig& config) {
                                      active_storages_.end(), storage));
   }
   queries_executed_.fetch_add(1, std::memory_order_relaxed);
+  queries_executed_counter_->Increment();
+  query_latency_hist_->Record(stats.query_end_ns - stats.query_start_ns);
+  admission_wait_hist_->Record(stats.admission_wait_ns);
   admission_cv_.notify_all();
   return stats;
 }

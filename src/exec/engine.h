@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/metrics_sampler.h"
 #include "plan/query_plan.h"
 #include "scheduler/query_session.h"
 
@@ -29,6 +31,20 @@ struct EngineConfig {
   /// engine-level admission; the per-work-order budget policy inside a
   /// query is ExecConfig::memory_budget_bytes.
   int64_t memory_budget_bytes = 0;
+  /// Engine-level telemetry registry. When set, the engine records its
+  /// service metrics (engine.* gauges, counters, and latency histograms)
+  /// into this shared registry; when null it owns a private one, readable
+  /// via metrics(). Distinct from the per-query ExecConfig::metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Time-series sampling interval for the engine registry; 0 disables
+  /// the background sampler. When enabled, a MetricsSampler snapshots
+  /// every counter/gauge at this interval into a bounded ring buffer
+  /// (readable via sampler()), refreshing the on-demand engine gauges
+  /// (in-flight queries, work-queue depth, budget headroom) right before
+  /// each snapshot.
+  int64_t sampler_interval_ms = 0;
+  /// Ring-buffer capacity of the sampler, in samples.
+  size_t sampler_capacity = 600;
 };
 
 /// A long-lived query execution service (the architectural move of
@@ -78,6 +94,22 @@ class Engine final : public WorkOrderSink {
     return queries_executed_.load(std::memory_order_relaxed);
   }
 
+  /// The engine telemetry registry: EngineConfig::metrics when provided,
+  /// otherwise the engine-owned one. Holds engine.queries_executed,
+  /// engine.inflight_queries / engine.work_queue_depth /
+  /// engine.budget_headroom_bytes gauges (refreshed on demand and before
+  /// every sample), and the engine.query_latency_ns /
+  /// engine.admission_wait_ns histograms.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  /// The background time-series sampler; nullptr unless
+  /// EngineConfig::sampler_interval_ms > 0. Stopped (with a final sample)
+  /// by Shutdown.
+  obs::MetricsSampler* sampler() const { return sampler_.get(); }
+  /// Refreshes the on-demand engine gauges (in-flight queries, work-queue
+  /// depth, budget headroom) right now; the sampler calls this before
+  /// every snapshot, and callers without a sampler may poll it directly.
+  void RefreshGauges();
+
   // WorkOrderSink — called by sessions (coordinator threads).
   bool SubmitWork(QuerySession* session, std::unique_ptr<WorkOrder> wo,
                   bool high_priority) override;
@@ -93,6 +125,9 @@ class Engine final : public WorkOrderSink {
   void WorkerLoop(int worker_id);
   /// Admission predicate; `admission_mutex_` must be held.
   bool CanAdmitLocked(const StorageManager* storage) const;
+  /// Tracked bytes across active sessions' storage managers, counting
+  /// shared managers once; `admission_mutex_` must be held.
+  int64_t TrackedBytesLocked() const;
 
   const EngineConfig config_;
   ThreadSafeQueue<WorkItem> work_queue_;
@@ -108,6 +143,18 @@ class Engine final : public WorkOrderSink {
 
   std::atomic<uint64_t> next_query_id_{1};
   std::atomic<uint64_t> queries_executed_{0};
+
+  // Telemetry. Resolved once in the constructor; the per-completion
+  // handles are lock-free after that.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;  // == owned or config's
+  obs::Counter* queries_executed_counter_ = nullptr;
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Gauge* budget_headroom_gauge_ = nullptr;  // only when budgeted
+  obs::Histogram* query_latency_hist_ = nullptr;
+  obs::Histogram* admission_wait_hist_ = nullptr;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
 };
 
 }  // namespace uot

@@ -41,6 +41,10 @@ UotChoice CostModelUotChooser::ChooseEdge(const EdgeEstimate& estimate,
   choice.materializing_cost_ns = model_.NonPipeliningExtraCost(
       est_blocks, static_cast<double>(block_bytes));
 
+  choice.est_rows = estimate.rows;
+  choice.est_bytes = static_cast<uint64_t>(std::max(0.0, est_bytes));
+  choice.est_blocks = est_blocks;
+
   // The budget cap on one edge's live transfer granule.
   const double cap =
       options_.memory_budget_bytes > 0
@@ -78,12 +82,18 @@ UotChoice CostModelUotChooser::ChooseEdge(const EdgeEstimate& estimate,
     choice.uot_bytes = est_bytes;
     choice.chosen_cost_ns = choice.materializing_cost_ns;
     choice.reason = "cost-model";
+    choice.predicted_transfers = 1;
+    choice.predicted_footprint_bytes =
+        static_cast<uint64_t>(std::max(0.0, choice.materialized_bytes));
     return choice;
   }
 
   choice.uot = UotPolicy::LowUot(best_k);
   choice.uot_bytes = static_cast<double>(best_k * block_bytes);
   choice.chosen_cost_ns = best_cost;
+  choice.predicted_transfers = (est_blocks + best_k - 1) / best_k;
+  choice.predicted_footprint_bytes = static_cast<uint64_t>(
+      std::min(choice.uot_bytes, std::max(0.0, est_bytes)));
   choice.reason =
       (capped || (!whole_allowed &&
                   choice.materializing_cost_ns < best_cost))
@@ -115,6 +125,26 @@ void CostModelUotChooser::AnnotatePlan(QueryPlan* plan,
   UOT_CHECK(choices.size() == plan->streaming_edges().size());
   for (size_t i = 0; i < choices.size(); ++i) {
     plan->AnnotateEdgeUot(static_cast<int>(i), choices[i].uot);
+  }
+  AnnotatePredictions(plan, choices);
+}
+
+void CostModelUotChooser::AnnotatePredictions(
+    QueryPlan* plan, const std::vector<UotChoice>& choices) {
+  UOT_CHECK(plan != nullptr);
+  UOT_CHECK(choices.size() == plan->streaming_edges().size());
+  for (size_t i = 0; i < choices.size(); ++i) {
+    const UotChoice& c = choices[i];
+    QueryPlan::EdgePrediction prediction;
+    prediction.uot_blocks = c.uot.blocks_per_transfer();
+    prediction.est_rows = c.est_rows;
+    prediction.est_bytes = c.est_bytes;
+    prediction.est_blocks = c.est_blocks;
+    prediction.predicted_transfers = c.predicted_transfers;
+    prediction.predicted_footprint_bytes = c.predicted_footprint_bytes;
+    prediction.predicted_cost_ns = c.chosen_cost_ns;
+    prediction.reason = c.reason;
+    plan->AnnotateEdgePrediction(static_cast<int>(i), std::move(prediction));
   }
 }
 

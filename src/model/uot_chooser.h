@@ -39,6 +39,18 @@ struct UotChoice {
   /// a smaller granule than the cost argmin).
   const char* reason = "cost-model";
 
+  /// The inputs and derived expectations behind the choice, kept so
+  /// profiles can hold the model accountable (residual accounting):
+  /// the estimate the model saw ...
+  uint64_t est_rows = 0;
+  uint64_t est_bytes = 0;
+  uint64_t est_blocks = 0;
+  /// ... and what it implies at the chosen UoT: number of transfers and
+  /// the Section VI bytes the edge is expected to hold live (the granule
+  /// for finite UoT, the whole intermediate when materializing).
+  uint64_t predicted_transfers = 0;
+  uint64_t predicted_footprint_bytes = 0;
+
   std::string ToString() const;
 };
 
@@ -83,9 +95,18 @@ class CostModelUotChooser {
   std::vector<UotChoice> ChoosePlan(
       const QueryPlan& plan, const std::vector<EdgeEstimate>& estimates) const;
 
-  /// Applies `choices` (from ChoosePlan) as per-edge plan annotations.
+  /// Applies `choices` (from ChoosePlan) as per-edge plan annotations,
+  /// pinning every edge's UoT. Also records the predictions
+  /// (AnnotatePredictions) so profiled runs get residuals for free.
   static void AnnotatePlan(QueryPlan* plan,
                            const std::vector<UotChoice>& choices);
+
+  /// Records only the model's expectations (QueryPlan::EdgePrediction)
+  /// without pinning edge UoTs. Use when the choices seed an adaptive
+  /// policy instead of pinning the plan: the profile still compares the
+  /// model's predictions against what the adaptive run measured.
+  static void AnnotatePredictions(QueryPlan* plan,
+                                  const std::vector<UotChoice>& choices);
 
   /// Oracle estimates measured from an already-executed plan's intermediate
   /// tables — per-edge actual output cardinalities, for benchmarking the

@@ -1,0 +1,299 @@
+#include "obs/json_lite.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/macros.h"
+
+namespace uot {
+namespace obs {
+
+bool JsonValue::AsBool() const {
+  UOT_CHECK(is_bool());
+  return bool_;
+}
+
+double JsonValue::AsDouble() const {
+  UOT_CHECK(is_number());
+  return number_;
+}
+
+int64_t JsonValue::AsInt64() const {
+  UOT_CHECK(is_number());
+  return static_cast<int64_t>(number_);
+}
+
+const std::string& JsonValue::AsString() const {
+  UOT_CHECK(is_string());
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::AsArray() const {
+  UOT_CHECK(is_array());
+  return array_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = members_.find(key);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+size_t JsonValue::ObjectSize() const {
+  return is_object() ? members_.size() : 0;
+}
+
+const std::vector<std::string>& JsonValue::ObjectKeys() const {
+  static const std::vector<std::string>* kEmpty =
+      new std::vector<std::string>();
+  return is_object() ? keys_ : *kEmpty;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_ : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_ : fallback;
+}
+
+/// Recursive-descent parser over the raw bytes; same strictness rules as
+/// the streaming validator in trace_json.cc, but builds a JsonValue tree.
+/// Namespace-scope (not anonymous) so the friend declaration in
+/// json_lite.h binds to it.
+class JsonLiteParser {
+ public:
+  explicit JsonLiteParser(std::string_view input) : input_(input) {}
+
+  Status ParseDocument(JsonValue* out) {
+    SkipWhitespace();
+    UOT_RETURN_IF_ERROR(ParseValue(out, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != input_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json_lite: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  Status Expect(char c) {
+    if (AtEnd() || input_[pos_] != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      }
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseNull(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    UOT_RETURN_IF_ERROR(Expect('{'));
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      UOT_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      UOT_RETURN_IF_ERROR(Expect(':'));
+      SkipWhitespace();
+      JsonValue member;
+      UOT_RETURN_IF_ERROR(ParseValue(&member, depth + 1));
+      if (out->members_.count(key) != 0) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      out->keys_.push_back(key);
+      out->members_.emplace(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    UOT_RETURN_IF_ERROR(Expect('['));
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue element;
+      UOT_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      out->array_.push_back(std::move(element));
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    UOT_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      const char c = input_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      const char esc = input_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // The engine only emits ASCII; accept any \uXXXX but replace
+          // non-ASCII code units with '?' rather than transcoding UTF-16.
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd()) return Error("truncated \\u escape");
+            const char h = input_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    if (input_.compare(pos_, 4, "true") == 0) {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = true;
+      pos_ += 4;
+      return Status::OK();
+    }
+    if (input_.compare(pos_, 5, "false") == 0) {
+      out->kind_ = JsonValue::Kind::kBool;
+      out->bool_ = false;
+      pos_ += 5;
+      return Status::OK();
+    }
+    return Error("bad literal");
+  }
+
+  Status ParseNull(JsonValue* out) {
+    if (input_.compare(pos_, 4, "null") == 0) {
+      out->kind_ = JsonValue::Kind::kNull;
+      pos_ += 4;
+      return Status::OK();
+    }
+    return Error("bad literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      pos_ = start;
+      return Error("bad number");
+    }
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("bad fraction");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || Peek() < '0' || Peek() > '9') {
+        return Error("bad exponent");
+      }
+      while (!AtEnd() && Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string text(input_.substr(start, pos_ - start));
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = std::strtod(text.c_str(), nullptr);
+    if (!std::isfinite(out->number_)) return Error("non-finite number");
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+Status JsonValue::Parse(std::string_view json, JsonValue* out) {
+  UOT_CHECK(out != nullptr);
+  *out = JsonValue();
+  JsonLiteParser parser(json);
+  return parser.ParseDocument(out);
+}
+
+}  // namespace obs
+}  // namespace uot

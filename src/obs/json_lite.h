@@ -1,0 +1,80 @@
+#ifndef UOT_OBS_JSON_LITE_H_
+#define UOT_OBS_JSON_LITE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace uot {
+namespace obs {
+
+/// A minimal DOM for JSON documents the engine itself emits (query
+/// profiles, metrics exports, time-series dumps). Like the trace
+/// validator in trace_json.h it is dependency-free and strict — trailing
+/// garbage, duplicate escapes, and truncated documents are errors — but
+/// unlike the validator it materializes the document so tools such as
+/// profile_explorer can navigate it. Not a general-purpose JSON library:
+/// documents are expected to be small (profiles, not traces).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; CHECK-fail on kind mismatch (callers validate with
+  /// the `is_*` predicates or `Find` first).
+  bool AsBool() const;
+  double AsDouble() const;
+  int64_t AsInt64() const;  // truncating conversion of the parsed double
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& AsArray() const;
+
+  /// Object member lookup; nullptr when `this` is not an object or the
+  /// key is absent.
+  const JsonValue* Find(const std::string& key) const;
+  /// Object member count; 0 for non-objects.
+  size_t ObjectSize() const;
+  /// Member names in insertion (= file) order; empty for non-objects.
+  const std::vector<std::string>& ObjectKeys() const;
+
+  /// Convenience: Find(key) when it is a number, else `fallback`.
+  double NumberOr(const std::string& key, double fallback) const;
+  /// Convenience: Find(key) when it is a string, else `fallback`.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  /// Parses `json` into `*out`. The whole input must be one document:
+  /// anything but trailing whitespace after the value is an error.
+  static Status Parse(std::string_view json, JsonValue* out);
+
+ private:
+  friend class JsonLiteParser;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // Insertion-ordered object storage: profiles are dumped in a meaningful
+  // order and tools iterate in that order.
+  std::vector<std::string> keys_;
+  std::map<std::string, JsonValue> members_;
+};
+
+}  // namespace obs
+}  // namespace uot
+
+#endif  // UOT_OBS_JSON_LITE_H_

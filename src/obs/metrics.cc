@@ -68,6 +68,60 @@ int64_t Histogram::ApproxPercentile(double p) const {
   return bucket_upper_bound(num_buckets() - 1);
 }
 
+int64_t Histogram::ValueAtQuantile(double p) const {
+  const uint64_t n = TotalCount();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t rank = static_cast<uint64_t>(
+      p * static_cast<double>(n) + 0.999999);  // ceil(p * n), 1-based
+  if (rank == 0) rank = 1;
+  const int64_t lo_observed = Min();
+  const int64_t hi_observed = Max();
+  uint64_t seen = 0;
+  for (size_t i = 0; i < num_buckets(); ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= rank) {
+      // Interpolate between the bucket's edges; the first bucket starts at
+      // the observed minimum and the overflow bucket ends at the observed
+      // maximum, since their nominal edges are unbounded.
+      const double lower =
+          i == 0 ? static_cast<double>(lo_observed)
+                 : static_cast<double>(bounds_[i - 1]);
+      const double upper = i < bounds_.size()
+                               ? static_cast<double>(bounds_[i])
+                               : static_cast<double>(hi_observed);
+      const double frac = static_cast<double>(rank - seen) /
+                          static_cast<double>(in_bucket);
+      double v = lower + (upper - lower) * frac;
+      if (v < static_cast<double>(lo_observed)) {
+        v = static_cast<double>(lo_observed);
+      }
+      if (v > static_cast<double>(hi_observed)) {
+        v = static_cast<double>(hi_observed);
+      }
+      return static_cast<int64_t>(v);
+    }
+    seen += in_bucket;
+  }
+  return hi_observed;
+}
+
+HistogramSnapshot Histogram::TakeSnapshot() const {
+  HistogramSnapshot snap;
+  snap.count = TotalCount();
+  if (snap.count == 0) return snap;
+  snap.sum = Sum();
+  snap.min = Min();
+  snap.max = Max();
+  snap.mean = Mean();
+  snap.p50 = ValueAtQuantile(0.50);
+  snap.p95 = ValueAtQuantile(0.95);
+  snap.p99 = ValueAtQuantile(0.99);
+  return snap;
+}
+
 std::vector<int64_t> Histogram::ExponentialBounds(int64_t first,
                                                   double factor, int count) {
   UOT_CHECK(first > 0 && factor > 1.0 && count >= 1);
@@ -133,6 +187,21 @@ const Histogram* MetricsRegistry::FindHistogram(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::SampleValues()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back("counter." + name,
+                     static_cast<int64_t>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back("gauge." + name, gauge->Value());
+  }
+  return out;
 }
 
 namespace {

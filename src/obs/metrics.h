@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/macros.h"
@@ -65,6 +66,20 @@ class Gauge {
   std::atomic<int64_t> max_{0};
 };
 
+/// A point-in-time digest of a histogram: totals plus the standard
+/// latency quantiles, so callers report percentiles without re-deriving
+/// them from raw buckets. `min`/`max` are 0 when the histogram is empty.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+  double mean = 0.0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+};
+
 /// A fixed-bucket histogram. Bucket `i` counts values `v` with
 /// `v <= upper_bounds[i]` (and `v > upper_bounds[i-1]`); one implicit
 /// overflow bucket catches everything above the last bound. Recording is
@@ -95,6 +110,15 @@ class Histogram {
   /// Upper bound of the bucket containing the p-quantile (0 < p <= 1);
   /// 0 when empty.
   int64_t ApproxPercentile(double p) const;
+
+  /// The p-quantile with linear interpolation inside the containing
+  /// bucket, clamped to the observed [Min, Max] so a wide overflow or
+  /// first bucket cannot report a value no sample ever had. 0 when empty.
+  int64_t ValueAtQuantile(double p) const;
+
+  /// Consistent-enough digest (count/sum/min/max/mean/p50/p95/p99) under
+  /// concurrent recording; exact once recording has quiesced.
+  HistogramSnapshot TakeSnapshot() const;
 
   /// `count` bounds starting at `first`, each `factor` times the last
   /// (rounded up so bounds stay strictly increasing).
@@ -134,6 +158,14 @@ class MetricsRegistry {
   const Counter* FindCounter(const std::string& name) const;
   const Gauge* FindGauge(const std::string& name) const;
   const Histogram* FindHistogram(const std::string& name) const;
+
+  /// One `(name, value)` pair per counter and per gauge, each name
+  /// prefixed with its kind ("counter." / "gauge.") so the two namespaces
+  /// stay distinct. Stable alphabetical order within each kind — the
+  /// time-series sampler relies on this to keep columns aligned across
+  /// samples. Counter values are cast to int64 (a wrap past 2^63 shows up
+  /// negative, same caveat as the CSV export).
+  std::vector<std::pair<std::string, int64_t>> SampleValues() const;
 
   /// Rows of `metric,kind,field,value` (one row per exported field; the
   /// header row comes first). Stable ordering: counters, gauges,

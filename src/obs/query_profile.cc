@@ -1,0 +1,638 @@
+#include "obs/query_profile.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json_lite.h"
+#include "plan/query_plan.h"
+
+namespace uot {
+namespace obs {
+
+namespace {
+
+/// UoT block counts in JSON are signed: -1 = whole-table, 0 = none.
+int64_t JsonUot(uint64_t blocks) {
+  if (blocks == UotPolicy::kWholeTable) return -1;
+  return static_cast<int64_t>(blocks);
+}
+
+std::string FormatUot(uint64_t blocks) {
+  if (blocks == 0) return "none";
+  if (blocks == UotPolicy::kWholeTable) return "whole-table";
+  return std::to_string(blocks);
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                  static_cast<double>(bytes) / (1 << 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " B", bytes);
+  }
+  return buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out->push_back('\\');
+    out->push_back(ch);
+  }
+  out->push_back('"');
+}
+
+void AppendField(std::string* out, const char* key, int64_t value,
+                 bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  *out += buf;
+}
+
+void AppendFieldU(std::string* out, const char* key, uint64_t value,
+                  bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += buf;
+}
+
+void AppendFieldD(std::string* out, const char* key, double value,
+                  bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+void AppendFieldS(std::string* out, const char* key, const std::string& value,
+                  bool* first) {
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  AppendJsonString(out, value);
+}
+
+void AppendSnapshot(std::string* out, const HistogramSnapshot& snap) {
+  bool first = true;
+  *out += '{';
+  AppendFieldU(out, "count", snap.count, &first);
+  AppendField(out, "sum", snap.sum, &first);
+  AppendField(out, "min", snap.min, &first);
+  AppendField(out, "max", snap.max, &first);
+  AppendFieldD(out, "mean", snap.mean, &first);
+  AppendField(out, "p50", snap.p50, &first);
+  AppendField(out, "p95", snap.p95, &first);
+  AppendField(out, "p99", snap.p99, &first);
+  *out += '}';
+}
+
+HistogramSnapshot SnapshotOfDurations(const std::vector<WorkOrderRecord>& records,
+                                      int op) {
+  Histogram histogram(Histogram::DefaultLatencyBoundsNs());
+  for (const WorkOrderRecord& r : records) {
+    if (op >= 0 && r.op != op) continue;
+    histogram.Record(r.duration_ns());
+  }
+  return histogram.TakeSnapshot();
+}
+
+}  // namespace
+
+double QueryProfile::Edge::WorstRelativeError() const {
+  if (!has_prediction) return 0.0;
+  const double transfer_den =
+      static_cast<double>(std::max<uint64_t>(1, predicted_transfers));
+  const double bytes_den =
+      static_cast<double>(std::max<uint64_t>(1, est_bytes));
+  return std::max(
+      std::abs(static_cast<double>(residual_transfers)) / transfer_den,
+      std::abs(static_cast<double>(residual_bytes)) / bytes_den);
+}
+
+QueryProfile QueryProfile::FromRun(const QueryPlan* plan,
+                                   const ExecutionStats& stats,
+                                   Options options) {
+  QueryProfile profile;
+  profile.query_name_ =
+      options.query_name.empty() ? "query" : options.query_name;
+  profile.stats_ = stats;
+  profile.work_order_latency_ = SnapshotOfDurations(stats.records, -1);
+
+  profile.operators_.reserve(stats.operators.size());
+  for (size_t i = 0; i < stats.operators.size(); ++i) {
+    const OperatorStats& os = stats.operators[i];
+    OperatorEntry entry;
+    entry.op = static_cast<int>(i);
+    entry.name = os.name;
+    entry.num_work_orders = os.num_work_orders;
+    entry.total_task_ns = os.total_task_ns;
+    entry.first_start_ns = os.first_start_ns;
+    entry.last_end_ns = os.last_end_ns;
+    entry.avg_dop = stats.AverageDop(static_cast<int>(i));
+    entry.latency = SnapshotOfDurations(stats.records, static_cast<int>(i));
+    profile.operators_.push_back(std::move(entry));
+  }
+
+  profile.edges_.reserve(stats.edges.size());
+  for (size_t i = 0; i < stats.edges.size(); ++i) {
+    const EdgeStats& es = stats.edges[i];
+    Edge edge;
+    edge.edge = static_cast<int>(i);
+    edge.producer = es.producer;
+    edge.consumer = es.consumer;
+    if (es.producer >= 0 &&
+        static_cast<size_t>(es.producer) < stats.operators.size()) {
+      edge.producer_name = stats.operators[static_cast<size_t>(es.producer)].name;
+    }
+    if (es.consumer >= 0 &&
+        static_cast<size_t>(es.consumer) < stats.operators.size()) {
+      edge.consumer_name = stats.operators[static_cast<size_t>(es.consumer)].name;
+    }
+    edge.transfers = es.transfers;
+    edge.blocks_produced = es.blocks_produced;
+    edge.blocks_delivered = es.blocks_delivered;
+    edge.bytes_delivered = es.bytes_delivered;
+    edge.max_buffered_bytes = es.max_buffered_bytes;
+    edge.max_buffered_blocks = es.max_buffered_blocks;
+    edge.final_uot_blocks = es.final_uot_blocks;
+
+    if (plan != nullptr &&
+        static_cast<size_t>(plan->streaming_edges().size()) ==
+            stats.edges.size()) {
+      const auto prediction = plan->edge_prediction(static_cast<int>(i));
+      if (prediction.has_value()) {
+        edge.has_prediction = true;
+        edge.predicted_uot_blocks = prediction->uot_blocks;
+        edge.est_rows = prediction->est_rows;
+        edge.est_bytes = prediction->est_bytes;
+        edge.est_blocks = prediction->est_blocks;
+        edge.predicted_transfers = prediction->predicted_transfers;
+        edge.predicted_footprint_bytes = prediction->predicted_footprint_bytes;
+        edge.predicted_cost_ns = prediction->predicted_cost_ns;
+        edge.reason = prediction->reason;
+        edge.residual_transfers =
+            static_cast<int64_t>(edge.transfers) -
+            static_cast<int64_t>(edge.predicted_transfers);
+        edge.residual_bytes = static_cast<int64_t>(edge.bytes_delivered) -
+                              static_cast<int64_t>(edge.est_bytes);
+        edge.residual_footprint_bytes =
+            static_cast<int64_t>(edge.max_buffered_bytes) -
+            static_cast<int64_t>(edge.predicted_footprint_bytes);
+      }
+    }
+    profile.edges_.push_back(std::move(edge));
+  }
+  return profile;
+}
+
+std::string QueryProfile::ToString() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "QueryProfile{%s, query_id=%" PRIu64
+                ", %.2f ms, admission_wait=%.2f ms, %zu work orders%s}\n",
+                query_name_.c_str(), stats_.query_id, stats_.QueryMillis(),
+                static_cast<double>(stats_.admission_wait_ns) / 1e6,
+                stats_.records.size(),
+                stats_.profiled ? "" : " [profile logs off]");
+  out += buf;
+  for (const OperatorEntry& op : operators_) {
+    std::snprintf(buf, sizeof(buf),
+                  "  op[%d] %s: %" PRIu64
+                  " work orders, task %.2f ms, span %.2f ms, dop %.2f, "
+                  "p50/p95/p99 %.2f/%.2f/%.2f ms\n",
+                  op.op, op.name.c_str(), op.num_work_orders,
+                  static_cast<double>(op.total_task_ns) / 1e6,
+                  static_cast<double>(op.last_end_ns - op.first_start_ns) /
+                      1e6,
+                  op.avg_dop, static_cast<double>(op.latency.p50) / 1e6,
+                  static_cast<double>(op.latency.p95) / 1e6,
+                  static_cast<double>(op.latency.p99) / 1e6);
+    out += buf;
+  }
+  for (const Edge& e : edges_) {
+    std::snprintf(buf, sizeof(buf),
+                  "  edge[%d] op%d -> op%d: uot=%s, transfers=%" PRIu64
+                  ", delivered %s in %" PRIu64
+                  " blocks, footprint peak %s",
+                  e.edge, e.producer, e.consumer,
+                  FormatUot(e.final_uot_blocks).c_str(), e.transfers,
+                  FormatBytes(e.bytes_delivered).c_str(), e.blocks_delivered,
+                  FormatBytes(e.max_buffered_bytes).c_str());
+    out += buf;
+    if (e.has_prediction) {
+      std::snprintf(buf, sizeof(buf),
+                    " | model: uot=%s, transfers=%" PRIu64 " (resid %+" PRId64
+                    "), bytes=%s (resid %+" PRId64
+                    "), footprint=%s (resid %+" PRId64 ") [%s]",
+                    FormatUot(e.predicted_uot_blocks).c_str(),
+                    e.predicted_transfers, e.residual_transfers,
+                    FormatBytes(e.est_bytes).c_str(), e.residual_bytes,
+                    FormatBytes(e.predicted_footprint_bytes).c_str(),
+                    e.residual_footprint_bytes, e.reason.c_str());
+      out += buf;
+    }
+    out += "\n";
+  }
+  out += "  memory peaks:";
+  for (int c = 0; c < kNumMemoryCategories; ++c) {
+    std::snprintf(buf, sizeof(buf), " %s=%s",
+                  MemoryCategoryName(static_cast<MemoryCategory>(c)),
+                  FormatBytes(static_cast<uint64_t>(
+                      std::max<int64_t>(0, stats_.peak_bytes[c]))).c_str());
+    out += buf;
+  }
+  out += "\n";
+  std::snprintf(buf, sizeof(buf),
+                "  budget: %" PRIu64 " deferrals, %" PRIu64
+                " stalls, %zu events | uot: %" PRIu64
+                " adaptations, %zu decisions\n",
+                stats_.budget_deferrals, stats_.budget_stalls,
+                stats_.budget_events.size(), stats_.uot_adaptations,
+                stats_.uot_decisions.size());
+  out += buf;
+  for (const UotDecisionRecord& d : stats_.uot_decisions) {
+    std::snprintf(buf, sizeof(buf),
+                  "    t+%.3f ms edge[%d] %s -> %s (%s)\n",
+                  static_cast<double>(d.t_ns - stats_.query_start_ns) / 1e6,
+                  d.edge, FormatUot(d.from_blocks).c_str(),
+                  FormatUot(d.to_blocks).c_str(), UotAdaptCauseName(d.cause));
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryProfile::CalibrationReport() const {
+  std::vector<const Edge*> predicted;
+  for (const Edge& e : edges_) {
+    if (e.has_prediction) predicted.push_back(&e);
+  }
+  if (predicted.empty()) return "";
+  std::sort(predicted.begin(), predicted.end(),
+            [](const Edge* a, const Edge* b) {
+              return a->WorstRelativeError() > b->WorstRelativeError();
+            });
+  std::string out = "Model calibration (" + query_name_ + "), worst first:\n";
+  char buf[256];
+  for (const Edge* e : predicted) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  edge[%d] op%d->op%d rel_err=%.3f: transfers %" PRIu64
+        " vs %" PRIu64 " pred, bytes %" PRIu64 " vs %" PRIu64
+        " est, footprint %" PRIu64 " vs %" PRIu64 " pred [%s]\n",
+        e->edge, e->producer, e->consumer, e->WorstRelativeError(),
+        e->transfers, e->predicted_transfers, e->bytes_delivered,
+        e->est_bytes, e->max_buffered_bytes, e->predicted_footprint_bytes,
+        e->reason.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\n  \"query\": ";
+  {
+    bool first = true;
+    out += '{';
+    AppendFieldS(&out, "name", query_name_, &first);
+    AppendFieldU(&out, "id", stats_.query_id, &first);
+    out += ", \"profiled\": ";
+    out += stats_.profiled ? "true" : "false";
+    AppendField(&out, "start_ns", stats_.query_start_ns, &first);
+    AppendField(&out, "end_ns", stats_.query_end_ns, &first);
+    AppendFieldD(&out, "duration_ms", stats_.QueryMillis(), &first);
+    AppendField(&out, "admission_wait_ns", stats_.admission_wait_ns, &first);
+    AppendFieldU(&out, "work_orders",
+                 static_cast<uint64_t>(stats_.records.size()), &first);
+    AppendFieldS(&out, "config", stats_.config_summary, &first);
+    out += ", \"latency\": ";
+    AppendSnapshot(&out, work_order_latency_);
+    out += '}';
+  }
+  out += ",\n  \"operators\": [";
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    const OperatorEntry& op = operators_[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    bool first = true;
+    AppendField(&out, "op", op.op, &first);
+    AppendFieldS(&out, "name", op.name, &first);
+    AppendFieldU(&out, "work_orders", op.num_work_orders, &first);
+    AppendField(&out, "total_task_ns", op.total_task_ns, &first);
+    AppendField(&out, "first_start_ns", op.first_start_ns, &first);
+    AppendField(&out, "last_end_ns", op.last_end_ns, &first);
+    AppendFieldD(&out, "avg_dop", op.avg_dop, &first);
+    out += ", \"latency\": ";
+    AppendSnapshot(&out, op.latency);
+    out += '}';
+  }
+  out += "\n  ],\n  \"edges\": [";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    out += i == 0 ? "\n    {" : ",\n    {";
+    bool first = true;
+    AppendField(&out, "edge", e.edge, &first);
+    AppendField(&out, "producer", e.producer, &first);
+    AppendField(&out, "consumer", e.consumer, &first);
+    AppendFieldS(&out, "producer_name", e.producer_name, &first);
+    AppendFieldS(&out, "consumer_name", e.consumer_name, &first);
+    AppendField(&out, "uot_blocks", JsonUot(e.final_uot_blocks), &first);
+    AppendFieldU(&out, "transfers", e.transfers, &first);
+    AppendFieldU(&out, "blocks_produced", e.blocks_produced, &first);
+    AppendFieldU(&out, "blocks_delivered", e.blocks_delivered, &first);
+    AppendFieldU(&out, "bytes_delivered", e.bytes_delivered, &first);
+    AppendFieldU(&out, "max_buffered_bytes", e.max_buffered_bytes, &first);
+    AppendFieldU(&out, "max_buffered_blocks", e.max_buffered_blocks, &first);
+    if (e.has_prediction) {
+      out += ", \"prediction\": {";
+      bool pf = true;
+      AppendField(&out, "uot_blocks", JsonUot(e.predicted_uot_blocks), &pf);
+      AppendFieldU(&out, "est_rows", e.est_rows, &pf);
+      AppendFieldU(&out, "est_bytes", e.est_bytes, &pf);
+      AppendFieldU(&out, "est_blocks", e.est_blocks, &pf);
+      AppendFieldU(&out, "transfers", e.predicted_transfers, &pf);
+      AppendFieldU(&out, "footprint_bytes", e.predicted_footprint_bytes, &pf);
+      AppendFieldD(&out, "cost_ns", e.predicted_cost_ns, &pf);
+      AppendFieldS(&out, "reason", e.reason, &pf);
+      out += "}, \"residuals\": {";
+      bool rf = true;
+      AppendField(&out, "transfers", e.residual_transfers, &rf);
+      AppendField(&out, "bytes", e.residual_bytes, &rf);
+      AppendField(&out, "footprint_bytes", e.residual_footprint_bytes, &rf);
+      AppendFieldD(&out, "rel_err", e.WorstRelativeError(), &rf);
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n  ],\n  \"memory\": {\"peak_bytes\": {";
+  for (int c = 0; c < kNumMemoryCategories; ++c) {
+    if (c > 0) out += ", ";
+    AppendJsonString(&out,
+                     MemoryCategoryName(static_cast<MemoryCategory>(c)));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ": %" PRId64, stats_.peak_bytes[c]);
+    out += buf;
+  }
+  out += "}},\n  \"budget\": {";
+  {
+    bool first = true;
+    AppendFieldU(&out, "deferrals", stats_.budget_deferrals, &first);
+    AppendFieldU(&out, "stalls", stats_.budget_stalls, &first);
+    out += ", \"events\": [";
+    for (size_t i = 0; i < stats_.budget_events.size(); ++i) {
+      const BudgetEventRecord& ev = stats_.budget_events[i];
+      out += i == 0 ? "\n      {" : ",\n      {";
+      bool ef = true;
+      AppendField(&out, "t_ns", ev.t_ns, &ef);
+      AppendField(&out, "op", ev.op, &ef);
+      AppendFieldS(&out, "kind", ev.release ? "release" : "defer", &ef);
+      AppendField(&out, "tracked_bytes", ev.tracked_bytes, &ef);
+      out += '}';
+    }
+    out += "]";
+  }
+  out += "},\n  \"uot\": {";
+  {
+    bool first = true;
+    AppendFieldU(&out, "adaptations", stats_.uot_adaptations, &first);
+    out += ", \"decisions\": [";
+    for (size_t i = 0; i < stats_.uot_decisions.size(); ++i) {
+      const UotDecisionRecord& d = stats_.uot_decisions[i];
+      out += i == 0 ? "\n      {" : ",\n      {";
+      bool df = true;
+      AppendField(&out, "t_ns", d.t_ns, &df);
+      AppendField(&out, "edge", d.edge, &df);
+      AppendField(&out, "from_blocks", JsonUot(d.from_blocks), &df);
+      AppendField(&out, "to_blocks", JsonUot(d.to_blocks), &df);
+      AppendFieldS(&out, "cause", UotAdaptCauseName(d.cause), &df);
+      out += '}';
+    }
+    out += "]";
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+Status QueryProfile::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open profile output: " + path);
+  }
+  out << ToJson();
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("short write to profile output: " + path);
+  }
+  return Status::OK();
+}
+
+void QueryProfile::ExportResidualMetrics(MetricsRegistry* registry,
+                                         const std::string& prefix) const {
+  UOT_CHECK(registry != nullptr);
+  for (const Edge& e : edges_) {
+    if (!e.has_prediction) continue;
+    const std::string base =
+        prefix + "model.residual.edge." + std::to_string(e.edge);
+    registry->GetGauge(base + ".transfers")->Set(e.residual_transfers);
+    registry->GetGauge(base + ".bytes")->Set(e.residual_bytes);
+    registry->GetGauge(base + ".footprint_bytes")
+        ->Set(e.residual_footprint_bytes);
+  }
+}
+
+namespace {
+
+Status ProfileError(const std::string& what) {
+  return Status::InvalidArgument("query profile JSON: " + what);
+}
+
+Status RequireNumber(const JsonValue& object, const char* key,
+                     const char* where) {
+  const JsonValue* v = object.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return ProfileError(std::string("missing numeric \"") + key + "\" in " +
+                        where);
+  }
+  return Status::OK();
+}
+
+Status ValidateSnapshot(const JsonValue& object, const char* where) {
+  for (const char* key : {"count", "sum", "min", "max", "p50", "p95", "p99"}) {
+    UOT_RETURN_IF_ERROR(RequireNumber(object, key, where));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseQueryProfileJson(std::string_view json,
+                             QueryProfileSummary* summary) {
+  UOT_CHECK(summary != nullptr);
+  *summary = QueryProfileSummary();
+  JsonValue root;
+  UOT_RETURN_IF_ERROR(JsonValue::Parse(json, &root));
+  if (!root.is_object()) return ProfileError("top level is not an object");
+
+  const JsonValue* query = root.Find("query");
+  if (query == nullptr || !query->is_object()) {
+    return ProfileError("missing \"query\" object");
+  }
+  const JsonValue* name = query->Find("name");
+  if (name == nullptr || !name->is_string()) {
+    return ProfileError("missing \"query.name\" string");
+  }
+  summary->query_name = name->AsString();
+  UOT_RETURN_IF_ERROR(RequireNumber(*query, "id", "query"));
+  summary->query_id = static_cast<uint64_t>(query->NumberOr("id", 0));
+  for (const char* key :
+       {"start_ns", "end_ns", "duration_ms", "admission_wait_ns",
+        "work_orders"}) {
+    UOT_RETURN_IF_ERROR(RequireNumber(*query, key, "query"));
+  }
+  const JsonValue* profiled = query->Find("profiled");
+  if (profiled == nullptr || !profiled->is_bool()) {
+    return ProfileError("missing \"query.profiled\" bool");
+  }
+  summary->profiled = profiled->AsBool();
+  const JsonValue* query_latency = query->Find("latency");
+  if (query_latency == nullptr || !query_latency->is_object()) {
+    return ProfileError("missing \"query.latency\" object");
+  }
+  UOT_RETURN_IF_ERROR(ValidateSnapshot(*query_latency, "query.latency"));
+
+  const JsonValue* operators = root.Find("operators");
+  if (operators == nullptr || !operators->is_array()) {
+    return ProfileError("missing \"operators\" array");
+  }
+  for (const JsonValue& op : operators->AsArray()) {
+    if (!op.is_object()) return ProfileError("operator entry is not an object");
+    UOT_RETURN_IF_ERROR(RequireNumber(op, "op", "operator"));
+    UOT_RETURN_IF_ERROR(RequireNumber(op, "work_orders", "operator"));
+    const JsonValue* op_name = op.Find("name");
+    if (op_name == nullptr || !op_name->is_string()) {
+      return ProfileError("operator entry missing \"name\"");
+    }
+    const JsonValue* latency = op.Find("latency");
+    if (latency == nullptr || !latency->is_object()) {
+      return ProfileError("operator entry missing \"latency\"");
+    }
+    UOT_RETURN_IF_ERROR(ValidateSnapshot(*latency, "operator.latency"));
+  }
+  summary->num_operators = operators->AsArray().size();
+
+  const JsonValue* edges = root.Find("edges");
+  if (edges == nullptr || !edges->is_array()) {
+    return ProfileError("missing \"edges\" array");
+  }
+  for (const JsonValue& edge : edges->AsArray()) {
+    if (!edge.is_object()) return ProfileError("edge entry is not an object");
+    for (const char* key :
+         {"edge", "producer", "consumer", "uot_blocks", "transfers",
+          "blocks_produced", "blocks_delivered", "bytes_delivered",
+          "max_buffered_bytes"}) {
+      UOT_RETURN_IF_ERROR(RequireNumber(edge, key, "edge"));
+    }
+    const JsonValue* prediction = edge.Find("prediction");
+    const JsonValue* residuals = edge.Find("residuals");
+    if ((prediction == nullptr) != (residuals == nullptr)) {
+      return ProfileError("edge has prediction without residuals (or vice versa)");
+    }
+    if (prediction != nullptr) {
+      if (!prediction->is_object() || !residuals->is_object()) {
+        return ProfileError("edge prediction/residuals are not objects");
+      }
+      for (const char* key :
+           {"uot_blocks", "est_rows", "est_bytes", "est_blocks", "transfers",
+            "footprint_bytes", "cost_ns"}) {
+        UOT_RETURN_IF_ERROR(RequireNumber(*prediction, key, "prediction"));
+      }
+      for (const char* key : {"transfers", "bytes", "footprint_bytes"}) {
+        UOT_RETURN_IF_ERROR(RequireNumber(*residuals, key, "residuals"));
+      }
+      ++summary->num_predicted_edges;
+    }
+  }
+  summary->num_edges = edges->AsArray().size();
+
+  const JsonValue* memory = root.Find("memory");
+  if (memory == nullptr || !memory->is_object() ||
+      memory->Find("peak_bytes") == nullptr ||
+      !memory->Find("peak_bytes")->is_object()) {
+    return ProfileError("missing \"memory.peak_bytes\" object");
+  }
+
+  const JsonValue* budget = root.Find("budget");
+  if (budget == nullptr || !budget->is_object()) {
+    return ProfileError("missing \"budget\" object");
+  }
+  UOT_RETURN_IF_ERROR(RequireNumber(*budget, "deferrals", "budget"));
+  UOT_RETURN_IF_ERROR(RequireNumber(*budget, "stalls", "budget"));
+  const JsonValue* events = budget->Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return ProfileError("missing \"budget.events\" array");
+  }
+  for (const JsonValue& ev : events->AsArray()) {
+    if (!ev.is_object()) return ProfileError("budget event is not an object");
+    UOT_RETURN_IF_ERROR(RequireNumber(ev, "t_ns", "budget event"));
+    const JsonValue* kind = ev.Find("kind");
+    if (kind == nullptr || !kind->is_string() ||
+        (kind->AsString() != "defer" && kind->AsString() != "release")) {
+      return ProfileError("budget event \"kind\" must be defer|release");
+    }
+  }
+  summary->num_budget_events = events->AsArray().size();
+
+  const JsonValue* uot = root.Find("uot");
+  if (uot == nullptr || !uot->is_object()) {
+    return ProfileError("missing \"uot\" object");
+  }
+  UOT_RETURN_IF_ERROR(RequireNumber(*uot, "adaptations", "uot"));
+  const JsonValue* decisions = uot->Find("decisions");
+  if (decisions == nullptr || !decisions->is_array()) {
+    return ProfileError("missing \"uot.decisions\" array");
+  }
+  int64_t last_t = INT64_MIN;
+  for (const JsonValue& d : decisions->AsArray()) {
+    if (!d.is_object()) return ProfileError("uot decision is not an object");
+    for (const char* key : {"t_ns", "edge", "from_blocks", "to_blocks"}) {
+      UOT_RETURN_IF_ERROR(RequireNumber(d, key, "uot decision"));
+    }
+    const JsonValue* cause = d.Find("cause");
+    if (cause == nullptr || !cause->is_string()) {
+      return ProfileError("uot decision missing \"cause\"");
+    }
+    const int64_t t = d.Find("t_ns")->AsInt64();
+    if (t < last_t) {
+      return ProfileError("uot decisions are not in time order");
+    }
+    last_t = t;
+  }
+  summary->num_uot_decisions = decisions->AsArray().size();
+
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace uot

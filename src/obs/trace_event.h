@@ -52,6 +52,12 @@ enum class TraceEventType : uint8_t {
   /// arg0 = edge index, arg1 = previous blocks (saturated to int32),
   /// value = new blocks; 0 stands in for whole-table on both sides.
   kUotAdapt,
+  /// Why the policy layer landed on an edge's effective UoT: one instant
+  /// per recorded decision (seed and every change). arg0 = edge index,
+  /// arg1 = UotAdaptCause, value = new blocks (0 stands in for
+  /// whole-table). Complements kUotAdapt, which carries the old/new pair
+  /// but not the cause.
+  kUotDecision,
 };
 
 /// Stages of the batched join kernels, recorded in kJoinBatchStage::arg1.

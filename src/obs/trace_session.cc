@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "scheduler/uot_policy.h"
 #include "util/timer.h"
 
 namespace uot {
@@ -44,6 +45,7 @@ const char* TraceEventTypeName(TraceEventType type) {
     case TraceEventType::kJoinBatchStage: return "join_batch_stage";
     case TraceEventType::kUotEffective: return "uot_effective";
     case TraceEventType::kUotAdapt: return "uot_adapt";
+    case TraceEventType::kUotDecision: return "uot_decision";
   }
   return "unknown";
 }
@@ -66,7 +68,8 @@ const char* TraceEventTypeCategory(TraceEventType type) {
     case TraceEventType::kBlockTransfer:
     case TraceEventType::kEdgeFlush:
     case TraceEventType::kUotEffective:
-    case TraceEventType::kUotAdapt: return "transfer";
+    case TraceEventType::kUotAdapt:
+    case TraceEventType::kUotDecision: return "transfer";
     case TraceEventType::kBudgetDefer:
     case TraceEventType::kBudgetRelease:
     case TraceEventType::kMemoryBytes: return "memory";
@@ -385,6 +388,13 @@ void TraceSession::ExportChromeJson(std::ostream& os) const {
         AppendKeyValue(&line, "edge", e.arg0, &first_arg);
         AppendKeyValue(&line, "from_blocks", e.arg1, &first_arg);
         AppendKeyValue(&line, "to_blocks", e.value, &first_arg);
+        break;
+      case TraceEventType::kUotDecision:
+        AppendKeyValue(&line, "edge", e.arg0, &first_arg);
+        line += ",\"cause\":";
+        AppendJsonString(&line,
+                         UotAdaptCauseName(static_cast<UotAdaptCause>(e.arg1)));
+        AppendKeyValue(&line, "blocks", e.value, &first_arg);
         break;
       case TraceEventType::kJoinBatchStage:
         AppendKeyValue(&line, "op", e.arg0, &first_arg);

@@ -64,6 +64,26 @@ std::optional<UotPolicy> QueryPlan::edge_uot(int edge_index) const {
   return UotPolicy(blocks);
 }
 
+void QueryPlan::AnnotateEdgePrediction(int edge_index,
+                                       EdgePrediction prediction) {
+  UOT_CHECK(edge_index >= 0 &&
+            edge_index < static_cast<int>(streaming_edges_.size()));
+  if (edge_predictions_.size() != streaming_edges_.size()) {
+    edge_predictions_.resize(streaming_edges_.size());
+  }
+  edge_predictions_[static_cast<size_t>(edge_index)] = std::move(prediction);
+}
+
+std::optional<QueryPlan::EdgePrediction> QueryPlan::edge_prediction(
+    int edge_index) const {
+  UOT_CHECK(edge_index >= 0 &&
+            edge_index < static_cast<int>(streaming_edges_.size()));
+  if (static_cast<size_t>(edge_index) >= edge_predictions_.size()) {
+    return std::nullopt;
+  }
+  return edge_predictions_[static_cast<size_t>(edge_index)];
+}
+
 int QueryPlan::FindStreamingEdge(int producer, int consumer,
                                  int consumer_input) const {
   for (size_t i = 0; i < streaming_edges_.size(); ++i) {

@@ -45,6 +45,29 @@ class QueryPlan {
     int consumer;
   };
 
+  /// What the Section V/VI cost model expected of one streaming edge when
+  /// it chose (or seeded) the edge's UoT. Stored on the plan by
+  /// CostModelUotChooser::AnnotatePredictions so the post-run profile can
+  /// compute residuals (predicted minus measured) without re-running the
+  /// model — the observe half of the observe–model–act loop.
+  struct EdgePrediction {
+    /// UoT the model chose (UotPolicy::kWholeTable = materialize).
+    uint64_t uot_blocks = 0;
+    /// Estimated intermediate size the choice was based on.
+    uint64_t est_rows = 0;
+    uint64_t est_bytes = 0;
+    uint64_t est_blocks = 0;
+    /// Expected number of transfers at the chosen UoT.
+    uint64_t predicted_transfers = 0;
+    /// Section VI footprint the choice budgets for: bytes buffered on the
+    /// edge at the chosen UoT (whole intermediate when materializing).
+    uint64_t predicted_footprint_bytes = 0;
+    /// Section V transfer-cost estimate of the chosen point.
+    double predicted_cost_ns = 0.0;
+    /// Chooser's one-line rationale (CostModelUotChooser::UotChoice).
+    std::string reason;
+  };
+
   /// Adds an operator, returning its index.
   int AddOperator(std::unique_ptr<Operator> op);
 
@@ -94,6 +117,14 @@ class QueryPlan {
   /// the edge is unannotated.
   std::optional<UotPolicy> edge_uot(int edge_index) const;
 
+  /// Records the model's expectation for streaming edge `edge_index`
+  /// (overwriting any previous prediction). Predictions are advisory
+  /// metadata: they never affect execution, only profiles.
+  void AnnotateEdgePrediction(int edge_index, EdgePrediction prediction);
+
+  /// The model prediction for streaming edge `edge_index`, or nullopt.
+  std::optional<EdgePrediction> edge_prediction(int edge_index) const;
+
   /// Index of the streaming edge producer -> consumer (input slot
   /// `consumer_input`), or -1 if no such edge exists.
   int FindStreamingEdge(int producer, int consumer,
@@ -113,6 +144,8 @@ class QueryPlan {
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<StreamingEdge> streaming_edges_;
   std::vector<BlockingEdge> blocking_edges_;
+  /// Sparse map edge index -> prediction, sized lazily on first annotate.
+  std::vector<std::optional<EdgePrediction>> edge_predictions_;
   std::vector<std::unique_ptr<Table>> temp_tables_;
   struct OwnedDestination {
     int producer;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "scheduler/uot_policy.h"
 #include "util/memory_tracker.h"
 
 namespace uot {
@@ -41,6 +42,50 @@ struct OperatorStats {
   }
 };
 
+/// Measured per-edge execution detail, collected by the session for every
+/// streaming edge (the integer accounting is cheap and cannot influence
+/// transfer behavior, so it is always on; see ExecConfig::profile for the
+/// event logs that are not).
+struct EdgeStats {
+  int producer = -1;
+  int consumer = -1;
+  /// Transfers delivered (same number as ExecutionStats::edge_transfers,
+  /// kept here so one struct describes the whole edge).
+  uint64_t transfers = 0;
+  uint64_t blocks_produced = 0;
+  uint64_t blocks_delivered = 0;
+  /// Payload bytes delivered over the edge (block rows x schema row
+  /// width — the transfer volume of the paper's Section V cost model,
+  /// not allocator bytes).
+  uint64_t bytes_delivered = 0;
+  /// High-water mark of payload bytes buffered awaiting transfer: the
+  /// edge's measured Section VI footprint.
+  uint64_t max_buffered_bytes = 0;
+  uint64_t max_buffered_blocks = 0;
+  /// Effective UoT when the edge flushed (UotPolicy::kWholeTable for
+  /// materializing edges).
+  uint64_t final_uot_blocks = 0;
+};
+
+/// One entry of the adaptive-decision log: the policy layer (re)resolved
+/// an edge's effective UoT. Recorded only when ExecConfig::profile is set.
+struct UotDecisionRecord {
+  int64_t t_ns = 0;  // absolute monotonic, same clock as query_start_ns
+  int edge = -1;
+  uint64_t from_blocks = 0;  // 0 = first resolution (no prior value)
+  uint64_t to_blocks = 0;    // UotPolicy::kWholeTable = materialize
+  UotAdaptCause cause = UotAdaptCause::kNone;
+};
+
+/// One memory-budget deferral or release, with the tracked bytes that
+/// motivated it. Recorded only when ExecConfig::profile is set.
+struct BudgetEventRecord {
+  int64_t t_ns = 0;
+  int op = -1;
+  bool release = false;  // false = work order deferred, true = released
+  int64_t tracked_bytes = 0;
+};
+
 /// Everything the benches need from one query execution: per-work-order
 /// timings, per-operator aggregates, per-edge transfer counts and memory
 /// peaks (paper Figs. 3/5/6/7, Table II).
@@ -58,6 +103,17 @@ struct ExecutionStats {
   /// Number of block transfers performed per streaming edge (a transfer
   /// delivers up to UoT blocks).
   std::vector<uint64_t> edge_transfers;
+  /// Measured per-edge detail (transfers, payload bytes, buffered
+  /// high-water marks), one entry per streaming edge.
+  std::vector<EdgeStats> edges;
+  /// True when the session ran with ExecConfig::profile: the decision and
+  /// budget-event logs below were collected.
+  bool profiled = false;
+  /// Every effective-UoT resolution in time order (the per-edge UoT
+  /// timeline); empty unless profiled.
+  std::vector<UotDecisionRecord> uot_decisions;
+  /// Every budget deferral/release in time order; empty unless profiled.
+  std::vector<BudgetEventRecord> budget_events;
   /// Peak memory during execution, per category.
   int64_t peak_bytes[kNumMemoryCategories] = {};
   /// Producer work orders deferred because tracked memory exceeded the

@@ -139,6 +139,14 @@ ExecutionStats QuerySession::Run() {
   for (const QueryPlan::StreamingEdge& e : plan_->streaming_edges()) {
     edge_pin_.push_back(e.uot_blocks);
   }
+  // Cache each edge's payload row width so transfer-volume accounting is
+  // a multiply, not a schema lookup, per block.
+  for (size_t e = 0; e < plan_->streaming_edges().size(); ++e) {
+    const InsertDestination* dest =
+        plan_->destination_of(plan_->streaming_edges()[e].producer);
+    edge_states_[e].row_width =
+        dest != nullptr ? dest->output()->schema().row_width() : 0;
+  }
   for (int i = 0; i < n; ++i) {
     stats_.operators[static_cast<size_t>(i)].name = plan_->op(i)->name();
   }
@@ -232,6 +240,23 @@ ExecutionStats QuerySession::Run() {
   stats_.edge_transfers.clear();
   for (const EdgeState& e : edge_states_) {
     stats_.edge_transfers.push_back(e.transfers);
+  }
+  stats_.profiled = config_.profile;
+  stats_.edges.clear();
+  const auto& plan_edges = plan_->streaming_edges();
+  for (size_t e = 0; e < plan_edges.size(); ++e) {
+    const EdgeState& state = edge_states_[e];
+    EdgeStats edge_stats;
+    edge_stats.producer = plan_edges[e].producer;
+    edge_stats.consumer = plan_edges[e].consumer;
+    edge_stats.transfers = state.transfers;
+    edge_stats.blocks_produced = state.produced;
+    edge_stats.blocks_delivered = state.blocks_delivered;
+    edge_stats.bytes_delivered = state.bytes_delivered;
+    edge_stats.max_buffered_bytes = state.max_buffered_bytes;
+    edge_stats.max_buffered_blocks = state.max_buffered_blocks;
+    edge_stats.final_uot_blocks = state.effective_uot;
+    stats_.edges.push_back(edge_stats);
   }
   return std::move(stats_);
 }
@@ -351,13 +376,14 @@ void QuerySession::Dispatch(int op, std::unique_ptr<WorkOrder> wo) {
     if (over_budget || !deferred_.empty() ||
         total_running_ >= pool_workers_) {
       if (over_budget) {
+        const int64_t tracked = plan_->storage()->tracker().TotalCurrent();
         if (trace_ != nullptr) {
           trace_->EmitInstant(obs::TraceEventType::kBudgetDefer, /*tid=*/0,
-                              op, -1,
-                              plan_->storage()->tracker().TotalCurrent());
+                              op, -1, tracked);
         }
         if (budget_deferrals_ != nullptr) budget_deferrals_->Increment();
         ++stats_.budget_deferrals;
+        RecordBudgetEvent(op, /*release=*/false, tracked);
       }
       deferred_.push_back(DeferredWorkOrder{op, over_budget, std::move(wo)});
       return;
@@ -387,10 +413,13 @@ void QuerySession::ReleaseDeferred() {
     if (!over_budget && total_running_ >= pool_workers_) return;
     DeferredWorkOrder deferred = std::move(deferred_.front());
     deferred_.pop_front();
-    if (deferred.counted && trace_ != nullptr) {
-      trace_->EmitInstant(obs::TraceEventType::kBudgetRelease, /*tid=*/0,
-                          deferred.op, -1,
-                          plan_->storage()->tracker().TotalCurrent());
+    if (deferred.counted) {
+      const int64_t tracked = plan_->storage()->tracker().TotalCurrent();
+      if (trace_ != nullptr) {
+        trace_->EmitInstant(obs::TraceEventType::kBudgetRelease, /*tid=*/0,
+                            deferred.op, -1, tracked);
+      }
+      RecordBudgetEvent(deferred.op, /*release=*/true, tracked);
     }
     OpState& state = op_states_[static_cast<size_t>(deferred.op)];
     if (config_.max_concurrent_per_op != 0 &&
@@ -424,8 +453,10 @@ uint64_t QuerySession::ResolveEdgeUot(int edge_index) {
   const size_t e = static_cast<size_t>(edge_index);
   EdgeState& state = edge_states_[e];
   uint64_t blocks;
+  UotAdaptCause cause = UotAdaptCause::kNone;
   if (edge_pin_[e] != 0) {
     blocks = edge_pin_[e];
+    cause = UotAdaptCause::kPinned;
   } else {
     const QueryPlan::StreamingEdge& edge = plan_->streaming_edges()[e];
     EdgeRuntimeState rt;
@@ -445,10 +476,15 @@ uint64_t QuerySession::ResolveEdgeUot(int edge_index) {
     rt.producer_work_orders_done = producer.completed;
     rt.consumer_work_orders_done =
         op_states_[static_cast<size_t>(edge.consumer)].completed;
-    blocks = uot_policy_->BlocksPerTransfer(rt);
+    blocks = uot_policy_->BlocksPerTransfer(rt, &cause);
   }
   UOT_CHECK(blocks != 0);  // a zero UoT is a policy bug, not a request
   if (blocks != state.effective_uot) {
+    // First resolution of the edge is the seed value unless a pin or the
+    // policy itself says otherwise.
+    if (state.effective_uot == 0 && cause == UotAdaptCause::kNone) {
+      cause = UotAdaptCause::kSeed;
+    }
     // Gauge/counter-track value: blocks per transfer, with 0 standing in
     // for whole-table (0 is otherwise invalid, so the sentinel is
     // unambiguous and keeps the track plottable).
@@ -478,9 +514,35 @@ uint64_t QuerySession::ResolveEdgeUot(int edge_index) {
                             plotted);
       }
     }
+    // The adaptive-decision log: one instant per (re)resolution that
+    // changed the edge, with the cause the policy reported.
+    if (trace_ != nullptr) {
+      trace_->EmitInstant(obs::TraceEventType::kUotDecision, /*tid=*/0,
+                          edge_index, static_cast<int32_t>(cause), plotted);
+    }
+    if (config_.profile) {
+      UotDecisionRecord decision;
+      decision.t_ns = NowNanos();
+      decision.edge = edge_index;
+      decision.from_blocks = state.effective_uot;
+      decision.to_blocks = blocks;
+      decision.cause = cause;
+      stats_.uot_decisions.push_back(decision);
+    }
     state.effective_uot = blocks;
   }
   return blocks;
+}
+
+void QuerySession::RecordBudgetEvent(int op, bool release,
+                                     int64_t tracked_bytes) {
+  if (!config_.profile) return;
+  BudgetEventRecord event;
+  event.t_ns = NowNanos();
+  event.op = op;
+  event.release = release;
+  event.tracked_bytes = tracked_bytes;
+  stats_.budget_events.push_back(event);
 }
 
 void QuerySession::HandleBlockReady(int op, Block* block) {
@@ -490,6 +552,14 @@ void QuerySession::HandleBlockReady(int op, Block* block) {
     EdgeState& edge = edge_states_[i];
     edge.buffer.push_back(block);
     ++edge.produced;
+    edge.buffered_bytes +=
+        static_cast<uint64_t>(block->num_rows()) * edge.row_width;
+    if (edge.buffered_bytes > edge.max_buffered_bytes) {
+      edge.max_buffered_bytes = edge.buffered_bytes;
+    }
+    if (edge.buffer.size() > edge.max_buffered_blocks) {
+      edge.max_buffered_blocks = edge.buffer.size();
+    }
     const uint64_t blocks = ResolveEdgeUot(static_cast<int>(i));
     if (blocks != UotPolicy::kWholeTable && edge.buffer.size() >= blocks) {
       DeliverEdge(static_cast<int>(i), /*final_flush=*/false);
@@ -505,6 +575,9 @@ void QuerySession::DeliverEdge(int edge_index, bool final_flush) {
     plan_->op(edge.consumer)
         ->ReceiveInputBlocks(edge.consumer_input, state.buffer);
     ++state.transfers;
+    state.blocks_delivered += state.buffer.size();
+    state.bytes_delivered += state.buffered_bytes;
+    state.buffered_bytes = 0;
     if (trace_ != nullptr) {
       trace_->EmitInstant(obs::TraceEventType::kBlockTransfer, /*tid=*/0,
                           edge_index, -1,

@@ -111,6 +111,15 @@ class QuerySession {
     // consulted; UotPolicy::kWholeTable = materializing). Changes are
     // counted/traced as adaptations.
     uint64_t effective_uot = 0;
+    // Measured transfer volume (EdgeStats): payload bytes follow
+    // block rows x the producer schema's row width, cached per edge at
+    // Run() start.
+    uint64_t row_width = 0;
+    uint64_t buffered_bytes = 0;  // payload bytes awaiting transfer
+    uint64_t blocks_delivered = 0;
+    uint64_t bytes_delivered = 0;
+    uint64_t max_buffered_bytes = 0;
+    uint64_t max_buffered_blocks = 0;
   };
 
   struct DeferredWorkOrder {
@@ -131,6 +140,9 @@ class QuerySession {
   /// blocks-per-transfer threshold. Records effective-UoT gauges/counter
   /// tracks and counts/traces mid-query changes as adaptations.
   uint64_t ResolveEdgeUot(int edge_index);
+  /// Appends to the profile's budget-event log (and mirrors the existing
+  /// trace instants); no-op unless config.profile is set.
+  void RecordBudgetEvent(int op, bool release, int64_t tracked_bytes);
   void TryGenerate(int op);
   void Dispatch(int op, std::unique_ptr<WorkOrder> wo);
   /// Re-dispatches budget-deferred work orders when allowed.

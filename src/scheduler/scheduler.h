@@ -75,6 +75,13 @@ struct ExecConfig {
   /// Lets concurrent sessions share one MetricsRegistry without their
   /// counters colliding; empty (the default) keeps the historical names.
   std::string metrics_prefix;
+  /// Collect the per-query profile logs (effective-UoT decision timeline
+  /// with causes, budget defer/release events) in ExecutionStats so
+  /// obs::QueryProfile can assemble an EXPLAIN-ANALYZE-style report.
+  /// Off (the default) keeps the coordinator loop allocation-free; cheap
+  /// per-edge integer accounting (EdgeStats) is always collected because
+  /// it cannot change transfer behavior.
+  bool profile = false;
 
   /// One-line summary of the resolved execution configuration (worker
   /// count, effective UoT policy, join kernel, caps and budget) for logs,

@@ -18,6 +18,7 @@ std::string ExecConfig::ToString() const {
   }
   if (!drop_consumed_blocks) out += ", keep_consumed_blocks";
   if (!metrics_prefix.empty()) out += ", metrics_prefix=" + metrics_prefix;
+  if (profile) out += ", profile";
   out += "}";
   return out;
 }

@@ -87,6 +87,44 @@ struct EdgeRuntimeState {
   uint64_t consumer_work_orders_done = 0;
 };
 
+/// Why a policy decision landed on the value it did — the profile's
+/// adaptive-decision log records one of these per effective-UoT change so
+/// an operator can tell a memory-pressure narrow from a rate-imbalance
+/// halving without re-deriving it from counters (ISSUE 6 tentpole (4)).
+enum class UotAdaptCause : uint8_t {
+  /// First resolution of the edge (session start / seed value).
+  kSeed = 0,
+  /// A plan annotation pinned the edge; the policy was not consulted.
+  kPinned,
+  /// The policy returned the same value as last time (steady state).
+  kNone,
+  /// Narrowed because budget-deferred work orders queued up.
+  kDeferralDepth,
+  /// Narrowed because tracked memory crossed the headroom watermark.
+  kHeadroomWatermark,
+  /// Widened after a calm streak with headroom to spare.
+  kCalmStreak,
+  /// Halved widening patience / clamp due to producer/consumer rate
+  /// imbalance.
+  kRateImbalance,
+};
+
+/// Stable lower-case name ("seed", "deferral_depth", ...) used by trace
+/// args, profile JSON, and logs. Inline so the obs layer (which links
+/// below the scheduler) can render causes in trace exports.
+inline const char* UotAdaptCauseName(UotAdaptCause cause) {
+  switch (cause) {
+    case UotAdaptCause::kSeed: return "seed";
+    case UotAdaptCause::kPinned: return "pinned";
+    case UotAdaptCause::kNone: return "none";
+    case UotAdaptCause::kDeferralDepth: return "deferral_depth";
+    case UotAdaptCause::kHeadroomWatermark: return "headroom_watermark";
+    case UotAdaptCause::kCalmStreak: return "calm_streak";
+    case UotAdaptCause::kRateImbalance: return "rate_imbalance";
+  }
+  return "unknown";
+}
+
 /// The per-edge UoT decision point. The scheduler consults the policy on
 /// every block-completion event of every streaming edge; the returned value
 /// is the number of accumulated blocks that triggers a transfer
@@ -103,6 +141,16 @@ class EdgeUotPolicy {
   /// Blocks that must accumulate on `edge` before the next transfer.
   virtual uint64_t BlocksPerTransfer(const EdgeRuntimeState& edge) = 0;
 
+  /// Same decision, but also reports why. The base implementation cannot
+  /// know a cause and reports kNone; adaptive policies override this and
+  /// have the one-arg form delegate here. The scheduler always calls this
+  /// form so the cause reaches the decision log.
+  virtual uint64_t BlocksPerTransfer(const EdgeRuntimeState& edge,
+                                     UotAdaptCause* cause) {
+    if (cause != nullptr) *cause = UotAdaptCause::kNone;
+    return BlocksPerTransfer(edge);
+  }
+
   /// Human-readable description for logs / ExecConfig::ToString().
   virtual std::string ToString() const = 0;
 };
@@ -114,6 +162,7 @@ class FixedUotPolicy final : public EdgeUotPolicy {
  public:
   explicit FixedUotPolicy(UotPolicy uot = UotPolicy()) : uot_(uot) {}
 
+  using EdgeUotPolicy::BlocksPerTransfer;
   uint64_t BlocksPerTransfer(const EdgeRuntimeState&) override {
     return uot_.blocks_per_transfer();
   }

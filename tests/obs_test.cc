@@ -22,6 +22,7 @@ using obs::ChromeTraceSummary;
 using obs::Counter;
 using obs::Gauge;
 using obs::Histogram;
+using obs::HistogramSnapshot;
 using obs::MetricsRegistry;
 using obs::ParseChromeTraceJson;
 using obs::TraceEvent;
@@ -158,6 +159,54 @@ TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
   // The p50 of 11 samples is the 6th: value 11 -> bucket with bound 100.
   EXPECT_EQ(h.ApproxPercentile(0.5), 100);
   EXPECT_EQ(h.ApproxPercentile(1.0), INT64_MAX);
+}
+
+TEST(HistogramTest, ValueAtQuantileInterpolatesInsideBuckets) {
+  Histogram h({10, 20, 30, 40});
+  for (int64_t v = 1; v <= 40; ++v) h.Record(v);  // 10 per bucket
+  // Exact-rank quantiles land on the true order statistics.
+  EXPECT_EQ(h.ValueAtQuantile(0.25), 10);
+  EXPECT_EQ(h.ValueAtQuantile(0.50), 20);
+  EXPECT_EQ(h.ValueAtQuantile(0.975), 39);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 40);
+  // ApproxPercentile can only answer with a bucket bound; the
+  // interpolated value refines it within the same bucket.
+  EXPECT_EQ(h.ApproxPercentile(0.975), 40);
+}
+
+TEST(HistogramTest, ValueAtQuantileClampsToObservedRange) {
+  // All samples land in one wide bucket: interpolation against the
+  // nominal edges must not report values no sample ever had.
+  Histogram h({1000});
+  for (int64_t v = 0; v < 100; ++v) h.Record(v);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 99);
+  EXPECT_GE(h.ValueAtQuantile(0.5), 0);
+  EXPECT_LE(h.ValueAtQuantile(0.5), 99);
+  // Overflow bucket: the upper edge is the observed max, not INT64_MAX.
+  Histogram o({10});
+  o.Record(50);
+  o.Record(70);
+  EXPECT_EQ(o.ValueAtQuantile(0.99), 70);
+}
+
+TEST(HistogramTest, SnapshotDigestsCountSumAndQuantiles) {
+  Histogram h(Histogram::ExponentialBounds(1, 2.0, 16));
+  const HistogramSnapshot empty = h.TakeSnapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min, 0);
+  EXPECT_EQ(empty.max, 0);
+  EXPECT_EQ(empty.p99, 0);
+
+  for (int64_t v = 1; v <= 1000; ++v) h.Record(v);
+  const HistogramSnapshot snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_EQ(snap.sum, 1000 * 1001 / 2);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 1000);
+  EXPECT_NEAR(snap.mean, 500.5, 0.01);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
 }
 
 TEST(HistogramTest, ExponentialBoundsStrictlyIncrease) {

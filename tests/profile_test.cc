@@ -1,0 +1,443 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/adaptive_uot_policy.h"
+#include "exec/engine.h"
+#include "exec/query_executor.h"
+#include "model/uot_chooser.h"
+#include "obs/json_lite.h"
+#include "obs/metrics.h"
+#include "obs/metrics_sampler.h"
+#include "obs/query_profile.h"
+#include "operators/aggregate_operator.h"
+#include "operators/select_operator.h"
+#include "test_util.h"
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+
+namespace uot {
+namespace {
+
+using testing::MakeKvTable;
+
+/// select(TRUE) -> agg(sum(v) group by k) over a plan-owned pipeline: one
+/// streaming edge with a deterministic payload, so oracle estimates can be
+/// measured from a profile run and predictions compared exactly.
+std::unique_ptr<QueryPlan> MakeSelectAggPlan(StorageManager* storage,
+                                             const Table& input) {
+  auto plan = std::make_unique<QueryPlan>(storage);
+  auto proj = Projection::Identity(input.schema(), {0, 1});
+  Schema sel_schema = proj->output_schema();
+  Table* sel_out = plan->CreateTempTable("sel.out", sel_schema,
+                                         Layout::kRowStore, 1024);
+  InsertDestination* sel_dest = plan->CreateDestination(sel_out);
+  auto select = std::make_unique<SelectOperator>(
+      "select", std::make_unique<TruePredicate>(), std::move(proj),
+      sel_dest);
+  select->AttachBaseTable(&input);
+  const int select_op = plan->AddOperator(std::move(select));
+  plan->RegisterOutput(select_op, sel_dest);
+
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1, Type::Double()), "sum"});
+  Schema agg_schema = AggregateOperator::OutputSchema(sel_schema, {0}, aggs);
+  Table* agg_out = plan->CreateTempTable("agg.out", agg_schema,
+                                         Layout::kRowStore, 1024);
+  InsertDestination* agg_dest = plan->CreateDestination(agg_out);
+  auto agg = std::make_unique<AggregateOperator>(
+      "agg", sel_schema, std::vector<int>{0}, std::move(aggs), nullptr,
+      agg_dest);
+  const int agg_op = plan->AddOperator(std::move(agg));
+  plan->RegisterOutput(agg_op, agg_dest);
+  plan->AddStreamingEdge(select_op, agg_op);
+  plan->SetResultTable(agg_out);
+  return plan;
+}
+
+TEST(ProfileTest, FromRunJoinsMeasuredEdgesWithOperators) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 3000, 16, Layout::kRowStore, 1024);
+  auto plan = MakeSelectAggPlan(&storage, *input);
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+  config.profile = true;
+  ExecutionStats stats = QueryExecutor::Execute(plan.get(), config);
+
+  const obs::QueryProfile profile =
+      obs::QueryProfile::FromRun(plan.get(), stats, {"select-agg"});
+  EXPECT_EQ(profile.query_name(), "select-agg");
+  ASSERT_EQ(profile.operators().size(), 2u);
+  EXPECT_EQ(profile.operators()[0].name, "select");
+  EXPECT_GT(profile.operators()[0].num_work_orders, 0u);
+  EXPECT_GT(profile.operators()[0].latency.count, 0u);
+  EXPECT_GE(profile.operators()[0].latency.p99,
+            profile.operators()[0].latency.p50);
+
+  ASSERT_EQ(profile.edges().size(), 1u);
+  const obs::QueryProfile::Edge& edge = profile.edges()[0];
+  EXPECT_EQ(edge.producer, 0);
+  EXPECT_EQ(edge.consumer, 1);
+  EXPECT_EQ(edge.producer_name, "select");
+  EXPECT_EQ(edge.consumer_name, "agg");
+  EXPECT_EQ(edge.transfers, stats.edge_transfers[0]);
+  // Payload volume is rows x row width, independent of scheduling.
+  const uint64_t row_width = input->schema().row_width();
+  EXPECT_EQ(edge.bytes_delivered, 3000u * row_width);
+  EXPECT_EQ(edge.blocks_delivered, edge.blocks_produced);
+  EXPECT_GT(edge.max_buffered_bytes, 0u);
+  EXPECT_FALSE(edge.has_prediction);  // nothing annotated
+
+  const std::string text = profile.ToString();
+  EXPECT_NE(text.find("op[0] select"), std::string::npos);
+  EXPECT_NE(text.find("edge[0] op0 -> op1"), std::string::npos);
+  EXPECT_NE(text.find("memory peaks:"), std::string::npos);
+}
+
+TEST(ProfileTest, OracleEstimatesGiveZeroByteResiduals) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 4000, 20, Layout::kRowStore, 1024);
+
+  // Profile run: measure the edge's actual output cardinality.
+  auto profiled = MakeSelectAggPlan(&storage, *input);
+  ExecConfig profile_config;
+  profile_config.num_workers = 2;
+  profile_config.drop_consumed_blocks = false;
+  QueryExecutor::Execute(profiled.get(), profile_config);
+  const std::vector<EdgeEstimate> oracle =
+      CostModelUotChooser::EstimatesFromExecutedPlan(*profiled);
+  ASSERT_EQ(oracle.size(), 1u);
+  ASSERT_EQ(oracle[0].rows, 4000u);
+
+  // Fresh plan annotated with the chooser's predictions from the oracle
+  // estimates, then executed with profiling on.
+  CostModelUotChooser chooser;
+  auto fresh = MakeSelectAggPlan(&storage, *input);
+  const std::vector<UotChoice> choices = chooser.ChoosePlan(*fresh, oracle);
+  ASSERT_EQ(choices.size(), 1u);
+  CostModelUotChooser::AnnotatePlan(fresh.get(), choices);
+  ASSERT_TRUE(fresh->edge_prediction(0).has_value());
+
+  ExecConfig config;
+  config.num_workers = 2;
+  config.profile = true;
+  ExecutionStats stats = QueryExecutor::Execute(fresh.get(), config);
+
+  const obs::QueryProfile profile =
+      obs::QueryProfile::FromRun(fresh.get(), stats, {"oracle"});
+  ASSERT_EQ(profile.edges().size(), 1u);
+  const obs::QueryProfile::Edge& edge = profile.edges()[0];
+  ASSERT_TRUE(edge.has_prediction);
+  EXPECT_EQ(edge.est_rows, 4000u);
+  // With oracle cardinalities the byte residual is exactly zero: both
+  // sides are rows x row width.
+  EXPECT_EQ(edge.residual_bytes, 0);
+  // Transfers depend on how full the produced blocks are, which the model
+  // idealizes; the residual must still be small relative to the total.
+  EXPECT_LE(static_cast<double>(std::abs(edge.residual_transfers)),
+            0.5 * static_cast<double>(
+                      std::max<uint64_t>(1, edge.predicted_transfers)) +
+                2.0);
+  EXPECT_LT(edge.WorstRelativeError(), 1.0);
+
+  const std::string report = profile.CalibrationReport();
+  EXPECT_NE(report.find("rel_err"), std::string::npos);
+
+  // Residual gauges land in the registry under the documented names.
+  obs::MetricsRegistry registry;
+  profile.ExportResidualMetrics(&registry);
+  const obs::Gauge* bytes_gauge =
+      registry.FindGauge("model.residual.edge.0.bytes");
+  ASSERT_NE(bytes_gauge, nullptr);
+  EXPECT_EQ(bytes_gauge->Value(), 0);
+  ASSERT_NE(registry.FindGauge("model.residual.edge.0.transfers"), nullptr);
+  ASSERT_NE(registry.FindGauge("model.residual.edge.0.footprint_bytes"),
+            nullptr);
+}
+
+TEST(ProfileTest, AdaptiveRunRecordsDecisionLogWithCauses) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 8000, 16, Layout::kRowStore, 2048);
+  auto plan = MakeSelectAggPlan(&storage, *input);
+
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot_policy = std::make_shared<AdaptiveUotPolicy>();
+  config.memory_budget_bytes = 1;  // constant pressure: must narrow
+  config.profile = true;
+  ExecutionStats stats = QueryExecutor::Execute(plan.get(), config);
+
+  EXPECT_TRUE(stats.profiled);
+  ASSERT_FALSE(stats.uot_decisions.empty());
+  // The first record is the edge's initial resolution: from_blocks 0 with
+  // either the seed cause or, under immediate pressure, the policy's own
+  // narrow cause.
+  EXPECT_EQ(stats.uot_decisions.front().from_blocks, 0u);
+  bool saw_narrow = false;
+  int64_t last_t = 0;
+  for (const UotDecisionRecord& d : stats.uot_decisions) {
+    EXPECT_GE(d.t_ns, last_t);
+    last_t = d.t_ns;
+    if (d.from_blocks != 0 &&
+        (d.cause == UotAdaptCause::kDeferralDepth ||
+         d.cause == UotAdaptCause::kHeadroomWatermark)) {
+      saw_narrow = true;
+      EXPECT_LT(d.to_blocks, d.from_blocks);
+    }
+  }
+  EXPECT_EQ(saw_narrow, stats.uot_adaptations > 0);
+  // Budget pressure at budget=1 defers work orders and logs the events.
+  EXPECT_GT(stats.budget_deferrals, 0u);
+  EXPECT_FALSE(stats.budget_events.empty());
+
+  // The same run with profiling off keeps identical transfer behavior and
+  // collects no logs.
+  auto unprofiled_plan = MakeSelectAggPlan(&storage, *input);
+  ExecConfig off = config;
+  off.uot_policy = std::make_shared<AdaptiveUotPolicy>();
+  off.profile = false;
+  ExecutionStats off_stats =
+      QueryExecutor::Execute(unprofiled_plan.get(), off);
+  EXPECT_FALSE(off_stats.profiled);
+  EXPECT_TRUE(off_stats.uot_decisions.empty());
+  EXPECT_TRUE(off_stats.budget_events.empty());
+  ASSERT_EQ(off_stats.edges.size(), stats.edges.size());
+  EXPECT_EQ(off_stats.edges[0].bytes_delivered,
+            stats.edges[0].bytes_delivered);
+}
+
+TEST(ProfileTest, JsonRoundTripsThroughValidator) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 4000, 20, Layout::kRowStore, 1024);
+
+  auto profiled = MakeSelectAggPlan(&storage, *input);
+  ExecConfig profile_config;
+  profile_config.num_workers = 2;
+  profile_config.drop_consumed_blocks = false;
+  QueryExecutor::Execute(profiled.get(), profile_config);
+  const std::vector<EdgeEstimate> oracle =
+      CostModelUotChooser::EstimatesFromExecutedPlan(*profiled);
+
+  CostModelUotChooser chooser;
+  auto fresh = MakeSelectAggPlan(&storage, *input);
+  CostModelUotChooser::AnnotatePlan(fresh.get(),
+                                    chooser.ChoosePlan(*fresh, oracle));
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot_policy = std::make_shared<AdaptiveUotPolicy>();
+  config.memory_budget_bytes = 1;
+  config.profile = true;
+  ExecutionStats stats = QueryExecutor::Execute(fresh.get(), config);
+
+  const obs::QueryProfile profile =
+      obs::QueryProfile::FromRun(fresh.get(), stats, {"roundtrip"});
+  const std::string json = profile.ToJson();
+
+  obs::QueryProfileSummary summary;
+  const Status status = obs::ParseQueryProfileJson(json, &summary);
+  ASSERT_TRUE(status.ok()) << status.ToString() << "\n" << json;
+  EXPECT_EQ(summary.query_name, "roundtrip");
+  EXPECT_EQ(summary.query_id, stats.query_id);
+  EXPECT_TRUE(summary.profiled);
+  EXPECT_EQ(summary.num_operators, 2u);
+  EXPECT_EQ(summary.num_edges, 1u);
+  EXPECT_EQ(summary.num_predicted_edges, 1u);
+  EXPECT_EQ(summary.num_uot_decisions, stats.uot_decisions.size());
+  EXPECT_EQ(summary.num_budget_events, stats.budget_events.size());
+
+  // The validator rejects structurally broken documents.
+  obs::QueryProfileSummary ignored;
+  EXPECT_FALSE(obs::ParseQueryProfileJson("{\"query\": {}}", &ignored).ok());
+  EXPECT_FALSE(obs::ParseQueryProfileJson(json + "x", &ignored).ok());
+  std::string no_edges = json;
+  const size_t pos = no_edges.find("\"edges\"");
+  ASSERT_NE(pos, std::string::npos);
+  no_edges.replace(pos, 7, "\"wrong\"");
+  EXPECT_FALSE(obs::ParseQueryProfileJson(no_edges, &ignored).ok());
+}
+
+TEST(ProfileTest, SamplerRingBufferWrapsAround) {
+  obs::MetricsRegistry registry;
+  obs::Counter* ticks = registry.GetCounter("test.ticks");
+  registry.GetGauge("test.level")->Set(7);
+
+  obs::MetricsSampler::Options options;
+  options.interval_ms = 3600 * 1000;  // background thread effectively idle
+  options.capacity = 4;
+  int pre_sample_calls = 0;
+  options.pre_sample = [&] { ++pre_sample_calls; };
+  obs::MetricsSampler sampler(&registry, options);
+
+  for (int i = 0; i < 10; ++i) {
+    ticks->Increment();
+    sampler.SampleOnce();
+  }
+  EXPECT_EQ(sampler.total_samples(), 10u);
+  EXPECT_EQ(pre_sample_calls, 10);
+
+  const std::vector<obs::MetricsSample> samples = sampler.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);  // capacity, oldest overwritten
+  int64_t last_t = 0;
+  int64_t last_ticks = 0;
+  for (const obs::MetricsSample& s : samples) {
+    EXPECT_GE(s.t_ns, last_t);
+    last_t = s.t_ns;
+    bool found = false;
+    for (const auto& [name, value] : s.values) {
+      if (name == "counter.test.ticks") {
+        EXPECT_GT(value, last_ticks);
+        last_ticks = value;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  // The newest retained sample saw all ten increments.
+  EXPECT_EQ(last_ticks, 10);
+
+  // Exports parse and carry every retained sample.
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonValue::Parse(sampler.ToJson(), &root).ok());
+  EXPECT_EQ(root.Find("samples")->AsArray().size(), 4u);
+  EXPECT_EQ(static_cast<uint64_t>(root.NumberOr("total_samples", 0)), 10u);
+  const std::string csv = sampler.ToCsv();
+  EXPECT_NE(csv.find("t_ns,metric,value"), std::string::npos);
+  EXPECT_NE(csv.find("counter.test.ticks"), std::string::npos);
+}
+
+TEST(ProfileTest, EngineTelemetryRecordsLatencyAndGauges) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 2000, 8, Layout::kRowStore, 1024);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 2;
+  engine_config.sampler_interval_ms = 1;
+  engine_config.sampler_capacity = 128;
+  Engine engine(engine_config);
+  ASSERT_NE(engine.metrics(), nullptr);
+  ASSERT_NE(engine.sampler(), nullptr);
+  EXPECT_TRUE(engine.sampler()->running());
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(1);
+  constexpr int kQueries = 3;
+  for (int i = 0; i < kQueries; ++i) {
+    auto plan = MakeSelectAggPlan(&storage, *input);
+    engine.Execute(plan.get(), config);
+  }
+  engine.Shutdown();
+  EXPECT_FALSE(engine.sampler()->running());
+
+  const obs::Histogram* latency =
+      engine.metrics()->FindHistogram("engine.query_latency_ns");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->TotalCount(), static_cast<uint64_t>(kQueries));
+  EXPECT_GT(latency->TakeSnapshot().p50, 0);
+  const obs::Histogram* wait =
+      engine.metrics()->FindHistogram("engine.admission_wait_ns");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->TotalCount(), static_cast<uint64_t>(kQueries));
+  const obs::Counter* executed =
+      engine.metrics()->FindCounter("engine.queries_executed");
+  ASSERT_NE(executed, nullptr);
+  EXPECT_EQ(executed->Value(), static_cast<uint64_t>(kQueries));
+
+  // Shutdown's final sample means the series is never empty, ends in the
+  // idle state, and parses as JSON.
+  ASSERT_GE(engine.sampler()->total_samples(), 1u);
+  const std::vector<obs::MetricsSample> series = engine.sampler()->Snapshot();
+  ASSERT_FALSE(series.empty());
+  const obs::MetricsSample& last = series.back();
+  std::map<std::string, int64_t> values(last.values.begin(),
+                                        last.values.end());
+  EXPECT_EQ(values.at("counter.engine.queries_executed"), kQueries);
+  EXPECT_EQ(values.at("gauge.engine.inflight_queries"), 0);
+  EXPECT_EQ(values.at("gauge.engine.work_queue_depth"), 0);
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonValue::Parse(engine.sampler()->ToJson(), &root).ok());
+}
+
+TEST(ProfileTest, ConcurrentTpchProfilesStayIsolated) {
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig tpch_config;
+  tpch_config.scale_factor = 0.002;
+  db.Generate(tpch_config);
+  TpchPlanConfig plan_config;
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(1);
+  config.profile = true;
+
+  // Solo reference profile.
+  auto solo_plan = BuildTpchPlan(3, db, plan_config);
+  ExecutionStats solo_stats;
+  {
+    EngineConfig engine_config;
+    engine_config.num_workers = 4;
+    Engine engine(engine_config);
+    solo_stats = engine.Execute(solo_plan.get(), config);
+  }
+  const obs::QueryProfile solo =
+      obs::QueryProfile::FromRun(solo_plan.get(), solo_stats, {"q3"});
+
+  // Four concurrent instances of the same query on one shared engine.
+  constexpr int kQueries = 4;
+  EngineConfig engine_config;
+  engine_config.num_workers = 4;
+  Engine engine(engine_config);
+  std::vector<std::unique_ptr<QueryPlan>> plans;
+  std::vector<ExecutionStats> stats(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    plans.push_back(BuildTpchPlan(3, db, plan_config));
+  }
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kQueries; ++i) {
+    threads.emplace_back([&, i] {
+      stats[static_cast<size_t>(i)] =
+          engine.Execute(plans[static_cast<size_t>(i)].get(), config);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::set<uint64_t> ids;
+  for (int i = 0; i < kQueries; ++i) {
+    const obs::QueryProfile profile = obs::QueryProfile::FromRun(
+        plans[static_cast<size_t>(i)].get(), stats[static_cast<size_t>(i)],
+        {"q3"});
+    ids.insert(stats[static_cast<size_t>(i)].query_id);
+
+    // Structure matches the solo run: same operators, same edges, and the
+    // same deterministic payload volume over every edge — no bleed from
+    // the other three queries sharing the pool.
+    ASSERT_EQ(profile.operators().size(), solo.operators().size());
+    for (size_t op = 0; op < solo.operators().size(); ++op) {
+      EXPECT_EQ(profile.operators()[op].name, solo.operators()[op].name);
+      EXPECT_GT(profile.operators()[op].num_work_orders, 0u);
+    }
+    ASSERT_EQ(profile.edges().size(), solo.edges().size());
+    for (size_t e = 0; e < solo.edges().size(); ++e) {
+      EXPECT_EQ(profile.edges()[e].producer, solo.edges()[e].producer);
+      EXPECT_EQ(profile.edges()[e].consumer, solo.edges()[e].consumer);
+      EXPECT_EQ(profile.edges()[e].bytes_delivered,
+                solo.edges()[e].bytes_delivered)
+          << "edge " << e << " of query " << i;
+    }
+
+    obs::QueryProfileSummary summary;
+    ASSERT_TRUE(obs::ParseQueryProfileJson(profile.ToJson(), &summary).ok());
+    EXPECT_EQ(summary.num_edges, solo.edges().size());
+  }
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kQueries));
+}
+
+}  // namespace
+}  // namespace uot

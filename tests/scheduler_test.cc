@@ -800,6 +800,7 @@ TEST(PerEdgeUotTest, MultiInputConsumerWithMixedEdgeUot) {
 /// annotations: edge 0 materializes, every other edge pipelines.
 class FirstEdgeMaterializesPolicy final : public EdgeUotPolicy {
  public:
+  using EdgeUotPolicy::BlocksPerTransfer;
   uint64_t BlocksPerTransfer(const EdgeRuntimeState& edge) override {
     return edge.edge_index == 0 ? UotPolicy::kWholeTable : 1;
   }
@@ -841,6 +842,7 @@ TEST(PerEdgeUotTest, InterfacePolicyMatchesEquivalentAnnotations) {
 /// A broken policy: returns 0 blocks per transfer.
 class ZeroUotPolicy final : public EdgeUotPolicy {
  public:
+  using EdgeUotPolicy::BlocksPerTransfer;
   uint64_t BlocksPerTransfer(const EdgeRuntimeState&) override { return 0; }
   std::string ToString() const override { return "zero"; }
 };

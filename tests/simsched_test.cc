@@ -239,6 +239,7 @@ TEST(DesSchedulerTest, FixedPolicyMatchesScalarUot) {
 /// blocks still completes with the full work-order count.
 class NarrowAfterBufferPolicy final : public EdgeUotPolicy {
  public:
+  using EdgeUotPolicy::BlocksPerTransfer;
   uint64_t BlocksPerTransfer(const EdgeRuntimeState& edge) override {
     return edge.buffered_blocks >= 8 ? 1 : 4;
   }
