@@ -1,0 +1,189 @@
+// Radix-partitioned hash join A/B (ISSUE 7 satellite): unpartitioned
+// shared-table join vs an exchange-partitioned join swept over radix_bits,
+// with uniform and Zipf-skewed probe keys. The build side is sized
+// out-of-cache so the unpartitioned probe pays an L3 miss per chain, while
+// partitioned sub-tables become (near-)cache-resident — the contention/
+// locality trade the Section V/VI repartition cost terms
+// (CostModel::RepartitionExtraCost vs PartitionedProbeSavings) model.
+//
+// Probe-phase time is read from the scheduler's per-operator task
+// accounting (OperatorStats), so repartition (exchange) time is reported
+// separately and does not pollute the probe comparison.
+//
+// Emits BENCH_partitioned_join.json. UOT_PARTITION_BENCH_SMALL=1 shrinks
+// the tables so CI can smoke-test the emitter in seconds.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/uot_chooser.h"
+#include "plan/plan_builder.h"
+#include "types/row_builder.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace uot;
+using namespace uot::bench;
+
+std::unique_ptr<Table> MakeKeyedTable(StorageManager* storage,
+                                      const std::string& name,
+                                      const std::vector<int64_t>& keys,
+                                      size_t block_bytes) {
+  Schema schema({{"k", Type::Int64()}, {"v", Type::Int64()}});
+  auto table = std::make_unique<Table>(name, schema, Layout::kRowStore,
+                                       block_bytes, storage,
+                                       MemoryCategory::kBaseTable);
+  RowBuilder row(&table->schema());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    row.SetInt64(0, keys[i]);
+    row.SetInt64(1, static_cast<int64_t>(i));
+    table->AppendRow(row.data());
+  }
+  return table;
+}
+
+/// Probe keys over [0, domain): uniform, or Zipf-like (power-skewed toward
+/// low keys, the heavy-hitter regime where one partition runs hot).
+std::vector<int64_t> ProbeKeys(uint64_t rows, uint64_t domain, bool zipf) {
+  std::vector<int64_t> keys;
+  keys.reserve(rows);
+  Random rng(42);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const double u = rng.NextDouble();
+    const double scaled = zipf ? u * u * u * u : u;  // ~Zipf tail mass
+    int64_t key = static_cast<int64_t>(
+        scaled * static_cast<double>(domain));
+    if (key >= static_cast<int64_t>(domain)) {
+      key = static_cast<int64_t>(domain) - 1;
+    }
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+struct PhaseTimes {
+  double query_ms = 0.0;
+  double probe_ms = 0.0;     // probe operator task time
+  double exchange_ms = 0.0;  // both exchange operators' task time
+};
+
+PhaseTimes RunJoin(StorageManager* storage, const Table& probe,
+                   const Table& build, int radix_bits, size_t block_bytes,
+                   int workers, int runs) {
+  PhaseTimes best;
+  best.query_ms = 1e300;
+  for (int r = 0; r < runs; ++r) {
+    PlanBuilderConfig plan_config;
+    plan_config.block_bytes = block_bytes;
+    plan_config.join_radix_bits = radix_bits;
+    PlanBuilder builder(storage, plan_config);
+    BuildHashOperator* build_op =
+        builder.Build("build", PlanBuilder::Base(build), {0}, {1});
+    PlanBuilder::Src out = builder.Probe("probe", PlanBuilder::Base(probe),
+                                         build_op, {0}, {0, 1});
+    auto plan = builder.Finish(out);
+
+    ExecConfig exec;
+    exec.num_workers = workers;
+    exec.uot = UotPolicy::LowUot(2);
+    const ExecutionStats stats = QueryExecutor::Execute(plan.get(), exec);
+    if (stats.QueryMillis() < best.query_ms) {
+      best.query_ms = stats.QueryMillis();
+      best.probe_ms = 0.0;
+      best.exchange_ms = 0.0;
+      for (const OperatorStats& op : stats.operators) {
+        const double ms = static_cast<double>(op.total_task_ns) / 1e6;
+        if (op.name == "probe") best.probe_ms += ms;
+        if (op.name.find(".xchg") != std::string::npos) {
+          best.exchange_ms += ms;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const bool small = std::getenv("UOT_PARTITION_BENCH_SMALL") != nullptr;
+  const uint64_t build_rows = small ? 20'000 : 1'500'000;
+  const uint64_t probe_rows = small ? 60'000 : 6'000'000;
+  const size_t block_bytes = small ? 16 * 1024 : MidBlockBytes();
+  const int workers = Threads();
+  const int runs = std::max(1, small ? 1 : Runs());
+
+  std::printf("bench_partitioned_join: build=%llu probe=%llu workers=%d%s\n",
+              static_cast<unsigned long long>(build_rows),
+              static_cast<unsigned long long>(probe_rows), workers,
+              small ? " [small]" : "");
+
+  StorageManager storage;
+  std::vector<int64_t> build_keys(build_rows);
+  for (uint64_t i = 0; i < build_rows; ++i) {
+    build_keys[i] = static_cast<int64_t>(i);
+  }
+  auto build =
+      MakeKeyedTable(&storage, "build", build_keys, block_bytes);
+
+  // What the model would pick for this shape, for cross-checking the
+  // sweep against CostModelUotChooser::ChooseRadixBits.
+  {
+    CostModelUotChooser chooser;
+    EdgeEstimate build_est{build_rows, 16.0};
+    EdgeEstimate probe_est{probe_rows, 16.0};
+    const RadixChoice choice =
+        chooser.ChooseRadixBits(build_est, probe_est, /*slot_bytes=*/32);
+    std::printf("model: %s\n", choice.ToString().c_str());
+  }
+
+  BenchJson json("partitioned_join");
+  json.Set("build_rows", static_cast<double>(build_rows));
+  json.Set("probe_rows", static_cast<double>(probe_rows));
+  json.Set("workers", static_cast<double>(workers));
+
+  for (const bool zipf : {false, true}) {
+    const char* dist = zipf ? "zipf" : "uniform";
+    auto probe = MakeKeyedTable(
+        &storage, std::string("probe_") + dist,
+        ProbeKeys(probe_rows, build_rows, zipf), block_bytes);
+
+    double probe_radix0_ms = 0.0;
+    double best_partitioned_ms = 1e300;
+    for (const int radix_bits : {0, 1, 2, 3, 4, 5, 6}) {
+      const PhaseTimes t = RunJoin(&storage, *probe, *build, radix_bits,
+                                   block_bytes, workers, runs);
+      const std::string tag =
+          std::string(dist) + "_radix" + std::to_string(radix_bits);
+      std::printf(
+          "  %-18s query %9.2f ms   probe %9.2f ms   exchange %8.2f ms\n",
+          tag.c_str(), t.query_ms, t.probe_ms, t.exchange_ms);
+      json.Set(tag + "_query_ms", t.query_ms);
+      json.Set(tag + "_probe_ms", t.probe_ms);
+      json.Set(tag + "_exchange_ms", t.exchange_ms);
+      if (radix_bits == 0) {
+        probe_radix0_ms = t.probe_ms;
+      } else {
+        best_partitioned_ms = std::min(best_partitioned_ms, t.probe_ms);
+      }
+    }
+    const double speedup =
+        best_partitioned_ms > 0.0 ? probe_radix0_ms / best_partitioned_ms
+                                  : 0.0;
+    std::printf("  %s probe-phase speedup (best radix vs shared table): "
+                "%.2fx\n",
+                dist, speedup);
+    json.Set(std::string(dist) + "_probe_speedup", speedup);
+  }
+
+  json.Write();
+  std::printf("\nTarget: >= 1.3x probe-phase speedup on the skewed "
+              "out-of-cache arm at 8 workers.\n");
+  return 0;
+}

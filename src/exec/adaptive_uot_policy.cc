@@ -17,6 +17,7 @@ AdaptiveUotPolicy::AdaptiveUotPolicy(Options options,
   UOT_CHECK(options_.initial_blocks >= options_.min_blocks &&
             options_.initial_blocks <= options_.max_blocks);
   UOT_CHECK(options_.widen_watermark <= options_.narrow_watermark);
+  UOT_CHECK(options_.exchange_max_blocks >= options_.min_blocks);
   for (uint64_t seed : edge_seeds_) UOT_CHECK(seed != 0);
 }
 
@@ -37,9 +38,15 @@ uint64_t AdaptiveUotPolicy::BlocksPerTransfer(const EdgeRuntimeState& edge,
                                               UotAdaptCause* cause) {
   if (cause != nullptr) *cause = UotAdaptCause::kNone;
   std::lock_guard<std::mutex> lock(mutex_);
+  // Exchange edges cap below the general ceiling: their consumer buffers
+  // everything anyway, so wide granules only serialize repartition work.
+  const uint64_t max_blocks =
+      edge.is_exchange
+          ? std::min(options_.max_blocks, options_.exchange_max_blocks)
+          : options_.max_blocks;
   auto [it, inserted] = edges_.try_emplace(
       std::make_pair(edge.query_id, edge.edge_index),
-      EdgeControl{SeedFor(edge.edge_index)});
+      EdgeControl{std::min(SeedFor(edge.edge_index), max_blocks)});
   EdgeControl& control = it->second;
   if (inserted && cause != nullptr) *cause = UotAdaptCause::kSeed;
 
@@ -84,9 +91,8 @@ uint64_t AdaptiveUotPolicy::BlocksPerTransfer(const EdgeRuntimeState& edge,
     const uint64_t needed_calm =
         producer_ahead ? std::max<uint64_t>(1, options_.widen_after_calm / 2)
                        : options_.widen_after_calm;
-    if (control.calm_streak >= needed_calm &&
-        control.blocks < options_.max_blocks) {
-      control.blocks = std::min(options_.max_blocks, control.blocks * 2);
+    if (control.calm_streak >= needed_calm && control.blocks < max_blocks) {
+      control.blocks = std::min(max_blocks, control.blocks * 2);
       control.calm_streak = 0;
       adaptations_.fetch_add(1, std::memory_order_relaxed);
       if (cause != nullptr) {

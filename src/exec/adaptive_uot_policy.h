@@ -55,6 +55,13 @@ class AdaptiveUotPolicy final : public EdgeUotPolicy {
     /// Producer-ahead ratio (completed producer / consumer work orders)
     /// that halves the required calm streak.
     double imbalance_ratio = 4.0;
+    /// Ceiling for exchange/repartition edges (EdgeRuntimeState::
+    /// is_exchange), applied on top of max_blocks. The partitioned build
+    /// downstream buffers its whole input regardless, so widening an
+    /// exchange edge buys no locality — it only delays the repartition
+    /// work that should overlap the producer. Kept > min so the edge can
+    /// still narrow under memory pressure.
+    uint64_t exchange_max_blocks = 8;
   };
 
   AdaptiveUotPolicy() : AdaptiveUotPolicy(Options{}) {}

@@ -1,0 +1,40 @@
+#include "join/partitioned_hash_table.h"
+
+namespace uot {
+
+PartitionedJoinHashTable::PartitionedJoinHashTable(Schema payload_schema,
+                                                  int num_key_cols,
+                                                  double load_factor,
+                                                  int radix_bits,
+                                                  MemoryTracker* tracker)
+    : radix_bits_(radix_bits) {
+  UOT_CHECK(radix_bits >= 0 && radix_bits <= kMaxRadixBits);
+  const uint32_t parts = NumPartitions(radix_bits);
+  sub_tables_.reserve(parts);
+  for (uint32_t p = 0; p < parts; ++p) {
+    sub_tables_.push_back(std::make_unique<JoinHashTable>(
+        payload_schema, num_key_cols, load_factor, tracker));
+  }
+}
+
+void PartitionedJoinHashTable::ReservePartitions(
+    const std::vector<uint64_t>& counts) {
+  UOT_CHECK(counts.size() == sub_tables_.size());
+  for (size_t p = 0; p < sub_tables_.size(); ++p) {
+    sub_tables_[p]->Reserve(counts[p]);
+  }
+}
+
+uint64_t PartitionedJoinHashTable::size() const {
+  uint64_t total = 0;
+  for (const auto& t : sub_tables_) total += t->size();
+  return total;
+}
+
+size_t PartitionedJoinHashTable::allocated_bytes() const {
+  size_t total = 0;
+  for (const auto& t : sub_tables_) total += t->allocated_bytes();
+  return total;
+}
+
+}  // namespace uot

@@ -171,6 +171,7 @@ QueryProfile QueryProfile::FromRun(const QueryPlan* plan,
         static_cast<size_t>(es.consumer) < stats.operators.size()) {
       edge.consumer_name = stats.operators[static_cast<size_t>(es.consumer)].name;
     }
+    edge.exchange = es.exchange;
     edge.transfers = es.transfers;
     edge.blocks_produced = es.blocks_produced;
     edge.blocks_delivered = es.blocks_delivered;
@@ -235,12 +236,13 @@ std::string QueryProfile::ToString() const {
   }
   for (const Edge& e : edges_) {
     std::snprintf(buf, sizeof(buf),
-                  "  edge[%d] op%d -> op%d: uot=%s, transfers=%" PRIu64
+                  "  %s[%d] op%d -> op%d: uot=%s, transfers=%" PRIu64
                   ", delivered %s in %" PRIu64
                   " blocks, footprint peak %s",
-                  e.edge, e.producer, e.consumer,
-                  FormatUot(e.final_uot_blocks).c_str(), e.transfers,
-                  FormatBytes(e.bytes_delivered).c_str(), e.blocks_delivered,
+                  e.exchange ? "xchg" : "edge", e.edge, e.producer,
+                  e.consumer, FormatUot(e.final_uot_blocks).c_str(),
+                  e.transfers, FormatBytes(e.bytes_delivered).c_str(),
+                  e.blocks_delivered,
                   FormatBytes(e.max_buffered_bytes).c_str());
     out += buf;
     if (e.has_prediction) {
@@ -256,6 +258,25 @@ std::string QueryProfile::ToString() const {
       out += buf;
     }
     out += "\n";
+  }
+  for (const ExchangeStats& x : stats_.exchanges) {
+    std::snprintf(buf, sizeof(buf),
+                  "  exchange op[%d] %s: radix_bits=%d, %zu partitions, "
+                  "%" PRIu64 " rows, skew %.2fx\n",
+                  x.op, x.name.c_str(), x.radix_bits,
+                  x.partition_rows.size(), x.TotalRows(), x.SkewRatio());
+    out += buf;
+    for (size_t p = 0; p < x.partition_rows.size(); ++p) {
+      const uint64_t blocks =
+          p < x.partition_blocks.size() ? x.partition_blocks[p] : 0;
+      // One consumer work order per completed block, so `blocks` is also
+      // the partition's downstream work-order count.
+      std::snprintf(buf, sizeof(buf),
+                    "    part[%zu]: %" PRIu64 " rows, %" PRIu64
+                    " blocks/work orders\n",
+                    p, x.partition_rows[p], blocks);
+      out += buf;
+    }
   }
   out += "  memory peaks:";
   for (int c = 0; c < kNumMemoryCategories; ++c) {
@@ -358,6 +379,10 @@ std::string QueryProfile::ToJson() const {
     AppendField(&out, "consumer", e.consumer, &first);
     AppendFieldS(&out, "producer_name", e.producer_name, &first);
     AppendFieldS(&out, "consumer_name", e.consumer_name, &first);
+    // "kind" is emitted only for exchange edges: profiles of
+    // exchange-free plans stay byte-identical to pre-exchange builds,
+    // and the validator treats the key as optional.
+    if (e.exchange) AppendFieldS(&out, "kind", "exchange", &first);
     AppendField(&out, "uot_blocks", JsonUot(e.final_uot_blocks), &first);
     AppendFieldU(&out, "transfers", e.transfers, &first);
     AppendFieldU(&out, "blocks_produced", e.blocks_produced, &first);
@@ -386,7 +411,39 @@ std::string QueryProfile::ToJson() const {
     }
     out += '}';
   }
-  out += "\n  ],\n  \"memory\": {\"peak_bytes\": {";
+  out += "\n  ]";
+  // Optional section (absent when the plan has no exchange operators, so
+  // pre-exchange profile documents and consumers are unaffected).
+  if (!stats_.exchanges.empty()) {
+    out += ",\n  \"exchanges\": [";
+    for (size_t i = 0; i < stats_.exchanges.size(); ++i) {
+      const ExchangeStats& x = stats_.exchanges[i];
+      out += i == 0 ? "\n    {" : ",\n    {";
+      bool first = true;
+      AppendField(&out, "op", x.op, &first);
+      AppendFieldS(&out, "name", x.name, &first);
+      AppendField(&out, "radix_bits", x.radix_bits, &first);
+      AppendFieldU(&out, "total_rows", x.TotalRows(), &first);
+      AppendFieldD(&out, "skew", x.SkewRatio(), &first);
+      out += ", \"partition_rows\": [";
+      for (size_t p = 0; p < x.partition_rows.size(); ++p) {
+        if (p > 0) out += ", ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, x.partition_rows[p]);
+        out += buf;
+      }
+      out += "], \"partition_blocks\": [";
+      for (size_t p = 0; p < x.partition_blocks.size(); ++p) {
+        if (p > 0) out += ", ";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, x.partition_blocks[p]);
+        out += buf;
+      }
+      out += "]}";
+    }
+    out += "\n  ]";
+  }
+  out += ",\n  \"memory\": {\"peak_bytes\": {";
   for (int c = 0; c < kNumMemoryCategories; ++c) {
     if (c > 0) out += ", ";
     AppendJsonString(&out,
@@ -554,6 +611,16 @@ Status ParseQueryProfileJson(std::string_view json,
           "max_buffered_bytes"}) {
       UOT_RETURN_IF_ERROR(RequireNumber(edge, key, "edge"));
     }
+    // Optional edge kind tag (absent in pre-exchange documents, which
+    // therefore keep validating; present = "exchange"|"pipeline").
+    const JsonValue* kind = edge.Find("kind");
+    if (kind != nullptr) {
+      if (!kind->is_string() || (kind->AsString() != "exchange" &&
+                                 kind->AsString() != "pipeline")) {
+        return ProfileError("edge \"kind\" must be exchange|pipeline");
+      }
+      if (kind->AsString() == "exchange") ++summary->num_exchange_edges;
+    }
     const JsonValue* prediction = edge.Find("prediction");
     const JsonValue* residuals = edge.Find("residuals");
     if ((prediction == nullptr) != (residuals == nullptr)) {
@@ -575,6 +642,37 @@ Status ParseQueryProfileJson(std::string_view json,
     }
   }
   summary->num_edges = edges->AsArray().size();
+
+  // Optional "exchanges" section: per-operator partition histograms.
+  // Absent in pre-exchange documents; validated when present.
+  const JsonValue* exchanges = root.Find("exchanges");
+  if (exchanges != nullptr) {
+    if (!exchanges->is_array()) {
+      return ProfileError("\"exchanges\" is not an array");
+    }
+    for (const JsonValue& x : exchanges->AsArray()) {
+      if (!x.is_object()) {
+        return ProfileError("exchange entry is not an object");
+      }
+      for (const char* key : {"op", "radix_bits", "total_rows"}) {
+        UOT_RETURN_IF_ERROR(RequireNumber(x, key, "exchange"));
+      }
+      for (const char* key : {"partition_rows", "partition_blocks"}) {
+        const JsonValue* arr = x.Find(key);
+        if (arr == nullptr || !arr->is_array()) {
+          return ProfileError(std::string("exchange entry missing \"") + key +
+                              "\" array");
+        }
+        for (const JsonValue& v : arr->AsArray()) {
+          if (!v.is_number()) {
+            return ProfileError(std::string("exchange \"") + key +
+                                "\" holds a non-number");
+          }
+        }
+      }
+    }
+    summary->num_exchanges = exchanges->AsArray().size();
+  }
 
   const JsonValue* memory = root.Find("memory");
   if (memory == nullptr || !memory->is_object() ||

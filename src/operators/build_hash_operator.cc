@@ -27,17 +27,19 @@ BuildHashOperator::BuildHashOperator(std::string name,
                                      std::vector<int> key_cols,
                                      std::vector<int> payload_cols,
                                      double load_factor,
-                                     MemoryTracker* tracker)
+                                     MemoryTracker* tracker, int radix_bits)
     : Operator(std::move(name)),
       key_cols_(std::move(key_cols)),
       payload_cols_(std::move(payload_cols)),
       load_factor_(load_factor),
-      tracker_(tracker) {
+      tracker_(tracker),
+      radix_bits_(radix_bits) {
   UOT_CHECK(key_cols_.size() == 1 || key_cols_.size() == 2);
+  UOT_CHECK(radix_bits_ >= 0 && radix_bits_ <= kMaxRadixBits);
 }
 
 void BuildHashOperator::InitHashTable(const Schema& input_schema) {
-  if (hash_table_ != nullptr) return;
+  if (tables_ != nullptr) return;
   Schema payload;
   if (input_schema.num_columns() > 0) {
     for (int c : key_cols_) {
@@ -45,9 +47,19 @@ void BuildHashOperator::InitHashTable(const Schema& input_schema) {
     }
     payload = SubSchema(input_schema, payload_cols_);
   }  // else: empty input — probes will see an empty table
-  hash_table_ = std::make_unique<JoinHashTable>(
+  tables_ = std::make_unique<PartitionedJoinHashTable>(
       std::move(payload), static_cast<int>(key_cols_.size()), load_factor_,
-      tracker_);
+      radix_bits_, tracker_);
+}
+
+const JoinHashTable* BuildHashOperator::table_for_block(
+    const Block* block) const {
+  if (tables_ == nullptr) return nullptr;
+  if (radix_bits_ == 0) return tables_->sub_table(0);
+  const int32_t p = block->partition();
+  UOT_CHECK(p >= 0 &&
+            static_cast<uint32_t>(p) < tables_->num_partitions());
+  return tables_->sub_table(static_cast<uint32_t>(p));
 }
 
 void BuildHashOperator::ReceiveInputBlocks(int input_index,
@@ -72,19 +84,38 @@ bool BuildHashOperator::GenerateWorkOrders(
   if (!generated_) {
     buffered_ = input_.TakePending();
     if (!buffered_.empty()) InitHashTable(buffered_.front()->schema());
-    if (hash_table_ == nullptr) {
+    if (tables_ == nullptr) {
       // Empty input: create a minimal table so probes see an empty table.
       InitHashTable(Schema(std::vector<Column>{}));
     }
-    hash_table_->Reserve(input_.total_rows());
+    // Presize each sub-table exactly: one partition gets the whole input;
+    // at radix > 0 the exchange's partition tags give per-partition counts.
+    const uint32_t parts = tables_->num_partitions();
+    std::vector<uint64_t> counts(parts, 0);
+    if (parts == 1) {
+      counts[0] = input_.total_rows();
+    } else {
+      for (const Block* block : buffered_) {
+        const int32_t p = block->partition();
+        UOT_CHECK(p >= 0 && static_cast<uint32_t>(p) < parts);
+        counts[static_cast<size_t>(p)] += block->num_rows();
+      }
+    }
+    tables_->ReservePartitions(counts);
     if (lip_bits_per_entry_ > 0) {
+      // One filter spans all partitions (inserts are atomic fetch_or, so
+      // concurrent per-partition builds share it safely).
       lip_filter_ = std::make_unique<LipFilter>(input_.total_rows(),
                                                 lip_bits_per_entry_);
     }
     for (Block* block : buffered_) {
+      JoinHashTable* table =
+          parts == 1 ? tables_->sub_table(0)
+                     : tables_->sub_table(
+                           static_cast<uint32_t>(block->partition()));
       auto wo = std::make_unique<BuildHashWorkOrder>(
-          block, &key_cols_, &payload_cols_, hash_table_.get(),
-          lip_filter_.get(), &exec_ctx_);
+          block, &key_cols_, &payload_cols_, table, lip_filter_.get(),
+          &exec_ctx_);
       if (!input_.from_base_table()) wo->consumed_blocks.push_back(block);
       out->push_back(std::move(wo));
     }

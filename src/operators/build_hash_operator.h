@@ -6,22 +6,31 @@
 
 #include "join/hash_table.h"
 #include "join/lip_filter.h"
+#include "join/partitioned_hash_table.h"
 #include "operators/operator.h"
 
 namespace uot {
 
-/// Builds the shared non-partitioned join hash table (paper Section III).
+/// Builds the join hash table (paper Section III): one shared table at
+/// `radix_bits == 0`, or `2^radix_bits` disjoint partition sub-tables when
+/// the build input arrives through an exchange edge (blocks tagged with
+/// their partition). Partitioned builds insert into per-partition tables
+/// with no shared cache lines, and each probe touches only its block's
+/// sub-table.
 ///
-/// The table is presized from the input cardinality, so work orders are
-/// generated once the input is complete (for base-table inputs that is
-/// immediately); the builds themselves then run in parallel, one work order
-/// per input block.
+/// The table is presized from the input cardinality (per partition, when
+/// partitioned — the exchange tags make exact counts available), so work
+/// orders are generated once the input is complete (for base-table inputs
+/// that is immediately); the builds themselves then run in parallel, one
+/// work order per input block.
 class BuildHashOperator final : public Operator {
  public:
   /// `key_cols`/`payload_cols` index the build input's schema.
+  /// `radix_bits > 0` requires the input blocks to carry partition tags
+  /// (i.e. to come through an ExchangeOperator keyed on the same columns).
   BuildHashOperator(std::string name, std::vector<int> key_cols,
                     std::vector<int> payload_cols, double load_factor,
-                    MemoryTracker* tracker);
+                    MemoryTracker* tracker, int radix_bits = 0);
 
   /// Binds the input to a materialized base table (instead of a stream).
   void AttachBaseTable(const Table* table) { input_.AttachTable(table); }
@@ -36,8 +45,27 @@ class BuildHashOperator final : public Operator {
   bool GenerateWorkOrders(
       std::vector<std::unique_ptr<WorkOrder>>* out) override;
 
-  JoinHashTable* hash_table() { return hash_table_.get(); }
-  const JoinHashTable* hash_table() const { return hash_table_.get(); }
+  /// The partition-0 sub-table — at radix_bits 0 (one partition) this IS
+  /// the whole table, preserving the pre-partitioning interface; callers
+  /// that only need the payload schema may use it at any radix.
+  JoinHashTable* hash_table() {
+    return tables_ != nullptr ? tables_->sub_table(0) : nullptr;
+  }
+  const JoinHashTable* hash_table() const {
+    return tables_ != nullptr ? tables_->sub_table(0) : nullptr;
+  }
+
+  /// All partition sub-tables (nullptr before InitHashTable).
+  const PartitionedJoinHashTable* partitioned_table() const {
+    return tables_.get();
+  }
+
+  /// The sub-table `block`'s rows belong to: the whole table at radix 0,
+  /// otherwise the sub-table of the block's partition tag (the block must
+  /// be tagged — partitioned builds/probes require exchanged input).
+  const JoinHashTable* table_for_block(const Block* block) const;
+
+  int radix_bits() const { return radix_bits_; }
   const std::vector<int>& key_cols() const { return key_cols_; }
 
   /// Also populate a LIP Bloom filter over the (mixed) join keys, for
@@ -61,17 +89,18 @@ class BuildHashOperator final : public Operator {
   const std::vector<int> payload_cols_;
   const double load_factor_;
   MemoryTracker* const tracker_;
+  const int radix_bits_;
 
   StreamingInput input_;
   std::vector<Block*> buffered_;
-  std::unique_ptr<JoinHashTable> hash_table_;
+  std::unique_ptr<PartitionedJoinHashTable> tables_;
   int lip_bits_per_entry_ = 0;  // 0 = LIP disabled
   std::unique_ptr<LipFilter> lip_filter_;
   bool generated_ = false;
   OperatorExecContext exec_ctx_;  // defaults until the scheduler binds one
 };
 
-/// Inserts one block's rows into the shared hash table, either row at a
+/// Inserts one block's rows into its hash (sub-)table, either row at a
 /// time (scalar kernel) or via the batched extract -> hash+prefetch ->
 /// insert pipeline; both build identical tables.
 class BuildHashWorkOrder final : public WorkOrder {

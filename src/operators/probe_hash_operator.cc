@@ -129,9 +129,13 @@ void ProbeHashOperator::InputDone(int input_index) {
 
 bool ProbeHashOperator::GenerateWorkOrders(
     std::vector<std::unique_ptr<WorkOrder>>* out) {
-  const JoinHashTable* table = build_->hash_table();
-  UOT_CHECK(table != nullptr);  // blocking edge guarantees build finished
+  UOT_CHECK(build_->hash_table() != nullptr);  // blocking edge: build done
   for (Block* block : input_.TakePending()) {
+    // The whole table at radix 0; the block's partition sub-table when the
+    // build is partitioned (probe input then comes through an exchange
+    // keyed like the build, so each block's matches are all in one
+    // sub-table). The probe kernel itself is partition-oblivious.
+    const JoinHashTable* table = build_->table_for_block(block);
     auto wo = std::make_unique<ProbeHashWorkOrder>(
         block, table, &probe_key_cols_, &probe_output_cols_, kind_,
         &residuals_, destination_, &exec_ctx_);

@@ -8,12 +8,12 @@ int QueryPlan::AddOperator(std::unique_ptr<Operator> op) {
 }
 
 void QueryPlan::AddStreamingEdge(int producer, int consumer,
-                                 int consumer_input) {
+                                 int consumer_input, EdgeKind kind) {
   UOT_CHECK(producer >= 0 && producer < num_operators());
   UOT_CHECK(consumer >= 0 && consumer < num_operators());
   UOT_CHECK(producer != consumer);
   streaming_edges_.push_back(
-      StreamingEdge{producer, consumer, consumer_input});
+      StreamingEdge{producer, consumer, consumer_input, 0, kind});
 }
 
 void QueryPlan::AddBlockingEdge(int producer, int consumer) {
@@ -103,9 +103,17 @@ std::string QueryPlan::ToString() const {
   }
   for (size_t i = 0; i < streaming_edges_.size(); ++i) {
     const StreamingEdge& e = streaming_edges_[i];
-    out += "  stream[" + std::to_string(i) + "] " +
-           std::to_string(e.producer) + " -> " + std::to_string(e.consumer) +
-           " (input " + std::to_string(e.consumer_input) + ")";
+    const bool exchange = e.kind == EdgeKind::kExchange;
+    out += std::string(exchange ? "  xchg[" : "  stream[") +
+           std::to_string(i) + "] " + std::to_string(e.producer) + " -> " +
+           std::to_string(e.consumer) + " (input " +
+           std::to_string(e.consumer_input) + ")";
+    if (exchange) {
+      const size_t parts = destinations_of(e.producer).size();
+      if (parts > 1) {
+        out += " [partitions=" + std::to_string(parts) + "]";
+      }
+    }
     if (e.uot_blocks != 0) {
       out += " [" + UotPolicy(e.uot_blocks).ToString() + "]";
     }
@@ -124,6 +132,15 @@ InsertDestination* QueryPlan::destination_of(int producer) const {
     if (d.producer == producer) return d.destination.get();
   }
   return nullptr;
+}
+
+std::vector<InsertDestination*> QueryPlan::destinations_of(
+    int producer) const {
+  std::vector<InsertDestination*> out;
+  for (const OwnedDestination& d : destinations_) {
+    if (d.producer == producer) out.push_back(d.destination.get());
+  }
+  return out;
 }
 
 }  // namespace uot

@@ -1,6 +1,7 @@
 #ifndef UOT_SCHEDULER_EXECUTION_STATS_H_
 #define UOT_SCHEDULER_EXECUTION_STATS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -65,6 +66,37 @@ struct EdgeStats {
   /// Effective UoT when the edge flushed (UotPolicy::kWholeTable for
   /// materializing edges).
   uint64_t final_uot_blocks = 0;
+  /// True for exchange/repartition edges (QueryPlan::EdgeKind::kExchange).
+  bool exchange = false;
+};
+
+/// Per-partition outcome of one exchange operator: how evenly the radix
+/// partitioning spread the rows (the skew signal behind the
+/// exchange.op.*.partition.* gauges).
+struct ExchangeStats {
+  int op = -1;
+  std::string name;
+  int radix_bits = 0;
+  std::vector<uint64_t> partition_rows;
+  std::vector<uint64_t> partition_blocks;
+
+  uint64_t TotalRows() const {
+    uint64_t total = 0;
+    for (uint64_t r : partition_rows) total += r;
+    return total;
+  }
+  /// max(partition rows) / mean(partition rows); 1.0 = perfectly even,
+  /// num_partitions = everything in one partition. 0 when no rows flowed.
+  double SkewRatio() const {
+    if (partition_rows.empty()) return 0.0;
+    const uint64_t total = TotalRows();
+    if (total == 0) return 0.0;
+    uint64_t max_rows = 0;
+    for (uint64_t r : partition_rows) max_rows = std::max(max_rows, r);
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(partition_rows.size());
+    return static_cast<double>(max_rows) / mean;
+  }
 };
 
 /// One entry of the adaptive-decision log: the policy layer (re)resolved
@@ -106,6 +138,9 @@ struct ExecutionStats {
   /// Measured per-edge detail (transfers, payload bytes, buffered
   /// high-water marks), one entry per streaming edge.
   std::vector<EdgeStats> edges;
+  /// Per-partition row/block counts of every exchange operator in the
+  /// plan, in operator order; empty when the plan has no exchanges.
+  std::vector<ExchangeStats> exchanges;
   /// True when the session ran with ExecConfig::profile: the decision and
   /// budget-event logs below were collected.
   bool profiled = false;

@@ -66,6 +66,12 @@ struct EdgeRuntimeState {
   /// Lets one policy instance shared across concurrent sessions keep
   /// per-query edge state.
   uint64_t query_id = 0;
+  /// True when this edge is an exchange/repartition edge
+  /// (QueryPlan::EdgeKind::kExchange). Exchange consumers (partitioned
+  /// builds) buffer their whole input anyway, so large UoT values on such
+  /// an edge buy no locality — they only delay the repartition work that
+  /// should overlap the producer. Policies use this to clamp.
+  bool is_exchange = false;
 
   // Edge progress.
   uint64_t buffered_blocks = 0;    // accumulated, not yet transferred

@@ -1,0 +1,357 @@
+// Partition-boundary edge cases for the exchange/radix-partitioned join
+// path (ISSUE 7 satellite): empty partitions, all rows in one partition,
+// sentinel (zero/negative/extreme) keys, partition count exceeding row
+// count, an exchange edge feeding a multi-input consumer (the sort-merge
+// join droppable regression), and 4 concurrent partitioned TPC-H sessions
+// on a shared Engine.
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/engine.h"
+#include "exec/query_executor.h"
+#include "join/partition_kernel.h"
+#include "operators/exchange_operator.h"
+#include "operators/select_operator.h"
+#include "operators/sort_merge_join_operator.h"
+#include "plan/plan_builder.h"
+#include "plan/query_plan.h"
+#include "storage/storage_manager.h"
+#include "test_util.h"
+#include "tpch/tpch_generator.h"
+#include "tpch/tpch_queries.h"
+
+namespace uot {
+namespace {
+
+using ::uot::testing::CanonicalRowsNear;
+
+/// (k INT32, v DOUBLE) table with explicit key values; v = row index.
+std::unique_ptr<Table> MakeKeyTable(StorageManager* storage,
+                                    const std::string& name,
+                                    const std::vector<int32_t>& keys,
+                                    size_t block_bytes = 512) {
+  Schema schema({{"k", Type::Int32()}, {"v", Type::Double()}});
+  auto table = std::make_unique<Table>(name, schema, Layout::kRowStore,
+                                       block_bytes, storage,
+                                       MemoryCategory::kBaseTable);
+  RowBuilder row(&table->schema());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    row.SetInt32(0, keys[i]);
+    row.SetDouble(1, static_cast<double>(i));
+    table->AppendRow(row.data());
+  }
+  return table;
+}
+
+/// One-join plan over (k, v) tables; radix_bits 0 = unpartitioned.
+std::unique_ptr<QueryPlan> MakeJoinPlan(StorageManager* storage,
+                                        const Table& probe,
+                                        const Table& build, int radix_bits,
+                                        JoinKind kind = JoinKind::kInner) {
+  PlanBuilderConfig config;
+  config.block_bytes = 512;
+  config.join_radix_bits = radix_bits;
+  PlanBuilder builder(storage, config);
+  BuildHashOperator* build_op =
+      builder.Build("build", PlanBuilder::Base(build), {0}, {1});
+  PlanBuilder::Src out = builder.Probe("probe", PlanBuilder::Base(probe),
+                                       build_op, {0}, {0, 1}, kind);
+  return builder.Finish(out);
+}
+
+std::string RunPlan(QueryPlan* plan, ExecutionStats* stats_out = nullptr) {
+  ExecConfig config;
+  config.num_workers = 2;
+  config.uot = UotPolicy::LowUot(1);
+  ExecutionStats stats = QueryExecutor::Execute(plan, config);
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  return CanonicalRows(*plan->result_table());
+}
+
+TEST(ExchangeEdgeCaseTest, EmptyPartitionsNeverCheckOutBlocks) {
+  StorageManager storage;
+  // Build keys all identical: at radix 4 exactly one of 16 build
+  // partitions is populated, the other 15 stay empty.
+  auto build = MakeKeyTable(&storage, "build", std::vector<int32_t>(40, 42));
+  std::vector<int32_t> probe_keys;
+  for (int i = 0; i < 200; ++i) probe_keys.push_back(i % 2 == 0 ? 42 : i);
+  auto probe = MakeKeyTable(&storage, "probe", probe_keys);
+
+  auto reference = MakeJoinPlan(&storage, *probe, *build, 0);
+  const std::string expected = RunPlan(reference.get());
+
+  auto partitioned = MakeJoinPlan(&storage, *probe, *build, 4);
+  ExecutionStats stats;
+  EXPECT_EQ(RunPlan(partitioned.get(), &stats), expected);
+
+  ASSERT_EQ(stats.exchanges.size(), 2u);
+  for (const ExchangeStats& x : stats.exchanges) {
+    ASSERT_EQ(x.partition_rows.size(), 16u);
+    for (size_t p = 0; p < x.partition_rows.size(); ++p) {
+      if (x.partition_rows[p] == 0) {
+        EXPECT_EQ(x.partition_blocks[p], 0u) << x.name << " part " << p;
+      }
+    }
+  }
+  // The build exchange concentrates all 40 rows in one partition.
+  const ExchangeStats& build_xchg =
+      stats.exchanges[0].name.find("build") != std::string::npos
+          ? stats.exchanges[0]
+          : stats.exchanges[1];
+  int populated = 0;
+  for (uint64_t rows : build_xchg.partition_rows) populated += rows > 0;
+  EXPECT_EQ(populated, 1);
+  EXPECT_EQ(build_xchg.TotalRows(), 40u);
+  EXPECT_GT(build_xchg.SkewRatio(), 15.0);  // max/mean = 40/(40/16)
+}
+
+TEST(ExchangeEdgeCaseTest, AllRowsInOnePartitionMatchesUnpartitioned) {
+  StorageManager storage;
+  // Every row of both sides carries the same key: the partitioned join
+  // degenerates to one populated sub-table plus a full cross product.
+  auto build = MakeKeyTable(&storage, "build", std::vector<int32_t>(25, 7));
+  auto probe = MakeKeyTable(&storage, "probe", std::vector<int32_t>(60, 7));
+
+  auto reference = MakeJoinPlan(&storage, *probe, *build, 0);
+  const std::string expected = RunPlan(reference.get());
+  EXPECT_NE(expected.find(','), std::string::npos);
+
+  for (int radix_bits : {1, 3, 5}) {
+    auto partitioned = MakeJoinPlan(&storage, *probe, *build, radix_bits);
+    EXPECT_EQ(RunPlan(partitioned.get()), expected) << "radix=" << radix_bits;
+    EXPECT_EQ(partitioned->result_table()->NumRows(), 25u * 60u);
+  }
+}
+
+TEST(ExchangeEdgeCaseTest, SentinelZeroAndNegativeKeysPartitionCorrectly) {
+  StorageManager storage;
+  // The engine has no SQL NULL; absent keys surface as sentinel values —
+  // zero, -1, INT32_MIN/MAX. They must hash/partition like any other key,
+  // including the sign extension of the int32 -> uint64 widening.
+  const std::vector<int32_t> keys = {0,       -1,      INT32_MIN, INT32_MAX,
+                                     7,       -7,      0,         -1,
+                                     INT32_MIN, 12345, -12345,    0};
+  auto build = MakeKeyTable(&storage, "build",
+                            {0, -1, INT32_MIN, INT32_MAX, 99});
+  auto probe = MakeKeyTable(&storage, "probe", keys);
+
+  for (JoinKind kind :
+       {JoinKind::kInner, JoinKind::kLeftSemi, JoinKind::kLeftAnti}) {
+    auto reference = MakeJoinPlan(&storage, *probe, *build, 0, kind);
+    const std::string expected = RunPlan(reference.get());
+    for (int radix_bits : {1, 4, 6}) {
+      auto partitioned =
+          MakeJoinPlan(&storage, *probe, *build, radix_bits, kind);
+      EXPECT_EQ(RunPlan(partitioned.get()), expected)
+          << "kind=" << static_cast<int>(kind) << " radix=" << radix_bits;
+    }
+  }
+  // Sanity on the inner reference itself: 8 probe rows carry one of the 4
+  // matching sentinel keys, each matched once.
+  auto inner = MakeJoinPlan(&storage, *probe, *build, 0);
+  RunPlan(inner.get());
+  EXPECT_EQ(inner->result_table()->NumRows(), 8u);
+}
+
+TEST(ExchangeEdgeCaseTest, PartitionCountExceedingRowCount) {
+  StorageManager storage;
+  // 64 partitions over 3 build rows and 5 probe rows: nearly every
+  // partition is empty on both sides, some on only one side.
+  auto build = MakeKeyTable(&storage, "build", {1, 2, 3});
+  auto probe = MakeKeyTable(&storage, "probe", {1, 2, 3, 4, 5});
+
+  auto reference = MakeJoinPlan(&storage, *probe, *build, 0);
+  const std::string expected = RunPlan(reference.get());
+
+  auto partitioned = MakeJoinPlan(&storage, *probe, *build, 6);
+  ExecutionStats stats;
+  EXPECT_EQ(RunPlan(partitioned.get(), &stats), expected);
+  EXPECT_EQ(partitioned->result_table()->NumRows(), 3u);
+  ASSERT_EQ(stats.exchanges.size(), 2u);
+  for (const ExchangeStats& x : stats.exchanges) {
+    ASSERT_EQ(x.partition_rows.size(), 64u);
+    EXPECT_LE(x.TotalRows(), 5u);
+  }
+
+  // Degenerate inputs too: an empty build side at deep radix.
+  auto empty_build = MakeKeyTable(&storage, "empty", {});
+  auto ref_empty = MakeJoinPlan(&storage, *probe, *empty_build, 0);
+  const std::string expected_empty = RunPlan(ref_empty.get());
+  auto part_empty = MakeJoinPlan(&storage, *probe, *empty_build, 6);
+  EXPECT_EQ(RunPlan(part_empty.get()), expected_empty);
+  EXPECT_EQ(part_empty->result_table()->NumRows(), 0u);
+}
+
+TEST(ExchangeEdgeCaseTest, ExchangeEdgeFeedingSortMergeJoinDropsBlocks) {
+  // Regression companion to PR 2's droppable tracking: an exchange output
+  // feeding one input of a multi-input consumer (sort-merge join) must be
+  // dropped after consumption — and only once — even though the exchange
+  // registers one destination per partition on the same output table.
+  StorageManager storage;
+  std::vector<int32_t> left_keys, right_keys;
+  for (int i = 0; i < 120; ++i) left_keys.push_back(i % 12);
+  for (int i = 0; i < 84; ++i) right_keys.push_back(i % 12);
+  auto left = MakeKeyTable(&storage, "left", left_keys, 512);
+  auto right = MakeKeyTable(&storage, "right", right_keys, 512);
+
+  auto run_smj = [&](int radix_bits, Table** xchg_out) {
+    auto plan = std::make_unique<QueryPlan>(&storage);
+    int left_op;
+    Table* left_out;
+    if (radix_bits > 0) {
+      // Base left -> exchange(radix) -> SMJ input 0.
+      left_out = plan->CreateTempTable("xchg.out", left->schema(),
+                                       Layout::kRowStore, 512);
+      const uint32_t parts = NumPartitions(radix_bits);
+      std::vector<InsertDestination*> dests;
+      for (uint32_t p = 0; p < parts; ++p) {
+        InsertDestination* d = plan->CreateDestination(left_out);
+        d->set_partition(static_cast<int32_t>(p));
+        dests.push_back(d);
+      }
+      auto xchg = std::make_unique<ExchangeOperator>(
+          "xchg", std::vector<int>{0}, radix_bits, dests);
+      xchg->AttachBaseTable(left.get());
+      left_op = plan->AddOperator(std::move(xchg));
+      for (InsertDestination* d : dests) plan->RegisterOutput(left_op, d);
+    } else {
+      // Base left -> identity select -> SMJ input 0.
+      auto proj = Projection::Identity(left->schema(), {0, 1});
+      left_out = plan->CreateTempTable("sel_l.out", proj->output_schema(),
+                                       Layout::kRowStore, 512);
+      InsertDestination* d = plan->CreateDestination(left_out);
+      auto sel = std::make_unique<SelectOperator>(
+          "sel_l", std::make_unique<TruePredicate>(), std::move(proj), d);
+      sel->AttachBaseTable(left.get());
+      left_op = plan->AddOperator(std::move(sel));
+      plan->RegisterOutput(left_op, d);
+    }
+    if (xchg_out != nullptr) *xchg_out = left_out;
+
+    auto rproj = Projection::Identity(right->schema(), {0, 1});
+    Table* right_out = plan->CreateTempTable(
+        "sel_r.out", rproj->output_schema(), Layout::kRowStore, 512);
+    InsertDestination* rdest = plan->CreateDestination(right_out);
+    auto rsel = std::make_unique<SelectOperator>(
+        "sel_r", std::make_unique<TruePredicate>(), std::move(rproj), rdest);
+    rsel->AttachBaseTable(right.get());
+    const int right_op = plan->AddOperator(std::move(rsel));
+    plan->RegisterOutput(right_op, rdest);
+
+    Schema join_schema = SortMergeJoinOperator::OutputSchema(
+        left_out->schema(), {0, 1}, right_out->schema(), {1});
+    Table* join_out = plan->CreateTempTable("smj.out", join_schema,
+                                            Layout::kRowStore, 4096);
+    InsertDestination* join_dest = plan->CreateDestination(join_out);
+    auto smj = std::make_unique<SortMergeJoinOperator>(
+        "smj", left_out->schema(), right_out->schema(), std::vector<int>{0},
+        std::vector<int>{0}, std::vector<int>{0, 1}, std::vector<int>{1},
+        join_dest);
+    const int join_op = plan->AddOperator(std::move(smj));
+    plan->RegisterOutput(join_op, join_dest);
+    if (radix_bits > 0) {
+      plan->AddExchangeEdge(left_op, join_op, /*consumer_input=*/0);
+    } else {
+      plan->AddStreamingEdge(left_op, join_op, /*consumer_input=*/0);
+    }
+    plan->AddStreamingEdge(right_op, join_op, /*consumer_input=*/1);
+    plan->SetResultTable(join_out);
+    return plan;
+  };
+
+  Table* ref_left_out = nullptr;
+  auto reference = run_smj(0, &ref_left_out);
+  const std::string expected = RunPlan(reference.get());
+  EXPECT_EQ(reference->result_table()->NumRows(), 12u * 10u * 7u);
+
+  Table* xchg_out = nullptr;
+  auto exchanged = run_smj(2, &xchg_out);
+  EXPECT_EQ(RunPlan(exchanged.get()), expected);
+  // The exchanged intermediate must not leak: the sort-merge join is its
+  // only consumer, so every tagged block is dropped after the merge.
+  ASSERT_NE(xchg_out, nullptr);
+  EXPECT_TRUE(xchg_out->blocks().empty())
+      << "exchange intermediate leaked past the multi-input consumer";
+}
+
+TEST(ExchangeStressTest, FourConcurrentPartitionedTpchSessionsMatchSerial) {
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig tpch_config;
+  tpch_config.scale_factor = 0.002;
+  tpch_config.block_bytes = 16 * 1024;
+  db.Generate(tpch_config);
+
+  ExecConfig config;
+  config.uot = UotPolicy::LowUot(2);
+
+  // Serial unpartitioned references.
+  TpchPlanConfig serial_config;
+  std::string expected_q3, expected_q9;
+  {
+    auto q3 = BuildTpchPlan(3, db, serial_config);
+    QueryExecutor::Execute(q3.get(), config);
+    expected_q3 = CanonicalRows(*q3->result_table());
+    auto q9 = BuildTpchPlan(9, db, serial_config);
+    QueryExecutor::Execute(q9.get(), config);
+    expected_q9 = CanonicalRows(*q9->result_table());
+  }
+  ASSERT_FALSE(expected_q3.empty());
+  ASSERT_FALSE(expected_q9.empty());
+
+  // 4 concurrent radix-partitioned sessions (2x Q3, 2x Q9) on one Engine.
+  TpchPlanConfig partitioned_config;
+  partitioned_config.join_radix_bits = 2;
+  const int queries[4] = {3, 9, 3, 9};
+  std::vector<std::unique_ptr<QueryPlan>> plans;
+  for (int q : queries) {
+    plans.push_back(BuildTpchPlan(q, db, partitioned_config));
+  }
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 4;
+  Engine engine(engine_config);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int ready = 0;
+  bool go = false;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        if (++ready == 4) {
+          go = true;
+          cv.notify_all();
+        } else {
+          cv.wait(lock, [&] { return go; });
+        }
+      }
+      engine.Execute(plans[static_cast<size_t>(i)].get(), config);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < 4; ++i) {
+    const std::string& expected = queries[i] == 3 ? expected_q3 : expected_q9;
+    // Aggregate sums merge in nondeterministic order under concurrency, so
+    // compare canonically with a numeric tolerance, not byte equality.
+    EXPECT_TRUE(CanonicalRowsNear(
+        CanonicalRows(*plans[static_cast<size_t>(i)]->result_table()),
+        expected))
+        << "query " << queries[i] << " session " << i;
+  }
+  EXPECT_EQ(engine.queries_executed(), 4u);
+}
+
+}  // namespace
+}  // namespace uot
