@@ -1,0 +1,309 @@
+// Many-client open-loop load generator for the query front end
+// (src/server): N client threads connect to a TextServer over TCP and fire
+// requests on a fixed arrival schedule (open loop: arrival times are
+// precomputed from the target rate, so a slow server accumulates queueing
+// delay instead of silently throttling the offered load). Latency is
+// measured from the *scheduled* arrival to reply completion — the
+// coordinated-omission-free definition — and reported as p50/p95/p99 tails
+// together with the plan-cache hit rate and the cost-model evaluation
+// count, the serving-layer headline: repeat templates must ride cached
+// annotations, not the model.
+//
+// Env knobs (bench_util.h conventions):
+//   UOT_SF               TPC-H scale factor        (default 0.01)
+//   UOT_THREADS          engine worker threads     (default hw)
+//   UOT_SERVER_CLIENTS   concurrent clients        (default 8)
+//   UOT_SERVER_REQUESTS  requests per client       (default 50)
+//   UOT_SERVER_RPS       per-client request rate   (default 40)
+//
+// Emits BENCH_server_latency.json (UOT_BENCH_JSON_DIR).
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/text_server.h"
+
+namespace uot {
+namespace bench {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atoi(env) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  return env != nullptr ? std::atof(env) : fallback;
+}
+
+/// A blocking line-protocol client on one TCP connection.
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  /// Sends one statement and drains its reply. True iff the reply is OK.
+  bool Roundtrip(const std::string& statement) {
+    std::string line = statement + "\n";
+    size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n =
+          ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    bool ok = false;
+    bool first = true;
+    while (true) {
+      std::string reply_line;
+      if (!ReadLine(&reply_line)) return false;
+      if (first) {
+        ok = reply_line.rfind("OK", 0) == 0;
+        if (reply_line.rfind("ERR", 0) == 0) return false;
+        first = false;
+      }
+      if (reply_line == "END") return ok;
+    }
+  }
+
+ private:
+  bool ReadLine(std::string* out) {
+    size_t newline;
+    while ((newline = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    out->assign(buffer_, 0, newline);
+    buffer_.erase(0, newline + 1);
+    return true;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+/// The workload mix: a small pool of SQL templates (repeats hit the plan
+/// cache; the literal varies per request to prove parameter-independence)
+/// plus a TPC-H plan every 8th request. Request 0 of each template is the
+/// only model evaluation the whole run should pay per template.
+std::string StatementFor(int client, int index) {
+  const int literal = 10 + (client * 7 + index * 3) % 40;
+  switch (index % 8) {
+    case 0:
+      return "select count(*), sum(l_quantity) from lineitem where "
+             "l_quantity < " +
+             std::to_string(literal);
+    case 1:
+      return "select l_returnflag, sum(l_extendedprice) from lineitem "
+             "group by l_returnflag";
+    case 2:
+      return "select count(*) from orders where o_totalprice < " +
+             std::to_string(literal * 1000);
+    case 3:
+      return "tpch 6";
+    case 4:
+      return "select l_linestatus, count(*) from lineitem where "
+             "l_discount < 0." + std::string(1, '0' + literal % 10) +
+             " group by l_linestatus";
+    case 5:
+      return "select count(*) from lineitem join orders on l_orderkey = "
+             "o_orderkey where l_quantity > " +
+             std::to_string(literal);
+    case 6:
+      return "tpch 1";
+    default:
+      return "select max(l_extendedprice), min(l_extendedprice) from "
+             "lineitem where l_quantity = " +
+             std::to_string(literal % 50 + 1);
+  }
+}
+
+struct ClientResult {
+  std::vector<double> latencies_ms;  // scheduled-arrival -> completion
+  int errors = 0;
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(idx, sorted->size() - 1)];
+}
+
+}  // namespace
+
+int Main() {
+  const double sf = EnvDouble("UOT_SF", 0.01);
+  const int workers = Threads();
+  const int num_clients = EnvInt("UOT_SERVER_CLIENTS", 8);
+  const int requests_per_client = EnvInt("UOT_SERVER_REQUESTS", 50);
+  const double rps = EnvDouble("UOT_SERVER_RPS", 40.0);
+
+  std::printf("server latency: sf=%g workers=%d clients=%d req/client=%d "
+              "rate=%g/s/client\n",
+              sf, workers, num_clients, requests_per_client, rps);
+
+  StorageManager storage;
+  TpchDatabase db(&storage);
+  TpchConfig tpch_config;
+  tpch_config.scale_factor = sf;
+  db.Generate(tpch_config);
+  server::Catalog catalog(&storage);
+  catalog.RegisterTpch(&db);
+
+  server::FrontEndConfig config;
+  config.engine.num_workers = workers;
+  config.chooser.threads = workers;
+  server::FrontEnd frontend(config, &catalog);
+  server::TextServer tcp(&frontend);
+  const Status status = tcp.Start(0);
+  if (!status.ok()) {
+    std::printf("FAILED to start server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Warm nothing: the first occurrence of each template is part of the
+  // measured run (a real server's cold start), and the hit rate reported
+  // below includes those compulsory misses.
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now() +
+                                  std::chrono::milliseconds(50);
+  std::vector<ClientResult> results(static_cast<size_t>(num_clients));
+  std::vector<std::thread> threads;
+  for (int c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientResult& result = results[static_cast<size_t>(c)];
+      Client client(tcp.port());
+      if (!client.connected()) {
+        result.errors = requests_per_client;
+        return;
+      }
+      for (int i = 0; i < requests_per_client; ++i) {
+        // Open loop: the i-th request is *due* at start + i/rate. Sleep
+        // until then if early; if the previous reply made us late, fire
+        // immediately and let the latency sample absorb the backlog.
+        const Clock::time_point due =
+            start + std::chrono::microseconds(
+                        static_cast<int64_t>(1e6 * i / rps));
+        std::this_thread::sleep_until(due);
+        const bool ok = client.Roundtrip(StatementFor(c, i));
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - due)
+                .count();
+        if (ok) {
+          result.latencies_ms.push_back(ms);
+        } else {
+          ++result.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double duration_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  int errors = 0;
+  for (const ClientResult& r : results) {
+    all.insert(all.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+    errors += r.errors;
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = Percentile(&all, 0.50);
+  const double p95 = Percentile(&all, 0.95);
+  const double p99 = Percentile(&all, 0.99);
+  const double max_ms = all.empty() ? 0.0 : all.back();
+  double sum = 0;
+  for (double v : all) sum += v;
+  const double mean = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  const double qps = duration_s > 0
+                         ? static_cast<double>(all.size()) / duration_s
+                         : 0.0;
+
+  const server::PlanCache& cache = *frontend.plan_cache();
+  const uint64_t lookups = cache.hits() + cache.misses() +
+                           cache.invalidations();
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(cache.hits()) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+
+  std::printf("\n%-28s %10s\n", "metric", "value");
+  std::printf("%-28s %10zu\n", "completed requests", all.size());
+  std::printf("%-28s %10d\n", "errors", errors);
+  std::printf("%-28s %10.1f\n", "achieved qps", qps);
+  std::printf("%-28s %10.3f\n", "mean ms", mean);
+  std::printf("%-28s %10.3f\n", "p50 ms", p50);
+  std::printf("%-28s %10.3f\n", "p95 ms", p95);
+  std::printf("%-28s %10.3f\n", "p99 ms", p99);
+  std::printf("%-28s %10.3f\n", "max ms", max_ms);
+  std::printf("%-28s %10.3f\n", "cache hit rate", hit_rate);
+  std::printf("%-28s %10llu\n", "model evaluations",
+              static_cast<unsigned long long>(frontend.model_evaluations()));
+
+  BenchJson json("server_latency");
+  json.Set("scale_factor", sf);
+  json.Set("workers", workers);
+  json.Set("clients", num_clients);
+  json.Set("requests_per_client", requests_per_client);
+  json.Set("target_rps_per_client", rps);
+  json.Set("completed_requests", static_cast<double>(all.size()));
+  json.Set("errors", errors);
+  json.Set("duration_s", duration_s);
+  json.Set("achieved_qps", qps);
+  json.Set("mean_ms", mean);
+  json.Set("p50_ms", p50);
+  json.Set("p95_ms", p95);
+  json.Set("p99_ms", p99);
+  json.Set("max_ms", max_ms);
+  json.Set("cache_hits", static_cast<double>(cache.hits()));
+  json.Set("cache_misses", static_cast<double>(cache.misses()));
+  json.Set("cache_hit_rate", hit_rate);
+  json.Set("model_evaluations",
+           static_cast<double>(frontend.model_evaluations()));
+  json.Set("connections", static_cast<double>(tcp.connections_accepted()));
+  json.Write();
+
+  tcp.Stop();
+  frontend.Shutdown();
+  // The run only counts if the fleet actually ran concurrently and mostly
+  // hit the cache: fail loudly so CI notices a degenerate configuration.
+  if (errors > 0 || all.empty()) {
+    std::printf("FAILED: %d errors\n", errors);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace uot
+
+int main() { return uot::bench::Main(); }

@@ -1,0 +1,49 @@
+// An interactive SQL shell over the embedded query front end: the same
+// parser -> plan cache -> engine path the TCP server uses, wired to
+// stdin/stdout so you can watch the plan+annotation cache work.
+//
+//   $ ./build/examples/sql_shell
+//   uot> select l_returnflag, sum(l_quantity) from lineitem group by l_returnflag
+//   OK rows=3 cache=miss ms=6.1
+//   ...
+//   uot> select l_returnflag, sum(l_quantity) from lineitem group by l_returnflag
+//   OK rows=3 cache=hit ms=3.7          <- cached annotations, no model
+//
+// Usage: sql_shell [scale_factor]   (default 0.01)
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/text_server.h"
+
+int main(int argc, char** argv) {
+  const double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  std::fprintf(stderr, "generating TPC-H sf=%g ...\n", sf);
+
+  uot::StorageManager storage;
+  uot::TpchDatabase db(&storage);
+  uot::TpchConfig tpch_config;
+  tpch_config.scale_factor = sf;
+  db.Generate(tpch_config);
+  uot::server::Catalog catalog(&storage);
+  catalog.RegisterTpch(&db);
+
+  uot::server::FrontEndConfig config;
+  uot::server::FrontEnd frontend(config, &catalog);
+
+  std::fprintf(stderr,
+               "tables: lineitem orders customer part supplier partsupp "
+               "nation region\n"
+               "statements: SELECT cols|aggs FROM t [JOIN t2 ON a = b] "
+               "[WHERE ...] [GROUP BY ...]\n"
+               "            PREPARE <name> AS SELECT ... / EXECUTE <name> "
+               "(args) / TPCH <n> / STATS / QUIT\n");
+
+  // The shell is just the server's stdio loop: identical wire format, so
+  // anything that works here works over TCP (uot_server) too.
+  uot::server::RunStdioLoop(&frontend, std::cin, std::cout);
+  frontend.Shutdown();
+  return 0;
+}

@@ -15,7 +15,10 @@ Engine::Engine(EngineConfig config) : config_(config) {
     metrics_ = owned_metrics_.get();
   }
   queries_executed_counter_ = metrics_->GetCounter("engine.queries_executed");
+  admission_rejections_counter_ =
+      metrics_->GetCounter("engine.admission_rejections");
   inflight_gauge_ = metrics_->GetGauge("engine.inflight_queries");
+  admission_waiters_gauge_ = metrics_->GetGauge("engine.admission_waiters");
   queue_depth_gauge_ = metrics_->GetGauge("engine.work_queue_depth");
   if (config_.memory_budget_bytes > 0) {
     budget_headroom_gauge_ = metrics_->GetGauge("engine.budget_headroom_bytes");
@@ -44,9 +47,16 @@ void Engine::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
     shutdown_ = true;
-    // Queries already admitted run to completion; new Execute() calls are
-    // rejected by the admission CHECK below.
-    admission_cv_.wait(lock, [this] { return active_ == 0; });
+    // Queries already admitted run to completion. Queries blocked in the
+    // admission wait are woken and rejected (their predicate is
+    // shutdown-aware) — they must never be admitted into a pool that is
+    // about to close. Wait for both populations to drain: active sessions
+    // and admission waiters (head catches up with tail as each waiter is
+    // rejected).
+    admission_cv_.notify_all();
+    admission_cv_.wait(lock, [this] {
+      return active_ == 0 && admission_head_ == admission_tail_;
+    });
   }
   work_queue_.Close();
   for (std::thread& t : workers_) t.join();
@@ -91,6 +101,8 @@ void Engine::RefreshGauges() {
   queue_depth_gauge_->Set(static_cast<int64_t>(WorkQueueDepth()));
   std::lock_guard<std::mutex> lock(admission_mutex_);
   inflight_gauge_->Set(active_);
+  admission_waiters_gauge_->Set(
+      static_cast<int64_t>(admission_tail_ - admission_head_));
   if (budget_headroom_gauge_ != nullptr) {
     budget_headroom_gauge_->Set(config_.memory_budget_bytes -
                                 TrackedBytesLocked());
@@ -98,23 +110,59 @@ void Engine::RefreshGauges() {
 }
 
 ExecutionStats Engine::Execute(QueryPlan* plan, const ExecConfig& config) {
+  ExecutionStats stats;
+  const Status status = ExecuteOrReject(plan, config, &stats);
+  UOT_CHECK(status.ok());  // Execute() racing/after Shutdown() is a caller
+                           // bug; use ExecuteOrReject() to handle it.
+  return stats;
+}
+
+Status Engine::ExecuteOrReject(QueryPlan* plan, const ExecConfig& config,
+                               ExecutionStats* stats) {
   UOT_CHECK(plan != nullptr);
+  UOT_CHECK(stats != nullptr);
   const StorageManager* storage = plan->storage();
   const int64_t admission_start_ns = NowNanos();
   {
     std::unique_lock<std::mutex> lock(admission_mutex_);
-    UOT_CHECK(!shutdown_);  // Execute() after Shutdown() is a caller bug
-    admission_cv_.wait(lock, [&] { return CanAdmitLocked(storage); });
+    if (shutdown_) {
+      admission_rejections_counter_->Increment();
+      return Status::FailedPrecondition(
+          "Engine::Execute called after Shutdown()");
+    }
+    // FIFO admission: take the next ticket and wait until every earlier
+    // ticket has been admitted (or rejected) AND the headroom predicate
+    // holds. Strict ordering makes admission starvation-free — a stream of
+    // small queries can no longer overtake a large-budget query that
+    // arrived first every time the engine briefly has headroom. The wait
+    // predicate is shutdown-aware: Shutdown() wakes waiters, which are
+    // rejected here instead of being admitted into a closed worker pool.
+    const uint64_t ticket = admission_tail_++;
+    admission_cv_.wait(lock, [&] {
+      return shutdown_ ||
+             (ticket == admission_head_ && CanAdmitLocked(storage));
+    });
+    if (shutdown_) {
+      ++admission_head_;  // drain the ticket so waiters behind us advance
+      admission_cv_.notify_all();
+      admission_rejections_counter_->Increment();
+      return Status::FailedPrecondition(
+          "engine shut down while the query waited in admission");
+    }
+    ++admission_head_;
     ++active_;
     active_storages_.push_back(storage);
+    // The next ticket may be admissible right away (e.g. under
+    // max_inflight > 1 with headroom to spare).
+    admission_cv_.notify_all();
   }
   const int64_t admitted_ns = NowNanos();
 
   QuerySession session(plan, config, this, config_.num_workers,
                        next_query_id_.fetch_add(1,
                                                 std::memory_order_relaxed));
-  ExecutionStats stats = session.Run();
-  stats.admission_wait_ns = admitted_ns - admission_start_ns;
+  *stats = session.Run();
+  stats->admission_wait_ns = admitted_ns - admission_start_ns;
 
   {
     std::lock_guard<std::mutex> lock(admission_mutex_);
@@ -124,15 +172,20 @@ ExecutionStats Engine::Execute(QueryPlan* plan, const ExecConfig& config) {
   }
   queries_executed_.fetch_add(1, std::memory_order_relaxed);
   queries_executed_counter_->Increment();
-  query_latency_hist_->Record(stats.query_end_ns - stats.query_start_ns);
-  admission_wait_hist_->Record(stats.admission_wait_ns);
+  query_latency_hist_->Record(stats->query_end_ns - stats->query_start_ns);
+  admission_wait_hist_->Record(stats->admission_wait_ns);
   admission_cv_.notify_all();
-  return stats;
+  return Status::OK();
 }
 
 int Engine::active_queries() const {
   std::lock_guard<std::mutex> lock(admission_mutex_);
   return active_;
+}
+
+int Engine::admission_waiters() const {
+  std::lock_guard<std::mutex> lock(admission_mutex_);
+  return static_cast<int>(admission_tail_ - admission_head_);
 }
 
 bool Engine::SubmitWork(QuerySession* session, std::unique_ptr<WorkOrder> wo,

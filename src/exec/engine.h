@@ -13,6 +13,7 @@
 #include "obs/metrics_sampler.h"
 #include "plan/query_plan.h"
 #include "scheduler/query_session.h"
+#include "util/status.h"
 
 namespace uot {
 
@@ -80,23 +81,43 @@ class Engine final : public WorkOrderSink {
   /// `config` (UoT policy, budget, caps, obs sinks) apply as in a
   /// standalone run; `config.num_workers` is ignored — the engine's pool
   /// executes the work orders.
+  ///
+  /// Admission is FIFO: queries are considered strictly in arrival order,
+  /// so a stream of small queries cannot starve a large-budget one that
+  /// arrived before them. CHECK-fails if the engine shuts down while the
+  /// query waits in admission (or was already shut down); long-lived
+  /// callers that race Execute() against Shutdown() — e.g. a server front
+  /// end draining connections — should use ExecuteOrReject() instead.
   ExecutionStats Execute(QueryPlan* plan, const ExecConfig& config);
 
-  /// Waits until no query is active, then closes the shared queue and
-  /// joins the pool. Idempotent; Execute() must not be called afterwards.
+  /// Like Execute(), but reports shutdown as a recoverable error instead
+  /// of CHECK-failing: returns FailedPrecondition when the engine is shut
+  /// down (or shuts down while the query waits in admission), leaving
+  /// `*stats` untouched. On OK, `*stats` holds the execution statistics.
+  Status ExecuteOrReject(QueryPlan* plan, const ExecConfig& config,
+                         ExecutionStats* stats);
+
+  /// Wakes queries blocked in admission (they are rejected, never admitted
+  /// into the closing pool), waits until no query is active and every
+  /// admission waiter has drained, then closes the shared queue and joins
+  /// the pool. Idempotent; Execute() must not be called afterwards.
   void Shutdown();
 
   int num_workers() const { return config_.num_workers; }
   /// Queries currently admitted and executing.
   int active_queries() const;
+  /// Queries currently blocked in admission control (FIFO ticket taken,
+  /// not yet admitted or rejected).
+  int admission_waiters() const;
   /// Total queries that have completed on this engine.
   uint64_t queries_executed() const {
     return queries_executed_.load(std::memory_order_relaxed);
   }
 
   /// The engine telemetry registry: EngineConfig::metrics when provided,
-  /// otherwise the engine-owned one. Holds engine.queries_executed,
-  /// engine.inflight_queries / engine.work_queue_depth /
+  /// otherwise the engine-owned one. Holds the engine.queries_executed /
+  /// engine.admission_rejections counters, engine.inflight_queries /
+  /// engine.admission_waiters / engine.work_queue_depth /
   /// engine.budget_headroom_bytes gauges (refreshed on demand and before
   /// every sample), and the engine.query_latency_ns /
   /// engine.admission_wait_ns histograms.
@@ -137,6 +158,11 @@ class Engine final : public WorkOrderSink {
   std::condition_variable admission_cv_;
   int active_ = 0;                // guarded by admission_mutex_
   bool shutdown_ = false;         // guarded by admission_mutex_
+  // FIFO admission tickets: an arriving query takes ticket admission_tail_
+  // and is only considered once admission_head_ reaches it; head advances
+  // on admission and on shutdown rejection. Guarded by admission_mutex_.
+  uint64_t admission_tail_ = 0;
+  uint64_t admission_head_ = 0;
   // Storage managers of active sessions (one entry per session; duplicates
   // possible when sessions share storage). Guarded by admission_mutex_.
   std::vector<const StorageManager*> active_storages_;
@@ -149,7 +175,9 @@ class Engine final : public WorkOrderSink {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::MetricsRegistry* metrics_ = nullptr;  // == owned or config's
   obs::Counter* queries_executed_counter_ = nullptr;
+  obs::Counter* admission_rejections_counter_ = nullptr;
   obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Gauge* admission_waiters_gauge_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Gauge* budget_headroom_gauge_ = nullptr;  // only when budgeted
   obs::Histogram* query_latency_hist_ = nullptr;

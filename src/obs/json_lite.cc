@@ -208,24 +208,65 @@ class JsonLiteParser {
         case 'r': out->push_back('\r'); break;
         case 't': out->push_back('\t'); break;
         case 'u': {
-          // The engine only emits ASCII; accept any \uXXXX but replace
-          // non-ASCII code units with '?' rather than transcoding UTF-16.
           uint32_t code = 0;
-          for (int i = 0; i < 4; ++i) {
-            if (AtEnd()) return Error("truncated \\u escape");
-            const char h = input_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
-            else return Error("bad hex digit in \\u escape");
+          UOT_RETURN_IF_ERROR(ParseHex4(&code));
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must pair with a following \uDC00..\uDFFF
+            // escape, together naming a supplementary-plane code point.
+            if (input_.compare(pos_, 2, "\\u") != 0) {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            UOT_RETURN_IF_ERROR(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("bad low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate in \\u escape");
           }
-          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          AppendUtf8(code, out);
           break;
         }
         default:
           return Error("bad escape character");
       }
+    }
+  }
+
+  /// Parses exactly four hex digits into `*code`.
+  Status ParseHex4(uint32_t* code) {
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (AtEnd()) return Error("truncated \\u escape");
+      const char h = input_[pos_++];
+      *code <<= 4;
+      if (h >= '0' && h <= '9') *code |= static_cast<uint32_t>(h - '0');
+      else if (h >= 'a' && h <= 'f') *code |= static_cast<uint32_t>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') *code |= static_cast<uint32_t>(h - 'A' + 10);
+      else return Error("bad hex digit in \\u escape");
+    }
+    return Status::OK();
+  }
+
+  /// Appends the UTF-8 encoding of a code point (<= U+10FFFF, surrogates
+  /// already resolved by the caller).
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
     }
   }
 

@@ -1,0 +1,55 @@
+#include "server/catalog.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace uot {
+namespace server {
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+}  // namespace
+
+void Catalog::RegisterTable(const std::string& name, const Table* table) {
+  const std::string key = Lower(name);
+  if (tables_.emplace(key, table).second) {
+    names_.push_back(key);
+  } else {
+    tables_[key] = table;
+  }
+}
+
+void Catalog::RegisterTpch(const TpchDatabase* db) {
+  tpch_ = db;
+  for (const char* name : {"lineitem", "orders", "customer", "part",
+                           "supplier", "partsupp", "nation", "region"}) {
+    RegisterTable(name, db->table(name));
+  }
+}
+
+const Table* Catalog::Find(const std::string& name) const {
+  const auto it = tables_.find(Lower(name));
+  return it == tables_.end() ? nullptr : it->second;
+}
+
+std::string Catalog::CardinalityFingerprint(
+    const std::vector<std::string>& tables) const {
+  std::string out;
+  for (const std::string& name : tables) {
+    const Table* table = Find(name);
+    out += Lower(name);
+    out += '=';
+    out += table != nullptr ? std::to_string(table->NumRows()) : "?";
+    out += ';';
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace uot

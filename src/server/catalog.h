@@ -1,0 +1,56 @@
+#ifndef UOT_SERVER_CATALOG_H_
+#define UOT_SERVER_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "tpch/tpch_generator.h"
+
+namespace uot {
+namespace server {
+
+/// Name -> base-table registry the front end resolves queries against.
+/// Registration happens at startup (single-threaded); lookups afterwards
+/// are read-only and therefore safe from concurrent request threads.
+class Catalog {
+ public:
+  explicit Catalog(StorageManager* storage) : storage_(storage) {}
+  UOT_DISALLOW_COPY_AND_ASSIGN(Catalog);
+
+  /// Registers `table` under lower-case `name` (overwrites an existing
+  /// entry of the same name).
+  void RegisterTable(const std::string& name, const Table* table);
+
+  /// Registers the eight TPC-H base tables and remembers the database so
+  /// the TPCH <n> statement can build the reference plans.
+  void RegisterTpch(const TpchDatabase* db);
+
+  /// Case-insensitive lookup; nullptr if unknown.
+  const Table* Find(const std::string& name) const;
+
+  /// The registered TPC-H database; nullptr unless RegisterTpch ran.
+  const TpchDatabase* tpch() const { return tpch_; }
+
+  StorageManager* storage() const { return storage_; }
+
+  /// Registered names in registration order.
+  const std::vector<std::string>& table_names() const { return names_; }
+
+  /// "name=rows;..." over the given tables — the cardinality component of
+  /// the plan-cache fingerprint. Unknown names render as "name=?".
+  std::string CardinalityFingerprint(
+      const std::vector<std::string>& tables) const;
+
+ private:
+  StorageManager* const storage_;
+  const TpchDatabase* tpch_ = nullptr;
+  std::map<std::string, const Table*> tables_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace server
+}  // namespace uot
+
+#endif  // UOT_SERVER_CATALOG_H_

@@ -1,0 +1,70 @@
+#include "server/plan_cache.h"
+
+namespace uot {
+namespace server {
+
+PlanCache::Outcome PlanCache::Lookup(const std::string& key,
+                                     const std::string& fingerprint,
+                                     PlanCacheEntry* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return Outcome::kMiss;
+  }
+  if (it->second->entry.fingerprint != fingerprint) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++invalidations_;
+    return Outcome::kInvalidated;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->entry;
+  ++hits_;
+  return Outcome::kHit;
+}
+
+void PlanCache::Insert(const std::string& key, PlanCacheEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->entry = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Node{key, std::move(entry)});
+  index_[key] = lru_.begin();
+  while (capacity_ > 0 && lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+uint64_t PlanCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
+}
+
+uint64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace server
+}  // namespace uot

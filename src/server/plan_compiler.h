@@ -1,0 +1,54 @@
+#ifndef UOT_SERVER_PLAN_COMPILER_H_
+#define UOT_SERVER_PLAN_COMPILER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/uot_chooser.h"
+#include "plan/plan_builder.h"
+#include "server/catalog.h"
+#include "server/sql_parser.h"
+#include "util/status.h"
+
+namespace uot {
+namespace server {
+
+/// Compiles a parsed SelectStatement into a physical QueryPlan through
+/// PlanBuilder, resolving columns against the catalog and binding literal
+/// (or EXECUTE-parameter) values to the compared columns' types.
+///
+/// Plan shape (the left-deep form every existing substrate uses):
+///   Select(from-table)
+///     [-> Exchange/Build(join-table) + Probe]       when joined
+///     -> Aggregate                                  when aggregated
+///     [-> projection-only Select]                   bare columns post-join
+class PlanCompiler {
+ public:
+  PlanCompiler(const Catalog* catalog, PlanBuilderConfig config)
+      : catalog_(catalog), config_(config) {}
+
+  /// Builds the plan. `params` supplies values for `?` placeholders in
+  /// statement order; `radix_bits` partitions the join (0 = shared table,
+  /// ignored without a join). On error `*out` is untouched.
+  Status Compile(const SelectStatement& stmt,
+                 const std::vector<SqlValue>& params, int radix_bits,
+                 std::unique_ptr<QueryPlan>* out) const;
+
+  /// Base-table cardinality estimates of the join's build (join-table) and
+  /// probe (from-table) inputs, for CostModelUotChooser::ChooseRadixBits.
+  /// Fails unless the statement has a join.
+  Status JoinEstimates(const SelectStatement& stmt, EdgeEstimate* build,
+                       EdgeEstimate* probe) const;
+
+  const PlanBuilderConfig& config() const { return config_; }
+
+ private:
+  const Catalog* const catalog_;
+  const PlanBuilderConfig config_;
+};
+
+}  // namespace server
+}  // namespace uot
+
+#endif  // UOT_SERVER_PLAN_COMPILER_H_

@@ -1,0 +1,118 @@
+// The server binary: loads a TPC-H catalog and serves the text protocol
+// over TCP (or stdin with --stdin). See DESIGN.md "Serving".
+//
+// Usage: uot_server [--port N] [--stdin] [--workers N] [--sf F]
+//                   [--max-inflight N] [--budget-mb N]
+//                   [--tenant name:max_inflight:memory_share]...
+//
+// With --stdin the server reads statements from stdin and writes replies
+// to stdout (CI smoke tests, piping). Otherwise it binds 127.0.0.1:port
+// (default 5433; 0 picks an ephemeral port) and prints the bound port.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/text_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseTenant(const std::string& spec, uot::server::TenantClass* out) {
+  const size_t c1 = spec.find(':');
+  if (c1 == std::string::npos) return false;
+  const size_t c2 = spec.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  out->name = spec.substr(0, c1);
+  out->max_inflight = std::atoi(spec.substr(c1 + 1, c2 - c1 - 1).c_str());
+  out->memory_share = std::atof(spec.substr(c2 + 1).c_str());
+  return !out->name.empty() && out->memory_share > 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 5433;
+  bool use_stdin = false;
+  int workers = 4;
+  double scale_factor = 0.01;
+  int max_inflight = 0;
+  int64_t budget_mb = 0;
+  std::vector<uot::server::TenantClass> tenants;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--port") port = std::atoi(next());
+    else if (arg == "--stdin") use_stdin = true;
+    else if (arg == "--workers") workers = std::atoi(next());
+    else if (arg == "--sf") scale_factor = std::atof(next());
+    else if (arg == "--max-inflight") max_inflight = std::atoi(next());
+    else if (arg == "--budget-mb") budget_mb = std::atoll(next());
+    else if (arg == "--tenant") {
+      uot::server::TenantClass cls;
+      if (!ParseTenant(next(), &cls)) {
+        std::fprintf(stderr,
+                     "bad --tenant spec (want name:max_inflight:share)\n");
+        return 2;
+      }
+      tenants.push_back(cls);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  uot::StorageManager storage;
+  uot::TpchDatabase db(&storage);
+  uot::TpchConfig tpch_config;
+  tpch_config.scale_factor = scale_factor;
+  std::fprintf(stderr, "[uot_server] generating TPC-H sf=%g ...\n",
+               scale_factor);
+  db.Generate(tpch_config);
+  uot::server::Catalog catalog(&storage);
+  catalog.RegisterTpch(&db);
+
+  uot::server::FrontEndConfig config;
+  config.engine.num_workers = workers;
+  config.engine.max_inflight_queries = max_inflight;
+  config.engine.memory_budget_bytes = budget_mb * (1 << 20);
+  config.chooser.threads = workers;
+  config.chooser.memory_budget_bytes = config.engine.memory_budget_bytes;
+  config.tenants = tenants;
+  uot::server::FrontEnd frontend(config, &catalog);
+
+  if (use_stdin) {
+    uot::server::RunStdioLoop(&frontend, std::cin, std::cout);
+    frontend.Shutdown();
+    return 0;
+  }
+
+  uot::server::TextServer tcp(&frontend);
+  const uot::Status status = tcp.Start(port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "[uot_server] %s\n", status.ToString().c_str());
+    return 1;
+  }
+  // Port on stdout so scripts can scrape it (ephemeral-port mode).
+  std::printf("LISTENING 127.0.0.1:%d\n", tcp.port());
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::fprintf(stderr, "[uot_server] shutting down\n");
+  tcp.Stop();
+  frontend.Shutdown();
+  return 0;
+}

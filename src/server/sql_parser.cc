@@ -1,0 +1,388 @@
+#include "server/sql_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace uot {
+namespace server {
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Hand-rolled tokenizer: identifiers, numbers, quoted strings, operators
+/// and punctuation. SQL keywords are case-insensitive identifiers.
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kOp, kPunct, kParam, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;  // identifiers lower-cased; ops/puncts verbatim
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  Status error() const { return error_; }
+
+ private:
+  void Advance() {
+    if (!error_.ok()) return;
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size()) {
+      current_ = Token{Token::Kind::kEnd, ""};
+      return;
+    }
+    const char c = input_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t end = pos_;
+      while (end < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '_' || input_[end] == '.')) {
+        ++end;
+      }
+      current_ = Token{Token::Kind::kIdent,
+                       Lower(std::string(input_.substr(pos_, end - pos_)))};
+      pos_ = end;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
+      size_t end = pos_ + 1;
+      while (end < input_.size() &&
+             (std::isdigit(static_cast<unsigned char>(input_[end])) ||
+              input_[end] == '.')) {
+        ++end;
+      }
+      current_ = Token{Token::Kind::kNumber,
+                       std::string(input_.substr(pos_, end - pos_))};
+      pos_ = end;
+      return;
+    }
+    if (c == '\'') {
+      size_t end = pos_ + 1;
+      while (end < input_.size() && input_[end] != '\'') ++end;
+      if (end >= input_.size()) {
+        error_ = Status::InvalidArgument("unterminated string literal");
+        current_ = Token{Token::Kind::kEnd, ""};
+        return;
+      }
+      current_ = Token{Token::Kind::kString,
+                       std::string(input_.substr(pos_ + 1, end - pos_ - 1))};
+      pos_ = end + 1;
+      return;
+    }
+    if (c == '?') {
+      current_ = Token{Token::Kind::kParam, "?"};
+      ++pos_;
+      return;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      size_t end = pos_ + 1;
+      if (end < input_.size() && (input_[end] == '=' || input_[end] == '>')) {
+        ++end;
+      }
+      current_ = Token{Token::Kind::kOp,
+                       std::string(input_.substr(pos_, end - pos_))};
+      pos_ = end;
+      return;
+    }
+    if (c == ',' || c == '(' || c == ')' || c == '*' || c == ';') {
+      current_ = Token{Token::Kind::kPunct, std::string(1, c)};
+      ++pos_;
+      return;
+    }
+    error_ = Status::InvalidArgument(std::string("unexpected character '") +
+                                     c + "'");
+    current_ = Token{Token::Kind::kEnd, ""};
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token current_;
+  Status error_ = Status::OK();
+};
+
+Status ParseCompareOp(const std::string& text, CompareOp* op) {
+  if (text == "=") *op = CompareOp::kEq;
+  else if (text == "!=" || text == "<>") *op = CompareOp::kNe;
+  else if (text == "<") *op = CompareOp::kLt;
+  else if (text == "<=") *op = CompareOp::kLe;
+  else if (text == ">") *op = CompareOp::kGt;
+  else if (text == ">=") *op = CompareOp::kGe;
+  else return Status::InvalidArgument("bad comparison operator '" + text + "'");
+  return Status::OK();
+}
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?op";
+}
+
+const char* AggText(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount: return "count";
+    case AggFn::kSum: return "sum";
+    case AggFn::kMin: return "min";
+    case AggFn::kMax: return "max";
+    case AggFn::kAvg: return "avg";
+  }
+  return "?agg";
+}
+
+SqlValue NumberValue(const std::string& text) {
+  SqlValue v;
+  if (text.find('.') != std::string::npos) {
+    v.kind = SqlValue::Kind::kDouble;
+    v.double_value = std::stod(text);
+  } else {
+    v.kind = SqlValue::Kind::kInt;
+    v.int_value = std::stoll(text);
+  }
+  return v;
+}
+
+Status ParseValueToken(Lexer* lex, SqlValue* out) {
+  const Token t = lex->Take();
+  switch (t.kind) {
+    case Token::Kind::kNumber:
+      *out = NumberValue(t.text);
+      return Status::OK();
+    case Token::Kind::kString:
+      out->kind = SqlValue::Kind::kString;
+      out->string_value = t.text;
+      return Status::OK();
+    case Token::Kind::kParam:
+      out->kind = SqlValue::Kind::kParam;
+      return Status::OK();
+    default:
+      return Status::InvalidArgument("expected a literal, got '" + t.text +
+                                     "'");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> SelectStatement::Tables() const {
+  std::vector<std::string> out{table};
+  if (has_join) out.push_back(join.table);
+  return out;
+}
+
+std::string SelectStatement::TemplateKey() const {
+  std::string key = "select ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) key += ',';
+    const SqlSelectItem& item = items[i];
+    if (item.is_aggregate) {
+      key += AggText(item.fn);
+      key += '(';
+      key += item.count_star ? "*" : item.column;
+      key += ')';
+    } else {
+      key += item.column;
+    }
+  }
+  key += " from " + table;
+  if (has_join) {
+    key += " join " + join.table + " on " + join.left_column + "=" +
+           join.right_column;
+  }
+  for (size_t i = 0; i < where.size(); ++i) {
+    key += i == 0 ? " where " : " and ";
+    key += where[i].column;
+    key += OpText(where[i].op);
+    key += '?';  // literals normalized away: one template per query shape
+  }
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    key += i == 0 ? " group by " : ",";
+    key += group_by[i];
+  }
+  return key;
+}
+
+Status ParseSelect(std::string_view sql, SelectStatement* out) {
+  *out = SelectStatement();
+  Lexer lex(sql);
+  auto expect_ident = [&lex](const char* what, std::string* text) -> Status {
+    const Token t = lex.Take();
+    if (t.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument(std::string("expected ") + what +
+                                     ", got '" + t.text + "'");
+    }
+    *text = t.text;
+    return Status::OK();
+  };
+  auto expect_keyword = [&lex](const char* kw) -> Status {
+    const Token t = lex.Take();
+    if (t.kind != Token::Kind::kIdent || t.text != kw) {
+      return Status::InvalidArgument(std::string("expected '") + kw +
+                                     "', got '" + t.text + "'");
+    }
+    return Status::OK();
+  };
+
+  UOT_RETURN_IF_ERROR(expect_keyword("select"));
+
+  // Select list.
+  while (true) {
+    Token t = lex.Take();
+    if (t.kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected a select item, got '" + t.text +
+                                     "'");
+    }
+    SqlSelectItem item;
+    AggFn fn;
+    bool is_agg = true;
+    if (t.text == "count") fn = AggFn::kCount;
+    else if (t.text == "sum") fn = AggFn::kSum;
+    else if (t.text == "min") fn = AggFn::kMin;
+    else if (t.text == "max") fn = AggFn::kMax;
+    else if (t.text == "avg") fn = AggFn::kAvg;
+    else is_agg = false;
+    if (is_agg && lex.Peek().kind == Token::Kind::kPunct &&
+        lex.Peek().text == "(") {
+      lex.Take();  // '('
+      item.is_aggregate = true;
+      item.fn = fn;
+      const Token arg = lex.Take();
+      if (arg.kind == Token::Kind::kPunct && arg.text == "*") {
+        if (fn != AggFn::kCount) {
+          return Status::InvalidArgument("'*' is only valid in count(*)");
+        }
+        item.count_star = true;
+      } else if (arg.kind == Token::Kind::kIdent) {
+        item.column = arg.text;
+      } else {
+        return Status::InvalidArgument("expected a column in aggregate");
+      }
+      const Token close = lex.Take();
+      if (close.kind != Token::Kind::kPunct || close.text != ")") {
+        return Status::InvalidArgument("expected ')' after aggregate");
+      }
+    } else {
+      item.column = t.text;
+    }
+    out->items.push_back(std::move(item));
+    if (lex.Peek().kind == Token::Kind::kPunct && lex.Peek().text == ",") {
+      lex.Take();
+      continue;
+    }
+    break;
+  }
+
+  UOT_RETURN_IF_ERROR(expect_keyword("from"));
+  UOT_RETURN_IF_ERROR(expect_ident("a table name", &out->table));
+
+  if (lex.Peek().kind == Token::Kind::kIdent && lex.Peek().text == "join") {
+    lex.Take();
+    out->has_join = true;
+    UOT_RETURN_IF_ERROR(expect_ident("a table name", &out->join.table));
+    UOT_RETURN_IF_ERROR(expect_keyword("on"));
+    UOT_RETURN_IF_ERROR(expect_ident("a column", &out->join.left_column));
+    const Token eq = lex.Take();
+    if (eq.kind != Token::Kind::kOp || eq.text != "=") {
+      return Status::InvalidArgument("expected '=' in join condition");
+    }
+    UOT_RETURN_IF_ERROR(expect_ident("a column", &out->join.right_column));
+  }
+
+  if (lex.Peek().kind == Token::Kind::kIdent && lex.Peek().text == "where") {
+    lex.Take();
+    while (true) {
+      SqlCondition cond;
+      UOT_RETURN_IF_ERROR(expect_ident("a column", &cond.column));
+      const Token op = lex.Take();
+      if (op.kind != Token::Kind::kOp) {
+        return Status::InvalidArgument("expected a comparison operator");
+      }
+      UOT_RETURN_IF_ERROR(ParseCompareOp(op.text, &cond.op));
+      UOT_RETURN_IF_ERROR(ParseValueToken(&lex, &cond.value));
+      if (cond.value.kind == SqlValue::Kind::kParam) {
+        cond.value.param_index = out->num_params++;
+      }
+      out->where.push_back(std::move(cond));
+      if (lex.Peek().kind == Token::Kind::kIdent && lex.Peek().text == "and") {
+        lex.Take();
+        continue;
+      }
+      break;
+    }
+  }
+
+  if (lex.Peek().kind == Token::Kind::kIdent && lex.Peek().text == "group") {
+    lex.Take();
+    UOT_RETURN_IF_ERROR(expect_keyword("by"));
+    while (true) {
+      std::string col;
+      UOT_RETURN_IF_ERROR(expect_ident("a column", &col));
+      out->group_by.push_back(std::move(col));
+      if (lex.Peek().kind == Token::Kind::kPunct && lex.Peek().text == ",") {
+        lex.Take();
+        continue;
+      }
+      break;
+    }
+  }
+
+  if (lex.Peek().kind == Token::Kind::kPunct && lex.Peek().text == ";") {
+    lex.Take();
+  }
+  UOT_RETURN_IF_ERROR(lex.error());
+  if (lex.Peek().kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing input after statement: '" +
+                                   lex.Peek().text + "'");
+  }
+  if (out->items.empty()) {
+    return Status::InvalidArgument("empty select list");
+  }
+  return Status::OK();
+}
+
+Status ParseValueList(std::string_view text, std::vector<SqlValue>* out) {
+  out->clear();
+  Lexer lex(text);
+  if (lex.Peek().kind == Token::Kind::kEnd) return Status::OK();
+  while (true) {
+    SqlValue v;
+    UOT_RETURN_IF_ERROR(ParseValueToken(&lex, &v));
+    if (v.kind == SqlValue::Kind::kParam) {
+      return Status::InvalidArgument("'?' is not a value");
+    }
+    out->push_back(std::move(v));
+    if (lex.Peek().kind == Token::Kind::kPunct && lex.Peek().text == ",") {
+      lex.Take();
+      continue;
+    }
+    break;
+  }
+  UOT_RETURN_IF_ERROR(lex.error());
+  if (lex.Peek().kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("trailing input after value list");
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace uot

@@ -1,0 +1,89 @@
+#ifndef UOT_SERVER_SQL_PARSER_H_
+#define UOT_SERVER_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "expr/predicate.h"
+#include "operators/aggregate_operator.h"
+#include "util/status.h"
+
+namespace uot {
+namespace server {
+
+/// A literal (or `?` placeholder) appearing in a WHERE condition or an
+/// EXECUTE parameter list. Typing against the compared column happens at
+/// compile time (plan_compiler.h): an int literal compared to a DOUBLE
+/// column widens, a quoted string compared to a DATE column parses as
+/// YYYY-MM-DD, and so on.
+struct SqlValue {
+  enum class Kind { kInt, kDouble, kString, kParam };
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  /// 0-based position among the statement's `?` placeholders.
+  int param_index = -1;
+};
+
+/// One WHERE conjunct: `<column> <op> <literal-or-param>`. Columns may be
+/// qualified (`lineitem.l_quantity`) or bare.
+struct SqlCondition {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  SqlValue value;
+};
+
+/// One SELECT-list entry: a bare column or an aggregate over one.
+struct SqlSelectItem {
+  bool is_aggregate = false;
+  AggFn fn = AggFn::kCount;
+  bool count_star = false;
+  std::string column;  // empty for COUNT(*)
+};
+
+/// `JOIN <table> ON <left.col> = <right.col>`.
+struct SqlJoin {
+  std::string table;
+  std::string left_column;
+  std::string right_column;
+};
+
+/// The supported statement shape:
+///   SELECT <item> [, <item>]* FROM <table>
+///     [JOIN <table> ON <col> = <col>]
+///     [WHERE <cond> [AND <cond>]*]
+///     [GROUP BY <col> [, <col>]*]
+/// Aggregates: COUNT(*), COUNT(c), SUM(c), MIN(c), MAX(c), AVG(c).
+struct SelectStatement {
+  std::vector<SqlSelectItem> items;
+  std::string table;
+  bool has_join = false;
+  SqlJoin join;
+  std::vector<SqlCondition> where;
+  std::vector<std::string> group_by;
+  /// Number of `?` placeholders (in WHERE order).
+  int num_params = 0;
+
+  /// Tables the statement reads, FROM first.
+  std::vector<std::string> Tables() const;
+
+  /// The statement's query template: a canonical lower-case rendering with
+  /// every literal replaced by `?`. Two invocations that differ only in
+  /// literal values share one template — the plan-cache key.
+  std::string TemplateKey() const;
+};
+
+/// Parses the SQL subset. Errors carry a position-free human message (the
+/// wire protocol relays them verbatim).
+Status ParseSelect(std::string_view sql, SelectStatement* out);
+
+/// Parses a comma-separated EXECUTE argument list, e.g. `1, 2.5, 'x'`.
+/// Placeholders are not allowed here.
+Status ParseValueList(std::string_view text, std::vector<SqlValue>* out);
+
+}  // namespace server
+}  // namespace uot
+
+#endif  // UOT_SERVER_SQL_PARSER_H_

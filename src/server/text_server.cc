@@ -1,0 +1,184 @@
+#include "server/text_server.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace uot {
+namespace server {
+namespace {
+
+bool IsQuit(const std::string& line) {
+  std::string word;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (word.empty()) continue;
+      break;
+    }
+    word += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return word == "quit";
+}
+
+bool BlankLine(const std::string& line) {
+  for (char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FormatResponse(const Response& response) {
+  if (!response.ok) return "ERR " + response.error + "\n";
+  char ms[32];
+  std::snprintf(ms, sizeof(ms), "%.3f", response.exec_ms);
+  std::string out = "OK rows=" + std::to_string(response.row_count) +
+                    " cache=";
+  switch (response.cache) {
+    case Response::Cache::kHit: out += "hit"; break;
+    case Response::Cache::kMiss: out += "miss"; break;
+    case Response::Cache::kNone: out += "none"; break;
+  }
+  out += " ms=";
+  out += ms;
+  if (!response.message.empty()) {
+    out += ' ';
+    out += response.message;
+  }
+  out += '\n';
+  out += response.rows_csv;  // CanonicalRows lines are newline-terminated
+  out += "END\n";
+  return out;
+}
+
+TextServer::~TextServer() { Stop(); }
+
+Status TextServer::Start(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("socket() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::Internal("bind() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    return Status::Internal("listen() failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TextServer::Stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Closing the listening socket unblocks accept(); shutting down client
+  // sockets unblocks their reads.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    threads.swap(client_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (int fd : client_fds_) ::close(fd);
+    client_fds_.clear();
+  }
+}
+
+void TextServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = listen_fd_.load(std::memory_order_acquire);
+    if (fd < 0) return;  // Stop() already invalidated the socket
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;  // transient accept failure
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(client);
+      return;
+    }
+    client_fds_.push_back(client);
+    client_threads_.emplace_back([this, client] { Serve(client); });
+  }
+}
+
+void TextServer::Serve(int client_fd) {
+  std::string tenant = "default";
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    // Drain complete lines already buffered before reading more.
+    size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (BlankLine(line)) continue;
+      if (IsQuit(line)) return;
+      const Response resp = frontend_->Handle(Request{line, tenant});
+      if (!resp.set_tenant.empty()) tenant = resp.set_tenant;
+      const std::string reply = FormatResponse(resp);
+      size_t sent = 0;
+      while (sent < reply.size()) {
+        const ssize_t n = ::send(client_fd, reply.data() + sent,
+                                 reply.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) return;
+        sent += static_cast<size_t>(n);
+      }
+    }
+    const ssize_t n = ::recv(client_fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return;  // EOF, peer reset, or Stop()'s shutdown()
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void RunStdioLoop(FrontEnd* frontend, std::istream& in, std::ostream& out) {
+  std::string tenant = "default";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (BlankLine(line)) continue;
+    if (IsQuit(line)) return;
+    const Response resp = frontend->Handle(Request{line, tenant});
+    if (!resp.set_tenant.empty()) tenant = resp.set_tenant;
+    out << FormatResponse(resp) << std::flush;
+  }
+}
+
+}  // namespace server
+}  // namespace uot

@@ -1,0 +1,77 @@
+#ifndef UOT_SERVER_TEXT_SERVER_H_
+#define UOT_SERVER_TEXT_SERVER_H_
+
+#include <atomic>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/frontend.h"
+#include "util/status.h"
+
+namespace uot {
+namespace server {
+
+/// Renders one front-end response in the wire format:
+///   OK rows=<n> cache=<hit|miss|none> ms=<milliseconds> [<message>]
+///   <csv row>\n...            (row_count lines)
+///   END
+/// or, on failure:
+///   ERR <message>
+std::string FormatResponse(const Response& response);
+
+/// Newline-delimited text protocol over TCP (127.0.0.1): one statement per
+/// request line, one FormatResponse block per reply. Each accepted
+/// connection gets a serving thread; SET TENANT switches that connection's
+/// admission class; QUIT (or EOF) closes it.
+class TextServer {
+ public:
+  explicit TextServer(FrontEnd* frontend) : frontend_(frontend) {}
+  ~TextServer();
+  UOT_DISALLOW_COPY_AND_ASSIGN(TextServer);
+
+  /// Binds 127.0.0.1:`port` (0 = pick an ephemeral port, see port()) and
+  /// starts the accept loop.
+  Status Start(int port);
+
+  /// The bound port; 0 before Start.
+  int port() const { return port_; }
+
+  /// Stops accepting, closes live connections, joins serving threads.
+  /// Idempotent. Does not shut the front end down — several servers (or a
+  /// server plus in-process callers) may share one.
+  void Stop();
+
+  /// Connections accepted so far.
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void Serve(int client_fd);
+
+  FrontEnd* const frontend_;
+  /// Atomic because Stop() invalidates the fd concurrently with the
+  /// accept loop's reads.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex clients_mutex_;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> client_threads_;
+};
+
+/// Serves the same protocol over an istream/ostream pair (stdin mode: CI
+/// smoke tests and piping without sockets). Returns at EOF or QUIT.
+void RunStdioLoop(FrontEnd* frontend, std::istream& in, std::ostream& out);
+
+}  // namespace server
+}  // namespace uot
+
+#endif  // UOT_SERVER_TEXT_SERVER_H_

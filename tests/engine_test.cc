@@ -48,6 +48,62 @@ class StartGate {
   int arrived_ = 0;
 };
 
+/// A manually opened gate: work orders built on it block a worker until
+/// the test releases them, making admission races deterministic.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// An operator whose single work order blocks on a Gate: a query of
+/// test-controlled duration.
+class GateOperator final : public Operator {
+ public:
+  GateOperator(std::string name, Gate* gate)
+      : Operator(std::move(name)), gate_(gate) {}
+
+  bool GenerateWorkOrders(
+      std::vector<std::unique_ptr<WorkOrder>>* out) override {
+    if (!emitted_) {
+      emitted_ = true;
+      out->push_back(std::make_unique<GateWorkOrder>(gate_));
+    }
+    return true;
+  }
+
+ private:
+  struct GateWorkOrder final : WorkOrder {
+    explicit GateWorkOrder(Gate* g) : gate(g) {}
+    void Execute() override { gate->Wait(); }
+    Gate* gate;
+  };
+
+  Gate* gate_;
+  bool emitted_ = false;
+};
+
+std::unique_ptr<QueryPlan> MakeGatedPlan(StorageManager* storage, Gate* gate) {
+  auto plan = std::make_unique<QueryPlan>(storage);
+  plan->AddOperator(std::make_unique<GateOperator>("gate", gate));
+  return plan;
+}
+
 /// select(in: v >= threshold) -> agg(sum(v)) over a plan-owned pipeline:
 /// a small two-operator plan for engine-level tests.
 std::unique_ptr<QueryPlan> MakeSelectAggPlan(StorageManager* storage,
@@ -363,6 +419,112 @@ TEST(EngineTest, ShutdownDrainsAndSurvivesDoubleCall) {
   engine.Shutdown();
   engine.Shutdown();  // idempotent
   EXPECT_EQ(engine.queries_executed(), 1u);
+}
+
+/// Regression: a query blocked in the admission wait when Shutdown() ran
+/// used to be admitted into the already-closing worker pool (the wait
+/// predicate ignored shutdown_). It must be rejected instead, and
+/// Shutdown() must not close the queue while waiters are still parked.
+/// Runs under -fsanitize=thread in CI.
+TEST(EngineTest, ShutdownRejectsAdmissionWaiters) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 1000, 8, Layout::kRowStore, 1024);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 1;
+  engine_config.max_inflight_queries = 1;
+  Engine engine(engine_config);
+
+  ExecConfig config;
+  Gate gate;
+  auto gated_plan = MakeGatedPlan(&storage, &gate);
+  auto waiter_plan = MakeSelectAggPlan(&storage, *input, 0.0);
+
+  // A occupies the single admission slot, blocked on the gate.
+  Status status_a, status_b;
+  ExecutionStats stats_a, stats_b;
+  std::thread ta([&] {
+    status_a = engine.ExecuteOrReject(gated_plan.get(), config, &stats_a);
+  });
+  while (engine.active_queries() != 1) std::this_thread::yield();
+
+  // B parks in the admission wait behind A.
+  std::thread tb([&] {
+    status_b = engine.ExecuteOrReject(waiter_plan.get(), config, &stats_b);
+  });
+  while (engine.admission_waiters() != 1) std::this_thread::yield();
+
+  // Shutdown while B waits. B can only return by rejection: admission
+  // requires A to finish, and A is held on the still-closed gate.
+  std::thread ts([&] { engine.Shutdown(); });
+  tb.join();
+  EXPECT_FALSE(status_b.ok());
+  EXPECT_EQ(status_b.code(), StatusCode::kFailedPrecondition);
+
+  gate.Open();
+  ta.join();
+  ts.join();
+  EXPECT_TRUE(status_a.ok());
+  EXPECT_EQ(engine.queries_executed(), 1u);
+  EXPECT_EQ(engine.admission_waiters(), 0);
+  EXPECT_EQ(engine.metrics()->GetCounter("engine.admission_rejections")
+                ->Value(),
+            1u);
+
+  // After Shutdown, ExecuteOrReject rejects immediately instead of
+  // CHECK-failing like Execute().
+  ExecutionStats stats_c;
+  auto late_plan = MakeSelectAggPlan(&storage, *input, 0.0);
+  EXPECT_FALSE(engine.ExecuteOrReject(late_plan.get(), config, &stats_c).ok());
+}
+
+/// Regression: admission used notify_all + a bare headroom predicate, so
+/// whichever waiter won the wake-up race got the slot — later arrivals
+/// could starve an earlier query indefinitely. Tickets make admission
+/// strictly FIFO: with one slot, queries must start in arrival order.
+/// Runs under -fsanitize=thread in CI.
+TEST(EngineTest, AdmissionIsFifoInArrivalOrder) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 1000, 8, Layout::kRowStore, 1024);
+
+  EngineConfig engine_config;
+  engine_config.num_workers = 1;
+  engine_config.max_inflight_queries = 1;
+  Engine engine(engine_config);
+
+  ExecConfig config;
+  Gate gate;
+  auto gated_plan = MakeGatedPlan(&storage, &gate);
+  std::thread ta([&] { engine.Execute(gated_plan.get(), config); });
+  while (engine.active_queries() != 1) std::this_thread::yield();
+
+  // Park B, C, D in the admission wait in a known arrival order: each is
+  // observed as a waiter before the next arrives.
+  constexpr int kWaiters = 3;
+  std::vector<std::unique_ptr<QueryPlan>> plans;
+  std::vector<ExecutionStats> stats(kWaiters);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kWaiters; ++i) {
+    plans.push_back(MakeSelectAggPlan(&storage, *input, 0.0));
+    threads.emplace_back([&, i] {
+      stats[static_cast<size_t>(i)] =
+          engine.Execute(plans[static_cast<size_t>(i)].get(), config);
+    });
+    while (engine.admission_waiters() != i + 1) std::this_thread::yield();
+  }
+
+  gate.Open();
+  ta.join();
+  for (auto& t : threads) t.join();
+
+  // Query ids are handed out at admission; with one slot they record the
+  // admission sequence, which FIFO ordering pins to the arrival order.
+  for (int i = 0; i + 1 < kWaiters; ++i) {
+    EXPECT_LT(stats[static_cast<size_t>(i)].query_id,
+              stats[static_cast<size_t>(i) + 1].query_id)
+        << "waiter " << i + 1 << " overtook waiter " << i << " in admission";
+  }
+  EXPECT_EQ(engine.queries_executed(), static_cast<uint64_t>(kWaiters) + 1);
 }
 
 TEST(EngineTest, ConcurrentQueriesShareOneAdaptivePolicy) {

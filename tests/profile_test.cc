@@ -264,6 +264,35 @@ TEST(ProfileTest, JsonRoundTripsThroughValidator) {
   EXPECT_FALSE(obs::ParseQueryProfileJson(no_edges, &ignored).ok());
 }
 
+TEST(ProfileTest, JsonParserDecodesUnicodeEscapes) {
+  // Regression: \uXXXX used to be replaced by '?' for any non-ASCII code
+  // unit, corrupting wire-protocol strings and profile round-trips. BMP
+  // escapes must transcode to UTF-8 and surrogate pairs must combine.
+  obs::JsonValue root;
+  ASSERT_TRUE(obs::JsonValue::Parse(
+                  "{\"s\": \"caf\\u00e9 \\u20AC \\uD83D\\uDE00 \\u0041\"}",
+                  &root)
+                  .ok());
+  const obs::JsonValue* s = root.Find("s");
+  ASSERT_NE(s, nullptr);
+  // U+00E9 é, U+20AC €, U+1F600 (surrogate pair), ASCII A.
+  EXPECT_EQ(s->AsString(),
+            "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80 A");
+
+  // A decoded multi-byte string survives a write-and-reparse round trip:
+  // the writer passes UTF-8 bytes through unescaped.
+  obs::JsonValue reparsed;
+  ASSERT_TRUE(obs::JsonValue::Parse("\"\\u4f60\\u597d\"", &reparsed).ok());
+  EXPECT_EQ(reparsed.AsString(), "\xE4\xBD\xA0\xE5\xA5\xBD");  // 你好
+
+  // Strictness: lone or malformed surrogates are parse errors, not '?'.
+  EXPECT_FALSE(obs::JsonValue::Parse("\"\\uD83D\"", &root).ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"\\uD83D\\u0041\"", &root).ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"\\uDE00\"", &root).ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"\\u12G4\"", &root).ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"\\u12\"", &root).ok());
+}
+
 TEST(ProfileTest, SamplerRingBufferWrapsAround) {
   obs::MetricsRegistry registry;
   obs::Counter* ticks = registry.GetCounter("test.ticks");
