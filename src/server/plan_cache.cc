@@ -25,6 +25,7 @@ PlanCache::Outcome PlanCache::Lookup(const std::string& key,
 }
 
 void PlanCache::Insert(const std::string& key, PlanCacheEntry entry) {
+  if (capacity_ == 0) return;  // cache disabled: never store anything
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -34,7 +35,7 @@ void PlanCache::Insert(const std::string& key, PlanCacheEntry entry) {
   }
   lru_.push_front(Node{key, std::move(entry)});
   index_[key] = lru_.begin();
-  while (capacity_ > 0 && lru_.size() > capacity_) {
+  while (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     ++evictions_;

@@ -35,6 +35,8 @@ struct PlanCacheEntry {
 /// A bounded, thread-safe LRU map from query template to PlanCacheEntry.
 class PlanCache {
  public:
+  /// `capacity` bounds the number of entries; 0 disables the cache
+  /// entirely (every Insert is a no-op, every Lookup a miss).
   explicit PlanCache(size_t capacity) : capacity_(capacity) {}
   UOT_DISALLOW_COPY_AND_ASSIGN(PlanCache);
 

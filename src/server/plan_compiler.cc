@@ -1,6 +1,8 @@
 #include "server/plan_compiler.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <iterator>
 #include <utility>
 
 #include "expr/projection.h"
@@ -229,10 +231,28 @@ Status PlanCompiler::Compile(const SelectStatement& stmt,
       UOT_RETURN_IF_ERROR(resolver.Resolve(name, &col));
       group_cols.push_back(current_index(col));
     }
+    // The aggregate's output is [group keys..., aggregates...]; out_cols
+    // maps each select item to its position there so the result matches
+    // the select list, not the operator's native order.
     std::vector<AggSpec> aggs;
+    std::vector<int> out_cols;
+    const int num_keys = static_cast<int>(group_cols.size());
     for (size_t i = 0; i < stmt.items.size(); ++i) {
       const SqlSelectItem& item = stmt.items[i];
-      if (!item.is_aggregate) continue;  // bare columns are the group keys
+      if (!item.is_aggregate) {
+        BoundColumn col;
+        UOT_RETURN_IF_ERROR(resolver.Resolve(item.column, &col));
+        const auto key = std::find(group_cols.begin(), group_cols.end(),
+                                   current_index(col));
+        if (key == group_cols.end()) {
+          return Status::InvalidArgument(
+              "column '" + item.column +
+              "' must appear in GROUP BY or inside an aggregate");
+        }
+        out_cols.push_back(
+            static_cast<int>(std::distance(group_cols.begin(), key)));
+        continue;
+      }
       AggSpec spec;
       spec.fn = item.fn;
       spec.name = AggName(item, i);
@@ -241,14 +261,27 @@ Status PlanCompiler::Compile(const SelectStatement& stmt,
         UOT_RETURN_IF_ERROR(resolver.Resolve(item.column, &col));
         spec.expr = Col(current_index(col), col.type);
       }
+      out_cols.push_back(num_keys + static_cast<int>(aggs.size()));
       aggs.push_back(std::move(spec));
     }
     if (aggs.empty()) {
       return Status::InvalidArgument(
           "GROUP BY without an aggregate in the select list");
     }
+    const int num_aggs = static_cast<int>(aggs.size());
     current = pb.Aggregate("agg", current, std::move(group_cols),
                            std::move(aggs));
+    bool native_order = out_cols.size() ==
+                        static_cast<size_t>(num_keys + num_aggs);
+    for (size_t j = 0; native_order && j < out_cols.size(); ++j) {
+      native_order = out_cols[j] == static_cast<int>(j);
+    }
+    if (!native_order) {
+      current = pb.Select("project_agg", current,
+                          std::make_unique<TruePredicate>(),
+                          Projection::Identity(current.table->schema(),
+                                               out_cols));
+    }
   } else {
     // Bare-column select: project the requested columns (an extra
     // projection-only stage after a join; folded into the scan otherwise).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <stdexcept>
 
 namespace uot {
 namespace server {
@@ -151,24 +152,29 @@ const char* AggText(AggFn fn) {
   return "?agg";
 }
 
-SqlValue NumberValue(const std::string& text) {
-  SqlValue v;
-  if (text.find('.') != std::string::npos) {
-    v.kind = SqlValue::Kind::kDouble;
-    v.double_value = std::stod(text);
-  } else {
-    v.kind = SqlValue::Kind::kInt;
-    v.int_value = std::stoll(text);
+Status NumberValue(const std::string& text, SqlValue* v) {
+  // stoll/stod throw on unrepresentable literals; a client-supplied number
+  // must never take the process down, so map those to InvalidArgument.
+  try {
+    if (text.find('.') != std::string::npos) {
+      v->kind = SqlValue::Kind::kDouble;
+      v->double_value = std::stod(text);
+    } else {
+      v->kind = SqlValue::Kind::kInt;
+      v->int_value = std::stoll(text);
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("numeric literal '" + text +
+                                   "' is out of range");
   }
-  return v;
+  return Status::OK();
 }
 
 Status ParseValueToken(Lexer* lex, SqlValue* out) {
   const Token t = lex->Take();
   switch (t.kind) {
     case Token::Kind::kNumber:
-      *out = NumberValue(t.text);
-      return Status::OK();
+      return NumberValue(t.text, out);
     case Token::Kind::kString:
       out->kind = SqlValue::Kind::kString;
       out->string_value = t.text;

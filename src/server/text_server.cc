@@ -89,11 +89,15 @@ Status TextServer::Start(int port) {
 
 void TextServer::Stop() {
   if (stopping_.exchange(true)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
+    // A concurrent Stop() already owns the teardown; wait for it to finish
+    // rather than racing it on accept_thread_ (double join is UB).
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stopped_; });
     return;
   }
   // Closing the listening socket unblocks accept(); shutting down client
-  // sockets unblocks their reads.
+  // sockets unblocks their reads. Each serving thread closes its own fd on
+  // the way out, so Stop() only shutdown()s.
   const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   if (fd >= 0) {
     ::shutdown(fd, SHUT_RDWR);
@@ -101,20 +105,24 @@ void TextServer::Stop() {
   }
   {
     std::lock_guard<std::mutex> lock(clients_mutex_);
-    for (int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (const auto& client : live_) ::shutdown(client.first, SHUT_RDWR);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(clients_mutex_);
-    threads.swap(client_threads_);
+    threads.reserve(live_.size() + finished_.size());
+    for (auto& client : live_) threads.push_back(std::move(client.second));
+    live_.clear();
+    for (std::thread& t : finished_) threads.push_back(std::move(t));
+    finished_.clear();
   }
   for (std::thread& t : threads) t.join();
   {
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    for (int fd : client_fds_) ::close(fd);
-    client_fds_.clear();
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopped_ = true;
   }
+  stop_cv_.notify_all();
 }
 
 void TextServer::AcceptLoop() {
@@ -127,13 +135,31 @@ void TextServer::AcceptLoop() {
       continue;  // transient accept failure
     }
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(clients_mutex_);
-    if (stopping_.load(std::memory_order_relaxed)) {
-      ::close(client);
-      return;
+    std::vector<std::thread> reap;
+    {
+      std::lock_guard<std::mutex> lock(clients_mutex_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        ::close(client);
+        return;
+      }
+      live_.emplace(client,
+                    std::thread([this, client] { ServeConnection(client); }));
+      reap.swap(finished_);
     }
-    client_fds_.push_back(client);
-    client_threads_.emplace_back([this, client] { Serve(client); });
+    for (std::thread& t : reap) t.join();
+  }
+}
+
+void TextServer::ServeConnection(int client_fd) {
+  Serve(client_fd);
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  ::close(client_fd);
+  const auto it = live_.find(client_fd);
+  if (it != live_.end()) {
+    // Still registered: retire our own handle for the accept loop (or
+    // Stop()) to join. If Stop() already claimed it, it owns the join.
+    finished_.push_back(std::move(it->second));
+    live_.erase(it);
   }
 }
 

@@ -2,11 +2,13 @@
 #define UOT_SERVER_TEXT_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <istream>
 #include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "server/frontend.h"
@@ -50,9 +52,19 @@ class TextServer {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
+  /// Connections currently being served (their fd is still open).
+  size_t active_connections() const {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    return live_.size();
+  }
+
  private:
   void AcceptLoop();
   void Serve(int client_fd);
+  /// Thread body for one connection: runs Serve, then closes the fd and
+  /// retires the thread handle so long-lived servers don't accumulate
+  /// CLOSE_WAIT fds or joined-out thread objects.
+  void ServeConnection(int client_fd);
 
   FrontEnd* const frontend_;
   /// Atomic because Stop() invalidates the fd concurrently with the
@@ -62,9 +74,19 @@ class TextServer {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::thread accept_thread_;
-  std::mutex clients_mutex_;
-  std::vector<int> client_fds_;
-  std::vector<std::thread> client_threads_;
+  mutable std::mutex clients_mutex_;
+  /// Serving threads keyed by client fd. A thread removes itself (moving
+  /// its handle to finished_) after closing its fd; Stop() moves the
+  /// still-live handles out and joins them after shutdown()ing the fds.
+  std::unordered_map<int, std::thread> live_;
+  /// Exited serving threads awaiting join; reaped by the accept loop on
+  /// each new connection and drained by Stop().
+  std::vector<std::thread> finished_;
+  /// Losing concurrent Stop() callers wait here until the winner finishes
+  /// the full teardown (touching accept_thread_ from two threads is UB).
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopped_ = false;
 };
 
 /// Serves the same protocol over an istream/ostream pair (stdin mode: CI

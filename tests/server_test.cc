@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -96,6 +97,20 @@ TEST(SqlParserTest, RejectsMalformedStatements) {
   EXPECT_FALSE(ParseSelect("select k from kv trailing junk", &stmt).ok());
 }
 
+TEST(SqlParserTest, RejectsOutOfRangeNumericLiterals) {
+  // stoll/stod overflow must surface as a parse error, not an exception
+  // that escapes into the serving thread and kills the process.
+  SelectStatement stmt;
+  EXPECT_FALSE(
+      ParseSelect("select k from kv where k = 99999999999999999999", &stmt)
+          .ok());
+  const std::string huge(400, '9');
+  EXPECT_FALSE(
+      ParseSelect("select k from kv where v = " + huge + ".5", &stmt).ok());
+  std::vector<SqlValue> values;
+  EXPECT_FALSE(ParseValueList("99999999999999999999", &values).ok());
+}
+
 TEST(SqlParserTest, ParsesValueLists) {
   std::vector<SqlValue> values;
   ASSERT_TRUE(ParseValueList("1, -2.5, 'x y'", &values).ok());
@@ -158,6 +173,14 @@ TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(cache.Lookup("c", "fp", &out), PlanCache::Outcome::kHit);
 }
 
+TEST(PlanCacheTest, CapacityZeroDisablesCaching) {
+  PlanCache cache(0);
+  PlanCacheEntry out;
+  cache.Insert("a", MakeEntry("fp", 0));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("a", "fp", &out), PlanCache::Outcome::kMiss);
+}
+
 // ---------------------------------------------------------------------------
 // Front end over a small synthetic catalog
 
@@ -206,6 +229,56 @@ TEST_F(FrontEndTest, AggregateSelectMatchesHandBuiltPlan) {
   QueryExecutor::Execute(plan.get(), ExecConfig{});
   EXPECT_TRUE(CanonicalRowsNear(resp.rows_csv,
                                 CanonicalRows(*plan->result_table())));
+}
+
+TEST_F(FrontEndTest, BareSelectColumnsMustBeGroupKeys) {
+  FrontEnd frontend(SmallConfig(), &catalog_);
+  // v is neither a group key nor inside an aggregate: returning some other
+  // column's values in its position would be silently wrong.
+  const Response resp = frontend.Handle(
+      {"select v, sum(v) from fact group by k", "default"});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.error.find("GROUP BY"), std::string::npos) << resp.error;
+}
+
+TEST_F(FrontEndTest, AggregateOutputFollowsSelectListOrder) {
+  FrontEnd frontend(SmallConfig(), &catalog_);
+  // Aggregate before group key: the result must be reordered to match the
+  // select list, not left in the operator's native [keys, aggs] order.
+  const Response resp = frontend.Handle(
+      {"select sum(v), k from fact group by k", "default"});
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.row_count, 10u);
+
+  PlanBuilder builder(&storage_, PlanBuilderConfig{});
+  auto src = builder.Select(
+      "sel", PlanBuilder::Base(*fact_), std::make_unique<TruePredicate>(),
+      Projection::Identity(fact_->schema(), {0, 1}));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1, Type::Double()), "sum_v"});
+  src = builder.Aggregate("agg", src, {0}, std::move(aggs));
+  src = builder.Select("swap", src, std::make_unique<TruePredicate>(),
+                       Projection::Identity(builder.SchemaOf(src), {1, 0}));
+  auto plan = builder.Finish(src);
+  QueryExecutor::Execute(plan.get(), ExecConfig{});
+  EXPECT_TRUE(CanonicalRowsNear(resp.rows_csv,
+                                CanonicalRows(*plan->result_table())));
+}
+
+TEST_F(FrontEndTest, UnselectedGroupKeysAreProjectedAway) {
+  FrontEnd frontend(SmallConfig(), &catalog_);
+  const Response resp =
+      frontend.Handle({"select sum(v) from fact group by k", "default"});
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.row_count, 10u);
+  // One column per row: the group key k is grouped on but not returned.
+  for (size_t pos = 0; pos < resp.rows_csv.size();) {
+    const size_t end = resp.rows_csv.find('\n', pos);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = resp.rows_csv.substr(pos, end - pos);
+    EXPECT_EQ(line.find(','), std::string::npos) << line;
+    pos = end + 1;
+  }
 }
 
 TEST_F(FrontEndTest, JoinMatchesHandBuiltPlan) {
@@ -590,6 +663,48 @@ TEST_F(FrontEndTest, TcpServerRoundTrip) {
   tcp.Stop();
   EXPECT_EQ(tcp.connections_accepted(), 2u);
   tcp.Stop();  // idempotent
+}
+
+TEST_F(FrontEndTest, ClosedConnectionsAreReaped) {
+  FrontEnd frontend(SmallConfig(), &catalog_);
+  TextServer tcp(&frontend);
+  ASSERT_TRUE(tcp.Start(0).ok());
+
+  // Each connection's fd and serving thread must be released when the
+  // client goes away, not accumulated until Stop() — a long-running
+  // server would otherwise leak one CLOSE_WAIT fd per connection.
+  for (int i = 0; i < 8; ++i) {
+    TcpClient client(tcp.port());
+    ASSERT_TRUE(client.connected());
+    client.Send("select count(*) from fact\n");
+    const std::string reply = client.ReadReply();
+    EXPECT_EQ(reply.rfind("OK rows=1", 0), 0u) << reply;
+    client.Send("quit\n");
+  }
+  // The server notices EOF/QUIT asynchronously; poll briefly.
+  for (int i = 0; i < 200 && tcp.active_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(tcp.active_connections(), 0u);
+  EXPECT_EQ(tcp.connections_accepted(), 8u);
+  tcp.Stop();
+}
+
+TEST_F(FrontEndTest, ConcurrentStopIsSafe) {
+  FrontEnd frontend(SmallConfig(), &catalog_);
+  TextServer tcp(&frontend);
+  ASSERT_TRUE(tcp.Start(0).ok());
+  TcpClient client(tcp.port());
+  ASSERT_TRUE(client.connected());
+
+  // Every caller must return only after the teardown is complete, and no
+  // two callers may touch accept_thread_ at once (double join is UB).
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&tcp] { tcp.Stop(); });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_EQ(tcp.active_connections(), 0u);
 }
 
 TEST(FormatResponseTest, RendersOkAndError) {
