@@ -1,22 +1,66 @@
 #include "expr/predicate.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 namespace uot {
 namespace {
 
-template <typename T, typename Op>
-void FilterCompare(const std::vector<T>& lhs, const std::vector<T>& rhs,
-                   Op op, std::vector<uint32_t>* sel) {
+std::atomic<uint8_t> g_compare_kernel{
+    static_cast<uint8_t>(CompareKernel::kBranchFree)};
+
+/// One comparison over the selection, column-vs-column or
+/// column-vs-hoisted-constant (`rhs_const` non-null), under the active
+/// kernel. Both kernels compact in place preserving row order; the
+/// branch-free variant stores unconditionally and advances `kept` by the
+/// comparison result, which keeps the loop free of data-dependent branches
+/// so the compiler can vectorize it.
+template <typename Op>
+void RunCompare(const double* lhs, const double* rhs,
+                const double* rhs_const, Op op, std::vector<uint32_t>* sel) {
+  const uint32_t n = static_cast<uint32_t>(sel->size());
+  uint32_t* s = sel->data();
   uint32_t kept = 0;
-  for (uint32_t i = 0; i < sel->size(); ++i) {
-    if (op(lhs[i], rhs[i])) (*sel)[kept++] = (*sel)[i];
+  if (GetCompareKernel() == CompareKernel::kBranchFree) {
+    if (rhs_const != nullptr) {
+      const double c = *rhs_const;
+      for (uint32_t i = 0; i < n; ++i) {
+        s[kept] = s[i];
+        kept += static_cast<uint32_t>(op(lhs[i], c));
+      }
+    } else {
+      for (uint32_t i = 0; i < n; ++i) {
+        s[kept] = s[i];
+        kept += static_cast<uint32_t>(op(lhs[i], rhs[i]));
+      }
+    }
+  } else {
+    if (rhs_const != nullptr) {
+      const double c = *rhs_const;
+      for (uint32_t i = 0; i < n; ++i) {
+        if (op(lhs[i], c)) s[kept++] = s[i];
+      }
+    } else {
+      for (uint32_t i = 0; i < n; ++i) {
+        if (op(lhs[i], rhs[i])) s[kept++] = s[i];
+      }
+    }
   }
   sel->resize(kept);
 }
 
 }  // namespace
+
+void SetCompareKernel(CompareKernel kernel) {
+  g_compare_kernel.store(static_cast<uint8_t>(kernel),
+                         std::memory_order_relaxed);
+}
+
+CompareKernel GetCompareKernel() {
+  return static_cast<CompareKernel>(
+      g_compare_kernel.load(std::memory_order_relaxed));
+}
 
 std::vector<uint32_t> Predicate::FilterAll(const Block& block) const {
   std::vector<uint32_t> sel(block.num_rows());
@@ -30,7 +74,9 @@ Comparison::Comparison(CompareOp op, std::unique_ptr<Scalar> left,
     : op_(op),
       left_(std::move(left)),
       right_(std::move(right)),
-      is_char_(left_->result_type().id() == TypeId::kChar) {
+      is_char_(left_->result_type().id() == TypeId::kChar),
+      rhs_is_literal_(!is_char_ &&
+                      dynamic_cast<const Literal*>(right_.get()) != nullptr) {
   if (is_char_) {
     UOT_CHECK(right_->result_type().id() == TypeId::kChar);
     UOT_CHECK(left_->result_type().width() == right_->result_type().width());
@@ -44,27 +90,44 @@ void Comparison::Filter(const Block& block, std::vector<uint32_t>* sel) const {
   const uint32_t n = static_cast<uint32_t>(sel->size());
   if (n == 0) return;
   if (!is_char_) {
-    std::vector<double> lhs(n), rhs(n);
+    std::vector<double> lhs(n);
     EvalAsDouble(*left_, block, sel->data(), n, lhs.data());
-    EvalAsDouble(*right_, block, sel->data(), n, rhs.data());
+    // Literal right operands hoist to a loop constant; otherwise the
+    // operand is materialized per selected row like the left side.
+    double constant = 0.0;
+    const double* rhs_const = nullptr;
+    std::vector<double> rhs;
+    if (rhs_is_literal_) {
+      EvalAsDouble(*right_, block, sel->data(), 1, &constant);
+      rhs_const = &constant;
+    } else {
+      rhs.resize(n);
+      EvalAsDouble(*right_, block, sel->data(), n, rhs.data());
+    }
     switch (op_) {
       case CompareOp::kEq:
-        FilterCompare(lhs, rhs, [](double a, double b) { return a == b; }, sel);
+        RunCompare(lhs.data(), rhs.data(), rhs_const,
+                   [](double a, double b) { return a == b; }, sel);
         return;
       case CompareOp::kNe:
-        FilterCompare(lhs, rhs, [](double a, double b) { return a != b; }, sel);
+        RunCompare(lhs.data(), rhs.data(), rhs_const,
+                   [](double a, double b) { return a != b; }, sel);
         return;
       case CompareOp::kLt:
-        FilterCompare(lhs, rhs, [](double a, double b) { return a < b; }, sel);
+        RunCompare(lhs.data(), rhs.data(), rhs_const,
+                   [](double a, double b) { return a < b; }, sel);
         return;
       case CompareOp::kLe:
-        FilterCompare(lhs, rhs, [](double a, double b) { return a <= b; }, sel);
+        RunCompare(lhs.data(), rhs.data(), rhs_const,
+                   [](double a, double b) { return a <= b; }, sel);
         return;
       case CompareOp::kGt:
-        FilterCompare(lhs, rhs, [](double a, double b) { return a > b; }, sel);
+        RunCompare(lhs.data(), rhs.data(), rhs_const,
+                   [](double a, double b) { return a > b; }, sel);
         return;
       case CompareOp::kGe:
-        FilterCompare(lhs, rhs, [](double a, double b) { return a >= b; }, sel);
+        RunCompare(lhs.data(), rhs.data(), rhs_const,
+                   [](double a, double b) { return a >= b; }, sel);
         return;
     }
     return;

@@ -39,6 +39,26 @@ void Projection::MaterializeInto(const Block& block,
   }
 }
 
+void Projection::MaterializeIntoBlock(const Block& block,
+                                      const uint32_t* rows, uint32_t n,
+                                      Block* out) const {
+  if (n == 0) return;
+  std::vector<std::vector<std::byte>> cols(exprs_.size());
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    cols[e].resize(static_cast<size_t>(n) * exprs_[e]->result_type().width());
+    exprs_[e]->Eval(block, rows, n, cols[e].data());
+  }
+  std::vector<std::byte> row(schema_.row_width());
+  for (uint32_t i = 0; i < n; ++i) {
+    for (size_t e = 0; e < exprs_.size(); ++e) {
+      const uint16_t w = exprs_[e]->result_type().width();
+      std::memcpy(row.data() + schema_.offset(static_cast<int>(e)),
+                  cols[e].data() + static_cast<size_t>(i) * w, w);
+    }
+    UOT_CHECK(out->AppendRow(row.data()));  // caller sized the scratch
+  }
+}
+
 std::unique_ptr<Projection> Projection::Identity(
     const Schema& input, const std::vector<int>& cols) {
   std::vector<std::unique_ptr<Scalar>> exprs;

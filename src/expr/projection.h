@@ -29,6 +29,14 @@ class Projection {
   void MaterializeInto(const Block& block, const std::vector<uint32_t>& rows,
                        InsertDestination::Writer* writer) const;
 
+  /// Same evaluation, but appends the packed rows to a raw block (a fused
+  /// pipeline's transient scratch granule) instead of an insert
+  /// destination. The caller must have sized `out` to hold all `n` rows
+  /// (CHECK-fails on overflow); `out->schema()` must equal
+  /// output_schema().
+  void MaterializeIntoBlock(const Block& block, const uint32_t* rows,
+                            uint32_t n, Block* out) const;
+
   /// Convenience: a projection that passes through columns
   /// `cols` of `input` unchanged (names preserved).
   static std::unique_ptr<Projection> Identity(const Schema& input,

@@ -51,6 +51,18 @@ double CostModel::StoreExtraCostLowUot(uint64_t num_uots) const {
   return 2.0 * static_cast<double>(num_uots) * IC();
 }
 
+double CostModel::FusedChainCost(const std::vector<uint64_t>& edge_rows,
+                                 uint64_t row_group_rows) const {
+  double cost = 0.0;
+  for (const uint64_t rows : edge_rows) {
+    const uint64_t granules =
+        std::max<uint64_t>(1, (rows + row_group_rows - 1) / row_group_rows);
+    cost += 2.0 * static_cast<double>(granules) * IC() +
+            static_cast<double>(rows) * p_.fused_row_penalty_ns;
+  }
+  return cost;
+}
+
 double CostModel::RepartitionExtraCost(uint64_t num_uots, double uot_bytes,
                                        int partitions) const {
   const double n = static_cast<double>(num_uots);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace uot {
 
@@ -46,6 +47,14 @@ struct CostModelParams {
   /// operator's stream was evicted when control switches back from the
   /// probe. Small UoTs switch often -> p2 ~ 1; large UoTs amortize.
   double p2_scale_bytes = 256.0 * 1024;
+
+  /// ns/row of scalar tuple-at-a-time stage dispatch in a fused chain:
+  /// fused execution forfeits the batched/prefetching kernels and their
+  /// instruction-level parallelism, so every row crossing a fused interior
+  /// edge pays this penalty. The counterweight to the W_mem/AR_L3 savings:
+  /// narrow intermediates (cheap to materialize) stay vectorized, wide
+  /// ones fuse.
+  double fused_row_penalty_ns = 2.0;
 
   // ---- persistent-store variant (Section V-C) ----
   /// Bytes/ns of the persistent store (default ~0.5 GB/s: an SSD).
@@ -107,6 +116,21 @@ class CostModel {
 
   /// Extra cost for small UoT values: (N_out + N_in)·IC.
   double StoreExtraCostLowUot(uint64_t num_uots) const;
+
+  // ---- fused-pipeline extension (ROADMAP item 3: the far-low end of the
+  // UoT spectrum) ----
+
+  /// Extra work of executing a fused chain tuple-at-a-time instead of
+  /// vectorizing its interior edges: per interior edge i carrying
+  /// edge_rows[i] rows, the bound stage functions switch contexts once per
+  /// `row_group_rows`-row granule ((N_out + N_in)·IC with
+  /// N = ceil(rows/row_group_rows)) and every row pays the scalar
+  /// dispatch penalty (fused_row_penalty_ns) — but the granule never
+  /// leaves cache, so the W_mem / AR_L3 / M_L3 terms both vectorized
+  /// strategies pay per UoT vanish. Compare against the sum of the
+  /// per-edge chosen costs (UotChoice::chosen_cost_ns) of the same edges.
+  double FusedChainCost(const std::vector<uint64_t>& edge_rows,
+                        uint64_t row_group_rows) const;
 
   // ---- radix-partitioned join extension (Section V/VI applied to an
   // exchange edge) ----

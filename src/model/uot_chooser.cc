@@ -166,6 +166,48 @@ RadixChoice CostModelUotChooser::ChooseRadixBits(
   return choice;
 }
 
+std::string FusedChoice::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s (%s, fused %.0f ns vs vectorized %.0f ns)",
+                fuse ? "fused" : "vectorized", reason, fused_cost_ns,
+                vectorized_cost_ns);
+  return buf;
+}
+
+FusedChoice CostModelUotChooser::ChooseFusedChain(
+    const QueryPlan& plan, const std::vector<int>& chain_ops,
+    const std::vector<EdgeEstimate>& estimates,
+    uint64_t row_group_rows) const {
+  UOT_CHECK(chain_ops.size() >= 2);
+  UOT_CHECK(estimates.size() == plan.streaming_edges().size());
+  UOT_CHECK(row_group_rows >= 1);
+  FusedChoice choice;
+  std::vector<uint64_t> edge_rows;
+  edge_rows.reserve(chain_ops.size() - 1);
+  for (size_t i = 0; i + 1 < chain_ops.size(); ++i) {
+    const int edge = plan.FindStreamingEdge(chain_ops[i], chain_ops[i + 1]);
+    UOT_CHECK(edge >= 0);  // not a chain of this plan
+    const EdgeEstimate& est = estimates[static_cast<size_t>(edge)];
+    const QueryPlan::StreamingEdge& e =
+        plan.streaming_edges()[static_cast<size_t>(edge)];
+    const InsertDestination* dest = plan.destination_of(e.producer);
+    const size_t block_bytes =
+        dest != nullptr ? dest->output()->block_bytes() : (1u << 20);
+    choice.vectorized_cost_ns +=
+        ChooseEdge(est, block_bytes,
+                   e.kind == QueryPlan::EdgeKind::kExchange)
+            .chosen_cost_ns;
+    edge_rows.push_back(est.rows);
+  }
+  choice.fused_cost_ns = model_.FusedChainCost(edge_rows, row_group_rows);
+  if (choice.fused_cost_ns < choice.vectorized_cost_ns) {
+    choice.fuse = true;
+    choice.reason = "fused-cheaper";
+  }
+  return choice;
+}
+
 std::vector<UotChoice> CostModelUotChooser::ChoosePlan(
     const QueryPlan& plan, const std::vector<EdgeEstimate>& estimates) const {
   const auto& edges = plan.streaming_edges();

@@ -74,6 +74,23 @@ struct RadixChoice {
   std::string ToString() const;
 };
 
+/// The chooser's verdict on one fusable pipeline: fused tuple-at-a-time
+/// execution against the best vectorized per-edge UoT choices over the
+/// chain's interior edges.
+struct FusedChoice {
+  bool fuse = false;
+  /// Modeled extra cost (ns) of walking the chain in row groups
+  /// (CostModel::FusedChainCost).
+  double fused_cost_ns = 0.0;
+  /// Sum of the interior edges' best vectorized costs
+  /// (UotChoice::chosen_cost_ns of each edge's ChooseEdge verdict).
+  double vectorized_cost_ns = 0.0;
+  /// "fused-cheaper" or "vectorized-cheaper".
+  const char* reason = "vectorized-cheaper";
+
+  std::string ToString() const;
+};
+
 /// Static per-edge UoT selection at plan bind time (tentpole part 3): for
 /// every streaming edge, evaluates the Section V cost model over candidate
 /// UoT values (1, 2, 4, ... blocks, and whole-table) using the edge's
@@ -123,6 +140,17 @@ class CostModelUotChooser {
                               const EdgeEstimate& probe_estimate,
                               size_t slot_bytes, double load_factor = 0.75,
                               int max_radix_bits = 6) const;
+
+  /// Whether chain `chain_ops` (a fusable pipeline of `plan`, in pipeline
+  /// order — e.g. one of PipelineFuser::DetectFusablePipelines) should
+  /// execute fused: the tuple-at-a-time cost of crossing each interior
+  /// edge in `row_group_rows`-row granules against the sum of the edges'
+  /// best vectorized choices. `estimates[i]` pairs with
+  /// plan.streaming_edges()[i], exactly as in ChoosePlan.
+  FusedChoice ChooseFusedChain(const QueryPlan& plan,
+                               const std::vector<int>& chain_ops,
+                               const std::vector<EdgeEstimate>& estimates,
+                               uint64_t row_group_rows = 1024) const;
 
   /// Choices for every streaming edge of `plan` (estimates[i] pairs with
   /// plan.streaming_edges()[i]; block sizes come from the producers'

@@ -172,6 +172,7 @@ QueryProfile QueryProfile::FromRun(const QueryPlan* plan,
       edge.consumer_name = stats.operators[static_cast<size_t>(es.consumer)].name;
     }
     edge.exchange = es.exchange;
+    edge.fused = es.fused;
     edge.transfers = es.transfers;
     edge.blocks_produced = es.blocks_produced;
     edge.blocks_delivered = es.blocks_delivered;
@@ -239,7 +240,8 @@ std::string QueryProfile::ToString() const {
                   "  %s[%d] op%d -> op%d: uot=%s, transfers=%" PRIu64
                   ", delivered %s in %" PRIu64
                   " blocks, footprint peak %s",
-                  e.exchange ? "xchg" : "edge", e.edge, e.producer,
+                  e.fused ? "fused" : e.exchange ? "xchg" : "edge",
+                  e.edge, e.producer,
                   e.consumer, FormatUot(e.final_uot_blocks).c_str(),
                   e.transfers, FormatBytes(e.bytes_delivered).c_str(),
                   e.blocks_delivered,
@@ -258,6 +260,26 @@ std::string QueryProfile::ToString() const {
       out += buf;
     }
     out += "\n";
+  }
+  for (const FusedChainStats& f : stats_.fused_chains) {
+    std::string ops;
+    for (size_t i = 0; i < f.ops.size(); ++i) {
+      if (i > 0) ops += "->";
+      ops += "op" + std::to_string(f.ops[i]);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  fused pipeline %s: %" PRIu64
+                  " work orders, 0 intermediate transfers\n",
+                  ops.c_str(), f.work_orders);
+    out += buf;
+    for (const FusedStageStats& s : f.stages) {
+      std::snprintf(buf, sizeof(buf),
+                    "    stage op[%d] %s (%s): %" PRIu64 " rows in, %" PRIu64
+                    " rows out\n",
+                    s.op, s.name.c_str(), s.kind.c_str(), s.rows_in,
+                    s.rows_out);
+      out += buf;
+    }
   }
   for (const ExchangeStats& x : stats_.exchanges) {
     std::snprintf(buf, sizeof(buf),
@@ -382,7 +404,11 @@ std::string QueryProfile::ToJson() const {
     // "kind" is emitted only for exchange edges: profiles of
     // exchange-free plans stay byte-identical to pre-exchange builds,
     // and the validator treats the key as optional.
-    if (e.exchange) AppendFieldS(&out, "kind", "exchange", &first);
+    if (e.fused) {
+      AppendFieldS(&out, "kind", "fused", &first);
+    } else if (e.exchange) {
+      AppendFieldS(&out, "kind", "exchange", &first);
+    }
     AppendField(&out, "uot_blocks", JsonUot(e.final_uot_blocks), &first);
     AppendFieldU(&out, "transfers", e.transfers, &first);
     AppendFieldU(&out, "blocks_produced", e.blocks_produced, &first);
@@ -412,6 +438,37 @@ std::string QueryProfile::ToJson() const {
     out += '}';
   }
   out += "\n  ]";
+  // Optional section (absent under vectorized execution, so pre-fusion
+  // profile documents and consumers are unaffected).
+  if (!stats_.fused_chains.empty()) {
+    out += ",\n  \"fused_pipelines\": [";
+    for (size_t i = 0; i < stats_.fused_chains.size(); ++i) {
+      const FusedChainStats& f = stats_.fused_chains[i];
+      out += i == 0 ? "\n    {" : ",\n    {";
+      out += "\"ops\": [";
+      for (size_t o = 0; o < f.ops.size(); ++o) {
+        if (o > 0) out += ", ";
+        out += std::to_string(f.ops[o]);
+      }
+      out += "]";
+      bool first = false;
+      AppendFieldU(&out, "work_orders", f.work_orders, &first);
+      out += ", \"stages\": [";
+      for (size_t s = 0; s < f.stages.size(); ++s) {
+        const FusedStageStats& st = f.stages[s];
+        out += s == 0 ? "\n      {" : ",\n      {";
+        bool sf = true;
+        AppendField(&out, "op", st.op, &sf);
+        AppendFieldS(&out, "name", st.name, &sf);
+        AppendFieldS(&out, "kind", st.kind, &sf);
+        AppendFieldU(&out, "rows_in", st.rows_in, &sf);
+        AppendFieldU(&out, "rows_out", st.rows_out, &sf);
+        out += '}';
+      }
+      out += "]}";
+    }
+    out += "\n  ]";
+  }
   // Optional section (absent when the plan has no exchange operators, so
   // pre-exchange profile documents and consumers are unaffected).
   if (!stats_.exchanges.empty()) {
@@ -612,14 +669,16 @@ Status ParseQueryProfileJson(std::string_view json,
       UOT_RETURN_IF_ERROR(RequireNumber(edge, key, "edge"));
     }
     // Optional edge kind tag (absent in pre-exchange documents, which
-    // therefore keep validating; present = "exchange"|"pipeline").
+    // therefore keep validating; present = "exchange"|"pipeline"|"fused").
     const JsonValue* kind = edge.Find("kind");
     if (kind != nullptr) {
       if (!kind->is_string() || (kind->AsString() != "exchange" &&
-                                 kind->AsString() != "pipeline")) {
-        return ProfileError("edge \"kind\" must be exchange|pipeline");
+                                 kind->AsString() != "pipeline" &&
+                                 kind->AsString() != "fused")) {
+        return ProfileError("edge \"kind\" must be exchange|pipeline|fused");
       }
       if (kind->AsString() == "exchange") ++summary->num_exchange_edges;
+      if (kind->AsString() == "fused") ++summary->num_fused_edges;
     }
     const JsonValue* prediction = edge.Find("prediction");
     const JsonValue* residuals = edge.Find("residuals");
@@ -642,6 +701,47 @@ Status ParseQueryProfileJson(std::string_view json,
     }
   }
   summary->num_edges = edges->AsArray().size();
+
+  // Optional "fused_pipelines" section: per-chain stage row flow. Absent
+  // in pre-fusion documents and vectorized runs; validated when present.
+  const JsonValue* fused = root.Find("fused_pipelines");
+  if (fused != nullptr) {
+    if (!fused->is_array()) {
+      return ProfileError("\"fused_pipelines\" is not an array");
+    }
+    for (const JsonValue& f : fused->AsArray()) {
+      if (!f.is_object()) {
+        return ProfileError("fused pipeline entry is not an object");
+      }
+      UOT_RETURN_IF_ERROR(RequireNumber(f, "work_orders", "fused pipeline"));
+      const JsonValue* ops = f.Find("ops");
+      if (ops == nullptr || !ops->is_array()) {
+        return ProfileError("fused pipeline entry missing \"ops\" array");
+      }
+      for (const JsonValue& v : ops->AsArray()) {
+        if (!v.is_number()) {
+          return ProfileError("fused pipeline \"ops\" holds a non-number");
+        }
+      }
+      const JsonValue* stages = f.Find("stages");
+      if (stages == nullptr || !stages->is_array()) {
+        return ProfileError("fused pipeline entry missing \"stages\" array");
+      }
+      for (const JsonValue& s : stages->AsArray()) {
+        if (!s.is_object()) {
+          return ProfileError("fused stage entry is not an object");
+        }
+        for (const char* key : {"op", "rows_in", "rows_out"}) {
+          UOT_RETURN_IF_ERROR(RequireNumber(s, key, "fused stage"));
+        }
+        const JsonValue* stage_kind = s.Find("kind");
+        if (stage_kind == nullptr || !stage_kind->is_string()) {
+          return ProfileError("fused stage entry missing \"kind\"");
+        }
+      }
+    }
+    summary->num_fused_chains = fused->AsArray().size();
+  }
 
   // Optional "exchanges" section: per-operator partition histograms.
   // Absent in pre-exchange documents; validated when present.

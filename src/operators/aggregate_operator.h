@@ -101,6 +101,11 @@ class AggregateOperator final : public Operator {
   /// Merges a work order's partial result (called from worker threads).
   void MergePartial(GroupMap&& partial);
 
+  const Schema& input_schema() const { return input_schema_; }
+  const std::vector<int>& group_cols() const { return group_cols_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+  const Predicate* predicate() const { return predicate_.get(); }
+
  private:
   const Schema input_schema_;
   const std::vector<int> group_cols_;

@@ -69,6 +69,20 @@ class ProbeHashOperator final : public Operator {
                              const std::vector<int>& payload_cols,
                              JoinKind kind);
 
+  const BuildHashOperator* build() const { return build_; }
+  const std::vector<int>& probe_key_cols() const { return probe_key_cols_; }
+  const std::vector<int>& probe_output_cols() const {
+    return probe_output_cols_;
+  }
+  JoinKind kind() const { return kind_; }
+  const std::vector<ResidualCondition>& residuals() const {
+    return residuals_;
+  }
+  InsertDestination* destination() const { return destination_; }
+  /// The streaming/base input, exposed so a fused pipeline driver can pull
+  /// this operator's pending blocks when it acts as a chain head.
+  StreamingInput* streaming_input() { return &input_; }
+
  private:
   const BuildHashOperator* const build_;
   const std::vector<int> probe_key_cols_;

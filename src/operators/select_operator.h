@@ -50,6 +50,11 @@ class SelectOperator final : public Operator {
 
   const Projection& projection() const { return *projection_; }
   const Predicate& predicate() const { return *predicate_; }
+  const std::vector<LipAttachment>& lip_filters() const { return lip_; }
+  InsertDestination* destination() const { return destination_; }
+  /// The streaming/base input, exposed so a fused pipeline driver can pull
+  /// this operator's pending blocks when it acts as a chain head.
+  StreamingInput* streaming_input() { return &input_; }
 
  private:
   const std::unique_ptr<Predicate> predicate_;

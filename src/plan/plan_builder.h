@@ -225,6 +225,22 @@ class PlanBuilder {
     return *this;
   }
 
+  /// Annotates the linear chain of operators `stages` (in pipeline order,
+  /// each the streaming input of the next) as one fused pipeline. The
+  /// fused::PipelineFuser pass detects such chains automatically at
+  /// session start; this helper is for builders/tests that want the
+  /// annotation explicit (it shows in QueryPlan::ToString).
+  PlanBuilder& AnnotateFusedPipeline(const std::vector<Src>& stages) {
+    std::vector<int> ops;
+    ops.reserve(stages.size());
+    for (const Src& s : stages) {
+      UOT_CHECK(s.op >= 0);  // base tables are inputs, not stages
+      ops.push_back(s.op);
+    }
+    plan_->AnnotateFusedPipeline(std::move(ops));
+    return *this;
+  }
+
   std::unique_ptr<QueryPlan> Finish(const Src& result) {
     UOT_CHECK(result.temp != nullptr);
     plan_->SetResultTable(result.temp);

@@ -96,6 +96,14 @@ int QueryPlan::FindStreamingEdge(int producer, int consumer,
   return -1;
 }
 
+void QueryPlan::AnnotateFusedPipeline(std::vector<int> ops) {
+  UOT_CHECK(ops.size() >= 2);
+  for (const int op : ops) {
+    UOT_CHECK(op >= 0 && op < num_operators());
+  }
+  fused_pipelines_.push_back(std::move(ops));
+}
+
 std::string QueryPlan::ToString() const {
   std::string out = "QueryPlan{\n";
   for (size_t i = 0; i < operators_.size(); ++i) {
@@ -122,6 +130,13 @@ std::string QueryPlan::ToString() const {
   for (const BlockingEdge& e : blocking_edges_) {
     out += "  block " + std::to_string(e.producer) + " => " +
            std::to_string(e.consumer) + "\n";
+  }
+  for (size_t i = 0; i < fused_pipelines_.size(); ++i) {
+    out += "  fused[" + std::to_string(i) + "]";
+    for (size_t j = 0; j < fused_pipelines_[i].size(); ++j) {
+      out += (j == 0 ? " " : " -> ") + std::to_string(fused_pipelines_[i][j]);
+    }
+    out += "\n";
   }
   out += "}";
   return out;

@@ -152,6 +152,20 @@ class QueryPlan {
   int FindStreamingEdge(int producer, int consumer,
                         int consumer_input = 0) const;
 
+  /// Declares that the operators `ops` (a linear producer→consumer chain,
+  /// in pipeline order, length >= 2) should execute as one fused pipeline
+  /// when the session runs with ExecConfig::pipeline_mode == kFused: rows
+  /// walk the whole chain inside a single work order and the interior
+  /// streaming edges transfer nothing. Advisory under kVectorized.
+  /// Chains must be disjoint; fused::PipelineFuser produces valid ones
+  /// automatically, and the session re-validates before fusing.
+  void AnnotateFusedPipeline(std::vector<int> ops);
+
+  /// The fused-pipeline annotations, in annotation order.
+  const std::vector<std::vector<int>>& fused_pipelines() const {
+    return fused_pipelines_;
+  }
+
   /// Renders the DAG: operators, streaming edges (with UoT annotations)
   /// and blocking edges.
   std::string ToString() const;
@@ -180,6 +194,7 @@ class QueryPlan {
     std::unique_ptr<InsertDestination> destination;
   };
   std::vector<OwnedDestination> destinations_;
+  std::vector<std::vector<int>> fused_pipelines_;
   Table* result_table_ = nullptr;
 };
 

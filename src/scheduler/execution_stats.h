@@ -68,6 +68,28 @@ struct EdgeStats {
   uint64_t final_uot_blocks = 0;
   /// True for exchange/repartition edges (QueryPlan::EdgeKind::kExchange).
   bool exchange = false;
+  /// True when the edge was interior to a fused pipeline this run: rows
+  /// walked the chain inside single work orders, so the zero transfer /
+  /// zero block counts above are real, not an unexercised edge.
+  bool fused = false;
+};
+
+/// Per-stage row counters of one fused pipeline (FusedChain::StageStats,
+/// copied into the stats so profiles do not reference live operators).
+struct FusedStageStats {
+  int op = -1;
+  std::string name;
+  std::string kind;  // "select" | "probe" | "aggregate"
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+};
+
+/// One fused pipeline executed by the session: its operator chain, how many
+/// fused work orders ran, and the per-stage row flow.
+struct FusedChainStats {
+  std::vector<int> ops;
+  uint64_t work_orders = 0;
+  std::vector<FusedStageStats> stages;
 };
 
 /// Per-partition outcome of one exchange operator: how evenly the radix
@@ -141,6 +163,9 @@ struct ExecutionStats {
   /// Per-partition row/block counts of every exchange operator in the
   /// plan, in operator order; empty when the plan has no exchanges.
   std::vector<ExchangeStats> exchanges;
+  /// Every fused pipeline the session executed (empty under
+  /// PipelineMode::kVectorized or when no chain was fusable).
+  std::vector<FusedChainStats> fused_chains;
   /// True when the session ran with ExecConfig::profile: the decision and
   /// budget-event logs below were collected.
   bool profiled = false;

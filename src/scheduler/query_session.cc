@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fused/pipeline_fuser.h"
 #include "obs/metrics.h"
 #include "obs/trace_session.h"
 #include "operators/exchange_operator.h"
@@ -152,8 +153,15 @@ ExecutionStats QuerySession::Run() {
     stats_.operators[static_cast<size_t>(i)].name = plan_->op(i)->name();
   }
 
+  SetupFusedChains();
+
   for (const QueryPlan::BlockingEdge& e : plan_->blocking_edges()) {
     ++op_states_[static_cast<size_t>(e.consumer)].blocking_deps;
+    // A fused chain's work orders touch every member (probing each probe
+    // stage's hash table), so a member's blocking producer gates the head
+    // too.
+    const int head = FusedHeadOf(e.consumer);
+    if (head >= 0) ++op_states_[static_cast<size_t>(head)].blocking_deps;
   }
   // Operators fed by a streaming edge are pipeline consumers: their work
   // orders overtake queued leaf work so transferred data is consumed while
@@ -203,7 +211,18 @@ ExecutionStats QuerySession::Run() {
 
   // Record each edge's starting UoT so metrics/traces show the full
   // trajectory (adaptive policies may move it on later consultations).
+  // Fused interior edges never consult the policy — no blocks ever cross
+  // them; their gauge/track value is the -1 sentinel (0 already means
+  // whole-table) so dashboards show "fused", not a stale UoT.
   for (size_t e = 0; e < plan_->streaming_edges().size(); ++e) {
+    if (fused_edge_[e]) {
+      if (metrics_ != nullptr) edge_uot_gauge_[e]->Set(-1);
+      if (trace_ != nullptr) {
+        trace_->EmitCounter(obs::TraceEventType::kUotEffective,
+                            static_cast<int>(e), -1);
+      }
+      continue;
+    }
     ResolveEdgeUot(static_cast<int>(e));
   }
 
@@ -261,7 +280,24 @@ ExecutionStats QuerySession::Run() {
     edge_stats.max_buffered_blocks = state.max_buffered_blocks;
     edge_stats.final_uot_blocks = state.effective_uot;
     edge_stats.exchange = plan_edges[e].kind == QueryPlan::EdgeKind::kExchange;
+    edge_stats.fused = fused_edge_[e];
     stats_.edges.push_back(edge_stats);
+  }
+  stats_.fused_chains.clear();
+  for (const auto& chain : fused_chains_) {
+    FusedChainStats cs;
+    cs.ops = chain->ops();
+    cs.work_orders = chain->work_orders();
+    for (const fused::FusedChain::StageStats& st : chain->Stats()) {
+      FusedStageStats stage;
+      stage.op = st.op_index;
+      stage.name = st.name;
+      stage.kind = fused::FusedChain::StageKindName(st.kind);
+      stage.rows_in = st.rows_in;
+      stage.rows_out = st.rows_out;
+      cs.stages.push_back(std::move(stage));
+    }
+    stats_.fused_chains.push_back(std::move(cs));
   }
   stats_.exchanges.clear();
   for (int i = 0; i < n; ++i) {
@@ -349,12 +385,69 @@ void QuerySession::HandleWorkOrderDone(Event* event) {
   CheckOperatorDone(event->op);
 }
 
+void QuerySession::SetupFusedChains() {
+  const int n = plan_->num_operators();
+  fused_chains_.clear();
+  fused_chain_of_op_.assign(static_cast<size_t>(n), -1);
+  fused_edge_.assign(plan_->streaming_edges().size(), false);
+  if (config_.pipeline_mode != PipelineMode::kFused) return;
+  std::vector<std::vector<int>> chains;
+  if (!plan_->fused_pipelines().empty()) {
+    for (const std::vector<int>& ops : plan_->fused_pipelines()) {
+      if (fused::PipelineFuser::IsFusableChain(*plan_, ops)) {
+        chains.push_back(ops);
+      }
+    }
+  } else {
+    chains = fused::PipelineFuser::DetectFusablePipelines(*plan_);
+  }
+  for (std::vector<int>& ops : chains) {
+    bool overlaps = false;
+    for (const int op : ops) {
+      if (fused_chain_of_op_[static_cast<size_t>(op)] >= 0) overlaps = true;
+    }
+    if (overlaps) continue;  // first annotation wins; the rest vectorize
+    const int chain_index = static_cast<int>(fused_chains_.size());
+    for (const int op : ops) {
+      fused_chain_of_op_[static_cast<size_t>(op)] = chain_index;
+    }
+    for (size_t i = 0; i + 1 < ops.size(); ++i) {
+      const int edge = plan_->FindStreamingEdge(ops[i], ops[i + 1]);
+      UOT_CHECK(edge >= 0);  // IsFusableChain verified every link
+      fused_edge_[static_cast<size_t>(edge)] = true;
+    }
+    fused_chains_.push_back(
+        std::make_unique<fused::FusedChain>(plan_, std::move(ops)));
+  }
+}
+
+fused::FusedChain* QuerySession::FusedChainHeadedBy(int op) {
+  const int chain = fused_chain_of_op_[static_cast<size_t>(op)];
+  if (chain < 0) return nullptr;
+  fused::FusedChain* c = fused_chains_[static_cast<size_t>(chain)].get();
+  return c->head_op() == op ? c : nullptr;
+}
+
+int QuerySession::FusedHeadOf(int op) const {
+  const int chain = fused_chain_of_op_[static_cast<size_t>(op)];
+  if (chain < 0) return -1;
+  const int head = fused_chains_[static_cast<size_t>(chain)]->head_op();
+  return head == op ? -1 : head;
+}
+
 void QuerySession::TryGenerate(int op) {
   OpState& state = op_states_[static_cast<size_t>(op)];
   if (state.finished || state.finishing || state.blocking_deps > 0) return;
   if (!state.done_generating) {
     std::vector<std::unique_ptr<WorkOrder>> out;
-    state.done_generating = plan_->op(op)->GenerateWorkOrders(&out);
+    // A fused chain head generates work orders spanning the whole chain;
+    // the chain's other members never see input blocks (interior edges
+    // transfer nothing), so their own GenerateWorkOrders yields no orders
+    // and they finish through the normal empty-flush cascade.
+    fused::FusedChain* chain = FusedChainHeadedBy(op);
+    state.done_generating = chain != nullptr
+                                ? chain->GenerateWorkOrders(&out)
+                                : plan_->op(op)->GenerateWorkOrders(&out);
     for (auto& wo : out) {
       wo->operator_index = op;
       ++state.generated;
@@ -664,6 +757,14 @@ void QuerySession::HandleOperatorFlushed(int op) {
     OpState& consumer = op_states_[static_cast<size_t>(e.consumer)];
     --consumer.blocking_deps;
     if (consumer.blocking_deps == 0) TryGenerate(e.consumer);
+    // Mirror the extra dependency a fused member's blocking producer put
+    // on its chain head.
+    const int head = FusedHeadOf(e.consumer);
+    if (head >= 0) {
+      OpState& head_state = op_states_[static_cast<size_t>(head)];
+      --head_state.blocking_deps;
+      if (head_state.blocking_deps == 0) TryGenerate(head);
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "fused/fused_pipeline.h"
 #include "plan/query_plan.h"
 #include "scheduler/execution_stats.h"
 #include "scheduler/scheduler.h"
@@ -143,6 +144,17 @@ class QuerySession {
   /// Appends to the profile's budget-event log (and mirrors the existing
   /// trace instants); no-op unless config.profile is set.
   void RecordBudgetEvent(int op, bool release, int64_t tracked_bytes);
+  /// Builds the session's fused pipelines (PipelineMode::kFused only):
+  /// plan annotations when present (each re-validated and required to be
+  /// disjoint; invalid ones fall back to vectorized execution), otherwise
+  /// PipelineFuser auto-detection. Marks interior edges fused.
+  void SetupFusedChains();
+  /// The fused chain whose head is `op`, or nullptr.
+  fused::FusedChain* FusedChainHeadedBy(int op);
+  /// The chain head `op`'s work is folded into, or -1 when `op` is not a
+  /// non-head member of a fused chain. Blocking edges into such members
+  /// also gate the head: a fused work order probes every member's build.
+  int FusedHeadOf(int op) const;
   void TryGenerate(int op);
   void Dispatch(int op, std::unique_ptr<WorkOrder> wo);
   /// Re-dispatches budget-deferred work orders when allowed.
@@ -172,6 +184,14 @@ class QuerySession {
   // streaming inputs (e.g. sort-merge join) lists every such producer;
   // consumed blocks are resolved against each in turn.
   std::vector<std::vector<Table*>> droppable_sources_;
+  // Fused pipelines of this run (PipelineMode::kFused only; empty
+  // otherwise). A chain's interior operators generate no work orders of
+  // their own — the head generates fused work orders spanning the whole
+  // chain — but keep their normal finish lifecycle, driven by the empty
+  // final flush of each interior edge.
+  std::vector<std::unique_ptr<fused::FusedChain>> fused_chains_;
+  std::vector<int> fused_chain_of_op_;  // per op: chain index or -1
+  std::vector<bool> fused_edge_;        // per streaming edge: chain interior
   // Work orders deferred by the memory budget, FIFO.
   std::deque<DeferredWorkOrder> deferred_;
   int total_running_ = 0;

@@ -15,6 +15,27 @@ class MetricsRegistry;
 class TraceSession;
 }  // namespace obs
 
+/// How streaming pipelines between operators execute (the third axis of
+/// the UoT spectrum, ROADMAP item 3):
+///  - kVectorized: block-at-a-time — every streaming edge materializes
+///    blocks that the UoT policy batches into transfers (the paper's
+///    subject).
+///  - kFused: select→probe(×N)→aggregate/project chains collapse into a
+///    single work order per input morsel that walks rows through the whole
+///    chain with zero intermediate block materialization (the far-low end
+///    of the spectrum). Pipeline-breaking edges (build sides, exchange,
+///    sort) stay vectorized; chains come from QueryPlan fused-pipeline
+///    annotations or, when the plan carries none, from the PipelineFuser
+///    pass at session start. Results are byte-identical to kVectorized.
+enum class PipelineMode : uint8_t {
+  kVectorized = 0,
+  kFused = 1,
+};
+
+inline const char* PipelineModeName(PipelineMode mode) {
+  return mode == PipelineMode::kFused ? "fused" : "vectorized";
+}
+
 /// Execution configuration for one query run.
 ///
 /// Execution itself is split across two layers (paper Section III plus the
@@ -82,6 +103,11 @@ struct ExecConfig {
   /// per-edge integer accounting (EdgeStats) is always collected because
   /// it cannot change transfer behavior.
   bool profile = false;
+  /// Pipeline execution mode: vectorized block-at-a-time (default) or
+  /// fused single-work-order chains. Fused falls back to vectorized
+  /// per-pipeline wherever no fusable chain exists, so it is always safe
+  /// to request.
+  PipelineMode pipeline_mode = PipelineMode::kVectorized;
 
   /// One-line summary of the resolved execution configuration (worker
   /// count, effective UoT policy, join kernel, caps and budget) for logs,

@@ -17,6 +17,10 @@ std::string ExecConfig::ToString() const {
     out += ", budget=" + std::to_string(memory_budget_bytes) + "B";
   }
   if (!drop_consumed_blocks) out += ", keep_consumed_blocks";
+  if (pipeline_mode != PipelineMode::kVectorized) {
+    out += ", pipeline_mode=";
+    out += PipelineModeName(pipeline_mode);
+  }
   if (!metrics_prefix.empty()) out += ", metrics_prefix=" + metrics_prefix;
   if (profile) out += ", profile";
   out += "}";

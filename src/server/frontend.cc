@@ -130,7 +130,8 @@ Response FrontEnd::Handle(const Request& request) {
   if (verb == "select") {
     SelectStatement stmt;
     const Status status = ParseSelect(request.text, &stmt);
-    resp = status.ok() ? ExecuteSelect(stmt, {}, request.tenant)
+    resp = status.ok() ? ExecuteSelect(stmt, {}, request.tenant,
+                                       request.pipeline_mode)
                        : ErrorResponse(status);
   } else if (verb == "prepare") {
     const std::string name = TakeWord(&rest);
@@ -175,7 +176,8 @@ Response FrontEnd::Handle(const Request& request) {
           "statement expects " + std::to_string(stmt.num_params) +
           " parameter(s), got " + std::to_string(params.size()));
     }
-    resp = status.ok() ? ExecuteSelect(stmt, params, request.tenant)
+    resp = status.ok() ? ExecuteSelect(stmt, params, request.tenant,
+                                       request.pipeline_mode)
                        : ErrorResponse(status);
   } else if (verb == "tpch") {
     const std::string num = TakeWord(&rest);
@@ -187,24 +189,46 @@ Response FrontEnd::Handle(const Request& request) {
       resp = ErrorResponse(
           Status::InvalidArgument("unsupported TPC-H query '" + num + "'"));
     } else {
-      resp = ExecuteTpch(query, request.tenant);
+      resp = ExecuteTpch(query, request.tenant, request.pipeline_mode);
     }
   } else if (verb == "set") {
     const std::string what = TakeWord(&rest);
-    const std::string name = TakeWord(&rest);
-    if (what != "tenant" || name.empty()) {
-      resp = ErrorResponse(
-          Status::InvalidArgument("usage: SET TENANT <name>"));
-    } else {
-      std::lock_guard<std::mutex> lock(tenant_mutex_);
-      if (tenants_.count(name) == 0) {
-        resp = ErrorResponse(Status::NotFound("unknown tenant '" + name +
-                                              "'"));
+    if (what == "tenant") {
+      const std::string name = TakeWord(&rest);
+      if (name.empty()) {
+        resp = ErrorResponse(
+            Status::InvalidArgument("usage: SET TENANT <name>"));
       } else {
-        resp.ok = true;
-        resp.message = "tenant " + name;
-        resp.set_tenant = name;
+        std::lock_guard<std::mutex> lock(tenant_mutex_);
+        if (tenants_.count(name) == 0) {
+          resp = ErrorResponse(Status::NotFound("unknown tenant '" + name +
+                                                "'"));
+        } else {
+          resp.ok = true;
+          resp.message = "tenant " + name;
+          resp.set_tenant = name;
+        }
       }
+    } else if (what == "pipeline_mode") {
+      // Accept "SET PIPELINE_MODE fused" and "SET PIPELINE_MODE = fused".
+      std::string value = TakeWord(&rest);
+      if (value == "=") {
+        value = TakeWord(&rest);
+      } else if (!value.empty() && value.front() == '=') {
+        value = value.substr(1);
+      }
+      if (value == "fused" || value == "vectorized") {
+        resp.ok = true;
+        resp.message = "pipeline_mode " + value;
+        resp.set_pipeline_mode = value;
+      } else {
+        resp = ErrorResponse(Status::InvalidArgument(
+            "usage: SET PIPELINE_MODE <fused|vectorized>"));
+      }
+    } else {
+      resp = ErrorResponse(Status::InvalidArgument(
+          "usage: SET TENANT <name> | SET PIPELINE_MODE "
+          "<fused|vectorized>"));
     }
   } else if (verb == "stats") {
     resp = Stats();
@@ -224,9 +248,10 @@ Response FrontEnd::ExecuteWithCache(const std::string& key,
                                     const std::vector<std::string>& tables,
                                     bool has_join, CompileFn&& compile,
                                     const SelectStatement* stmt,
-                                    const std::string& tenant) {
+                                    const std::string& tenant,
+                                    PipelineMode mode) {
   const std::string fingerprint =
-      catalog_->CardinalityFingerprint(tables) + KnobFingerprint();
+      catalog_->CardinalityFingerprint(tables) + KnobFingerprint(mode);
 
   PlanCacheEntry entry;
   const PlanCache::Outcome outcome =
@@ -280,6 +305,7 @@ Response FrontEnd::ExecuteWithCache(const std::string& key,
 
   ExecConfig exec;
   exec.join = config_.join;
+  exec.pipeline_mode = mode;
   if (config_.engine.memory_budget_bytes > 0) {
     exec.memory_budget_bytes = static_cast<int64_t>(
         static_cast<double>(config_.engine.memory_budget_bytes) *
@@ -316,17 +342,19 @@ Response FrontEnd::ExecuteWithCache(const std::string& key,
 
 Response FrontEnd::ExecuteSelect(const SelectStatement& stmt,
                                  const std::vector<SqlValue>& params,
-                                 const std::string& tenant) {
+                                 const std::string& tenant,
+                                 PipelineMode mode) {
   return ExecuteWithCache(
       stmt.TemplateKey(), stmt.Tables(), stmt.has_join,
       [this, &stmt, &params](int radix_bits,
                              std::unique_ptr<QueryPlan>* plan) {
         return compiler_.Compile(stmt, params, radix_bits, plan);
       },
-      &stmt, tenant);
+      &stmt, tenant, mode);
 }
 
-Response FrontEnd::ExecuteTpch(int query, const std::string& tenant) {
+Response FrontEnd::ExecuteTpch(int query, const std::string& tenant,
+                               PipelineMode mode) {
   const TpchDatabase* db = catalog_->tpch();
   return ExecuteWithCache(
       "tpch:" + std::to_string(query),
@@ -339,7 +367,7 @@ Response FrontEnd::ExecuteTpch(int query, const std::string& tenant) {
         *plan = BuildTpchPlan(query, *db, plan_config);
         return Status::OK();
       },
-      /*stmt=*/nullptr, tenant);
+      /*stmt=*/nullptr, tenant, mode);
 }
 
 Response FrontEnd::Stats() const {
@@ -392,8 +420,9 @@ void FrontEnd::ReleaseTenant(TenantState* state) {
   tenant_cv_.notify_all();
 }
 
-std::string FrontEnd::KnobFingerprint() const {
+std::string FrontEnd::KnobFingerprint(PipelineMode pipeline_mode) const {
   return "|kernel=" + std::to_string(static_cast<int>(config_.join.kernel)) +
+         ";pmode=" + std::to_string(static_cast<int>(pipeline_mode)) +
          ";batch=" + std::to_string(config_.join.batch_size) +
          ";prefetch=" + std::to_string(config_.join.prefetch_distance) +
          ";block=" + std::to_string(config_.plan.block_bytes) +

@@ -54,6 +54,9 @@ struct FrontEndConfig {
 struct Request {
   std::string text;
   std::string tenant = "default";
+  /// Connection-level pipeline execution mode (SET PIPELINE_MODE), applied
+  /// to every query this request executes.
+  PipelineMode pipeline_mode = PipelineMode::kVectorized;
 };
 
 struct Response {
@@ -69,6 +72,8 @@ struct Response {
   uint64_t query_id = 0;
   /// Set by SET TENANT so the connection layer can update its state.
   std::string set_tenant;
+  /// Set by SET PIPELINE_MODE ("fused" / "vectorized"); empty = unchanged.
+  std::string set_pipeline_mode;
 };
 
 /// The query front end (ROADMAP item 1): parses requests, compiles them to
@@ -80,6 +85,8 @@ struct Response {
 ///   SELECT ... / PREPARE <name> AS SELECT ... / EXECUTE <name> [args]
 ///   TPCH <n>          run the built-in TPC-H plan (catalog needs TPC-H)
 ///   SET TENANT <x>    switch the connection's admission class
+///   SET PIPELINE_MODE <fused|vectorized>
+///                     switch the connection's pipeline execution mode
 ///   STATS             server counters (cache, model, engine)
 class FrontEnd {
  public:
@@ -103,9 +110,13 @@ class FrontEnd {
   }
 
   /// The knob component of the cache fingerprint (join kernel, block size,
-  /// radix config, budgets). Public so tests can assert that knob changes
-  /// produce distinct fingerprints and therefore invalidate cached plans.
-  std::string KnobFingerprint() const;
+  /// radix config, budgets, pipeline mode). Every knob that shapes the
+  /// plan or its annotations must be in here — an unfingerprinted knob
+  /// silently serves stale plans after the knob changes. Public so tests
+  /// can assert that knob changes produce distinct fingerprints and
+  /// therefore invalidate cached plans.
+  std::string KnobFingerprint(
+      PipelineMode pipeline_mode = PipelineMode::kVectorized) const;
 
  private:
   struct TenantState {
@@ -115,17 +126,19 @@ class FrontEnd {
 
   Response ExecuteSelect(const SelectStatement& stmt,
                          const std::vector<SqlValue>& params,
-                         const std::string& tenant);
-  Response ExecuteTpch(int query, const std::string& tenant);
+                         const std::string& tenant, PipelineMode mode);
+  Response ExecuteTpch(int query, const std::string& tenant,
+                       PipelineMode mode);
   /// The cached-annotation execution path shared by SELECT and TPCH:
   /// look up `key`, compile via `compile(radix_bits)`, annotate on hit,
-  /// execute under `tenant`'s class, choose+insert on miss.
+  /// execute under `tenant`'s class in pipeline mode `mode`, choose+insert
+  /// on miss.
   template <typename CompileFn>
   Response ExecuteWithCache(const std::string& key,
                             const std::vector<std::string>& tables,
                             bool has_join, CompileFn&& compile,
                             const SelectStatement* stmt,
-                            const std::string& tenant);
+                            const std::string& tenant, PipelineMode mode);
   Response Stats() const;
 
   Status AcquireTenant(const std::string& tenant, TenantState** state);

@@ -165,6 +165,7 @@ void TextServer::ServeConnection(int client_fd) {
 
 void TextServer::Serve(int client_fd) {
   std::string tenant = "default";
+  PipelineMode mode = PipelineMode::kVectorized;
   std::string buffer;
   char chunk[4096];
   while (true) {
@@ -176,8 +177,12 @@ void TextServer::Serve(int client_fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (BlankLine(line)) continue;
       if (IsQuit(line)) return;
-      const Response resp = frontend_->Handle(Request{line, tenant});
+      const Response resp = frontend_->Handle(Request{line, tenant, mode});
       if (!resp.set_tenant.empty()) tenant = resp.set_tenant;
+      if (!resp.set_pipeline_mode.empty()) {
+        mode = resp.set_pipeline_mode == "fused" ? PipelineMode::kFused
+                                                 : PipelineMode::kVectorized;
+      }
       const std::string reply = FormatResponse(resp);
       size_t sent = 0;
       while (sent < reply.size()) {
@@ -195,13 +200,18 @@ void TextServer::Serve(int client_fd) {
 
 void RunStdioLoop(FrontEnd* frontend, std::istream& in, std::ostream& out) {
   std::string tenant = "default";
+  PipelineMode mode = PipelineMode::kVectorized;
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (BlankLine(line)) continue;
     if (IsQuit(line)) return;
-    const Response resp = frontend->Handle(Request{line, tenant});
+    const Response resp = frontend->Handle(Request{line, tenant, mode});
     if (!resp.set_tenant.empty()) tenant = resp.set_tenant;
+    if (!resp.set_pipeline_mode.empty()) {
+      mode = resp.set_pipeline_mode == "fused" ? PipelineMode::kFused
+                                               : PipelineMode::kVectorized;
+    }
     out << FormatResponse(resp) << std::flush;
   }
 }

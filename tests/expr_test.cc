@@ -352,6 +352,44 @@ TEST_P(ExprTest, AsColumnRefIdentifiesBareColumns) {
   EXPECT_EQ(arith->as_column_ref(), nullptr);
 }
 
+TEST_P(ExprTest, CompareKernelsAreAPureABSwitch) {
+  // The branch-free (auto-vectorizable) kernel and the historical branchy
+  // kernel must keep exactly the same rows in the same order, for every
+  // operator, against both a literal (hoisted-constant path) and a column
+  // (vector path) right operand, on full and pre-shrunk selections.
+  const CompareKernel saved = GetCompareKernel();
+  const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                            CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  for (const CompareOp op : kOps) {
+    for (const bool literal_rhs : {true, false}) {
+      auto make_pred = [&] {
+        return literal_rhs
+                   ? Cmp(op, Col(1, Type::Double()), LitDouble(95.0))
+                   : Cmp(op, Col(1, Type::Double()),
+                         Mul(Col(0, Type::Int32()), LitDouble(11.0)));
+      };
+      SetCompareKernel(CompareKernel::kScalar);
+      const std::vector<uint32_t> scalar_full =
+          make_pred()->FilterAll(block_);
+      SetCompareKernel(CompareKernel::kBranchFree);
+      const std::vector<uint32_t> branch_free_full =
+          make_pred()->FilterAll(block_);
+      EXPECT_EQ(branch_free_full, scalar_full)
+          << "op=" << static_cast<int>(op) << " literal=" << literal_rhs;
+
+      std::vector<uint32_t> subset = {1, 3, 4, 9, 12, 17, 19};
+      std::vector<uint32_t> scalar_subset = subset;
+      SetCompareKernel(CompareKernel::kScalar);
+      make_pred()->Filter(block_, &scalar_subset);
+      SetCompareKernel(CompareKernel::kBranchFree);
+      make_pred()->Filter(block_, &subset);
+      EXPECT_EQ(subset, scalar_subset)
+          << "op=" << static_cast<int>(op) << " literal=" << literal_rhs;
+    }
+  }
+  SetCompareKernel(saved);
+}
+
 TEST_P(ExprTest, ToStringRendersTree) {
   auto pred = Cmp(CompareOp::kGe, Col(1, Type::Double()), LitDouble(3.5));
   EXPECT_EQ(pred->ToString(), "($1 >= 3.5000)");

@@ -19,6 +19,7 @@
 #include "obs/query_profile.h"
 #include "operators/aggregate_operator.h"
 #include "operators/select_operator.h"
+#include "plan/plan_builder.h"
 #include "test_util.h"
 #include "tpch/tpch_generator.h"
 #include "tpch/tpch_queries.h"
@@ -262,6 +263,81 @@ TEST(ProfileTest, JsonRoundTripsThroughValidator) {
   ASSERT_NE(pos, std::string::npos);
   no_edges.replace(pos, 7, "\"wrong\"");
   EXPECT_FALSE(obs::ParseQueryProfileJson(no_edges, &ignored).ok());
+}
+
+/// select -> aggregate via PlanBuilder, optionally annotated as one fused
+/// pipeline, so the profile of the same plan shape can be compared across
+/// the two execution modes.
+std::unique_ptr<QueryPlan> MakeFusablePlan(StorageManager* storage,
+                                           const Table& input, bool fuse) {
+  PlanBuilder builder(storage, PlanBuilderConfig{});
+  PlanBuilder::Src sel = builder.Select(
+      "sel", PlanBuilder::Base(input),
+      Cmp(CompareOp::kLe, Col(1, Type::Double()), LitDouble(2500.0)),
+      Projection::Identity(input.schema(), {0, 1}));
+  std::vector<AggSpec> aggs;
+  aggs.push_back({AggFn::kSum, Col(1, Type::Double()), "sum_v"});
+  PlanBuilder::Src agg = builder.Aggregate("agg", sel, {0}, std::move(aggs));
+  if (fuse) builder.AnnotateFusedPipeline({sel, agg});
+  return builder.Finish(agg);
+}
+
+TEST(ProfileTest, FusedRunRendersChainsAndVectorizedDocumentsAreUnchanged) {
+  StorageManager storage;
+  auto input = MakeKvTable(&storage, "in", 4000, 20, Layout::kRowStore, 1024);
+
+  // Vectorized baseline: the document must not mention fusion anywhere —
+  // pre-fusion consumers see byte-identical output for unchanged runs.
+  auto vec_plan = MakeFusablePlan(&storage, *input, /*fuse=*/false);
+  ExecConfig vec_config;
+  vec_config.num_workers = 2;
+  vec_config.profile = true;
+  ExecutionStats vec_stats = QueryExecutor::Execute(vec_plan.get(), vec_config);
+  const obs::QueryProfile vec_profile =
+      obs::QueryProfile::FromRun(vec_plan.get(), vec_stats, {"vec"});
+  const std::string vec_json = vec_profile.ToJson();
+  EXPECT_EQ(vec_json.find("fused"), std::string::npos);
+  obs::QueryProfileSummary vec_summary;
+  ASSERT_TRUE(obs::ParseQueryProfileJson(vec_json, &vec_summary).ok());
+  EXPECT_EQ(vec_summary.num_fused_chains, 0u);
+  EXPECT_EQ(vec_summary.num_fused_edges, 0u);
+
+  // Fused run of the same plan shape.
+  auto fused_plan = MakeFusablePlan(&storage, *input, /*fuse=*/true);
+  ExecConfig fused_config = vec_config;
+  fused_config.pipeline_mode = PipelineMode::kFused;
+  ExecutionStats fused_stats =
+      QueryExecutor::Execute(fused_plan.get(), fused_config);
+  ASSERT_EQ(fused_stats.fused_chains.size(), 1u);
+
+  const obs::QueryProfile profile =
+      obs::QueryProfile::FromRun(fused_plan.get(), fused_stats, {"fused"});
+  ASSERT_EQ(profile.edges().size(), 1u);
+  EXPECT_TRUE(profile.edges()[0].fused);
+  EXPECT_EQ(profile.edges()[0].transfers, 0u);
+  EXPECT_EQ(profile.edges()[0].bytes_delivered, 0u);
+
+  const std::string text = profile.ToString();
+  EXPECT_NE(text.find("fused[0] op0 -> op1"), std::string::npos) << text;
+  EXPECT_NE(text.find("fused pipeline op0->op1"), std::string::npos) << text;
+  EXPECT_NE(text.find("(select): 4000 rows in, 2501 rows out"),
+            std::string::npos)
+      << text;
+
+  const std::string json = profile.ToJson();
+  obs::QueryProfileSummary summary;
+  const Status status = obs::ParseQueryProfileJson(json, &summary);
+  ASSERT_TRUE(status.ok()) << status.ToString() << "\n" << json;
+  EXPECT_EQ(summary.num_fused_chains, 1u);
+  EXPECT_EQ(summary.num_fused_edges, 1u);
+
+  // The validator rejects structurally broken fused sections.
+  obs::QueryProfileSummary ignored;
+  std::string broken = json;
+  const size_t pos = broken.find("\"stages\"");
+  ASSERT_NE(pos, std::string::npos);
+  broken.replace(pos, 8, "\"wrongs\"");
+  EXPECT_FALSE(obs::ParseQueryProfileJson(broken, &ignored).ok());
 }
 
 TEST(ProfileTest, JsonParserDecodesUnicodeEscapes) {

@@ -395,6 +395,50 @@ TEST_F(FrontEndTest, KnobChangesProduceDistinctFingerprints) {
   EXPECT_NE(base.KnobFingerprint(), budget_changed.KnobFingerprint());
 }
 
+TEST_F(FrontEndTest, SetPipelineModeSwitchesConnectionState) {
+  FrontEnd frontend(SmallConfig(), &catalog_);
+  Response resp = frontend.Handle({"set pipeline_mode fused", "default"});
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.set_pipeline_mode, "fused");
+
+  resp = frontend.Handle({"set pipeline_mode = vectorized", "default"});
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.set_pipeline_mode, "vectorized");
+
+  EXPECT_FALSE(frontend.Handle({"set pipeline_mode turbo", "default"}).ok);
+  EXPECT_FALSE(frontend.Handle({"set pipeline_mode", "default"}).ok);
+}
+
+TEST_F(FrontEndTest, FusedModeMatchesVectorizedAndRefingerprints) {
+  FrontEnd frontend(SmallConfig(), &catalog_);
+  // The mode is a plan-shaping knob, so it must live in the fingerprint:
+  // a fused connection must never be served a plan annotated for the
+  // vectorized mode (or vice versa).
+  EXPECT_NE(frontend.KnobFingerprint(PipelineMode::kVectorized),
+            frontend.KnobFingerprint(PipelineMode::kFused));
+
+  const std::string sql =
+      "select k, sum(v) from fact where v >= 20 group by k";
+  const Response vectorized =
+      frontend.Handle({sql, "default", PipelineMode::kVectorized});
+  ASSERT_TRUE(vectorized.ok) << vectorized.error;
+  EXPECT_EQ(vectorized.cache, Response::Cache::kMiss);
+
+  const Response fused =
+      frontend.Handle({sql, "default", PipelineMode::kFused});
+  ASSERT_TRUE(fused.ok) << fused.error;
+  // Same template, different knob fingerprint: the cached vectorized entry
+  // is stale for this connection, not a hit.
+  EXPECT_EQ(fused.cache, Response::Cache::kMiss);
+  EXPECT_EQ(fused.rows_csv, vectorized.rows_csv);
+
+  const Response fused_again =
+      frontend.Handle({sql, "default", PipelineMode::kFused});
+  ASSERT_TRUE(fused_again.ok) << fused_again.error;
+  EXPECT_EQ(fused_again.cache, Response::Cache::kHit);
+  EXPECT_EQ(fused_again.rows_csv, vectorized.rows_csv);
+}
+
 TEST_F(FrontEndTest, PreparedStatementsShareOneTemplate) {
   FrontEnd frontend(SmallConfig(), &catalog_);
   Response resp = frontend.Handle(
